@@ -1,0 +1,142 @@
+// Figure 3(a)-(g): TopL-ICDE wall-clock time on Uni/Gau/Zipf while varying
+// one parameter at a time over the paper's Table III grid (defaults bold):
+//   (a) theta ∈ {0.1, 0.2, 0.3}
+//   (b) |Q|   ∈ {2, 3, 5, 8, 10}
+//   (c) k     ∈ {3, 4, 5}
+//   (d) r     ∈ {1, 2, 3}
+//   (e) L     ∈ {2, 3, 5, 8, 10}
+//   (f) |v.W| ∈ {1, 2, 3, 4, 5}   (changes the graph)
+//   (g) |Σ|   ∈ {10, 20, 50, 80}  (changes the graph)
+// Figure 3(h) (scalability over |V|) has its own binary.
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace topl;         // NOLINT(build/namespaces)
+using namespace topl::bench;  // NOLINT(build/namespaces)
+
+constexpr DatasetKind kSynthetic[] = {DatasetKind::kUni, DatasetKind::kGau,
+                                      DatasetKind::kZipf};
+
+DatasetConfig BaseConfig(DatasetKind kind) {
+  DatasetConfig config;
+  config.kind = kind;
+  config.num_vertices = DefaultVertices();
+  return config;
+}
+
+void RunQuery(benchmark::State& state, const DatasetConfig& config,
+              std::uint32_t q_size, const std::function<void(Query&)>& tweak) {
+  const Workload& w = GetWorkload(config);
+  TopLDetector detector(w.graph, *w.pre, w.tree);
+  Query query = DefaultQueryFor(w, q_size);
+  if (tweak) tweak(query);
+  QueryStats last;
+  for (auto _ : state) {
+    Result<TopLResult> result = detector.Search(query);
+    TOPL_CHECK(result.ok(), result.status().ToString().c_str());
+    last = result->stats;
+    benchmark::DoNotOptimize(result->communities.data());
+  }
+  state.counters["refined"] = static_cast<double>(last.candidates_refined);
+  state.counters["found"] = static_cast<double>(last.communities_found);
+  state.counters["pruned"] = static_cast<double>(last.TotalPruned());
+}
+
+void RegisterSweeps() {
+  for (DatasetKind kind : kSynthetic) {
+    const std::string ds = DatasetName(kind);
+    // (a) influence threshold theta.
+    for (double theta : {0.1, 0.2, 0.3}) {
+      DatasetConfig config = BaseConfig(kind);
+      benchmark::RegisterBenchmark(
+        ("fig3a/" + ds + "/theta:" + std::to_string(theta).substr(0, 3)).c_str(),
+          [config, theta](benchmark::State& s) {
+            RunQuery(s, config, 5, [theta](Query& q) { q.theta = theta; });
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->MinTime(0.1);
+    }
+    // (b) query keyword count |Q|.
+    for (std::uint32_t qsize : {2u, 3u, 5u, 8u, 10u}) {
+      DatasetConfig config = BaseConfig(kind);
+      benchmark::RegisterBenchmark(
+        ("fig3b/" + ds + "/Q:" + std::to_string(qsize)).c_str(),
+          [config, qsize](benchmark::State& s) {
+            RunQuery(s, config, qsize, nullptr);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->MinTime(0.1);
+    }
+    // (c) truss support parameter k.
+    for (std::uint32_t k : {3u, 4u, 5u}) {
+      DatasetConfig config = BaseConfig(kind);
+      benchmark::RegisterBenchmark(
+        ("fig3c/" + ds + "/k:" + std::to_string(k)).c_str(),
+          [config, k](benchmark::State& s) {
+            RunQuery(s, config, 5, [k](Query& q) { q.k = k; });
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->MinTime(0.1);
+    }
+    // (d) radius r.
+    for (std::uint32_t r : {1u, 2u, 3u}) {
+      DatasetConfig config = BaseConfig(kind);
+      benchmark::RegisterBenchmark(
+        ("fig3d/" + ds + "/r:" + std::to_string(r)).c_str(),
+          [config, r](benchmark::State& s) {
+            RunQuery(s, config, 5, [r](Query& q) { q.radius = r; });
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->MinTime(0.1);
+    }
+    // (e) result size L.
+    for (std::uint32_t l : {2u, 3u, 5u, 8u, 10u}) {
+      DatasetConfig config = BaseConfig(kind);
+      benchmark::RegisterBenchmark(
+        ("fig3e/" + ds + "/L:" + std::to_string(l)).c_str(),
+          [config, l](benchmark::State& s) {
+            RunQuery(s, config, 5, [l](Query& q) { q.top_l = l; });
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->MinTime(0.1);
+    }
+    // (f) keywords per vertex |v.W| — re-generates the graph.
+    for (std::uint32_t per_vertex : {1u, 2u, 3u, 4u, 5u}) {
+      DatasetConfig config = BaseConfig(kind);
+      config.keywords_per_vertex = per_vertex;
+      benchmark::RegisterBenchmark(
+        ("fig3f/" + ds + "/W:" + std::to_string(per_vertex)).c_str(),
+          [config](benchmark::State& s) { RunQuery(s, config, 5, nullptr); })
+          ->Unit(benchmark::kMillisecond)
+          ->MinTime(0.1);
+    }
+    // (g) keyword domain size |Σ| — re-generates the graph.
+    for (std::uint32_t domain : {10u, 20u, 50u, 80u}) {
+      DatasetConfig config = BaseConfig(kind);
+      config.keyword_domain = domain;
+      benchmark::RegisterBenchmark(
+        ("fig3g/" + ds + "/Sigma:" + std::to_string(domain)).c_str(),
+          [config](benchmark::State& s) { RunQuery(s, config, 5, nullptr); })
+          ->Unit(benchmark::kMillisecond)
+          ->MinTime(0.1);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== Figure 3(a)-(g): TopL-ICDE parameter sweeps over Uni/Gau/Zipf "
+              "(|V|=%zu) ==\n", DefaultVertices());
+  RegisterSweeps();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

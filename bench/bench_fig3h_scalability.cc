@@ -1,0 +1,60 @@
+// Figure 3(h): TopL-ICDE scalability — wall-clock time vs |V(G)| on the
+// three synthetic datasets. The paper sweeps 10K → 1M; default harness scale
+// is 1K → 50K (superset sweep with TOPL_BENCH_FULL=1). Offline build time is
+// reported as a counter, mirroring the paper's offline/online split.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace topl;         // NOLINT(build/namespaces)
+using namespace topl::bench;  // NOLINT(build/namespaces)
+
+std::vector<std::size_t> Sizes() {
+  if (FullScale()) {
+    return {10000, 25000, 50000, 100000, 250000, 500000, 1000000};
+  }
+  return {1000, 2500, 5000, 10000, 25000, 50000};
+}
+
+void BM_Scalability(benchmark::State& state, DatasetConfig config) {
+  const Workload& w = GetWorkload(config);
+  TopLDetector detector(w.graph, *w.pre, w.tree);
+  const Query query = DefaultQueryFor(w);
+  QueryStats last;
+  for (auto _ : state) {
+    Result<TopLResult> result = detector.Search(query);
+    TOPL_CHECK(result.ok(), result.status().ToString().c_str());
+    last = result->stats;
+    benchmark::DoNotOptimize(result->communities.data());
+  }
+  state.counters["V"] = static_cast<double>(w.graph.NumVertices());
+  state.counters["E"] = static_cast<double>(w.graph.NumEdges());
+  state.counters["found"] = static_cast<double>(last.communities_found);
+  state.counters["offline_s"] = w.offline_seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== Figure 3(h): scalability over |V(G)| ==\n");
+  for (DatasetKind kind :
+       {DatasetKind::kUni, DatasetKind::kGau, DatasetKind::kZipf}) {
+    for (std::size_t n : Sizes()) {
+      DatasetConfig config;
+      config.kind = kind;
+      config.num_vertices = n;
+      benchmark::RegisterBenchmark(
+        (std::string("fig3h/") + DatasetName(kind) + "/V:" + std::to_string(n)).c_str(),
+          [config](benchmark::State& s) { BM_Scalability(s, config); })
+          ->Unit(benchmark::kMillisecond)
+          ->MinTime(0.1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figure 4: ablation of the pruning rules on the five datasets at default
+// parameters. Three cumulative combinations, as in the paper:
+//   (1) keyword pruning only,
+//   (2) keyword + support pruning,
+//   (3) keyword + support + influential-score pruning.
+// Fig. 4(a) is the number of pruned candidate communities (counter
+// "pruned_candidates", in units of center vertices); Fig. 4(b) is the wall
+// clock time (the benchmark's timing column).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace topl;         // NOLINT(build/namespaces)
+using namespace topl::bench;  // NOLINT(build/namespaces)
+
+struct Combo {
+  const char* name;
+  QueryOptions options;
+};
+
+std::vector<Combo> Combos() {
+  QueryOptions keyword_only;
+  keyword_only.use_keyword_pruning = true;
+  keyword_only.use_support_pruning = false;
+  keyword_only.use_score_pruning = false;
+  QueryOptions keyword_support = keyword_only;
+  keyword_support.use_support_pruning = true;
+  QueryOptions all = keyword_support;
+  all.use_score_pruning = true;
+  return {{"keyword", keyword_only},
+          {"keyword+support", keyword_support},
+          {"keyword+support+score", all}};
+}
+
+void BM_Ablation(benchmark::State& state, DatasetConfig config,
+                 QueryOptions options) {
+  const Workload& w = GetWorkload(config);
+  TopLDetector detector(w.graph, *w.pre, w.tree);
+  const Query query = DefaultQueryFor(w);
+  QueryStats last;
+  for (auto _ : state) {
+    Result<TopLResult> result = detector.Search(query, options);
+    TOPL_CHECK(result.ok(), result.status().ToString().c_str());
+    last = result->stats;
+    benchmark::DoNotOptimize(result->communities.data());
+  }
+  state.counters["pruned_candidates"] = static_cast<double>(last.TotalPruned());
+  state.counters["pruned_keyword"] = static_cast<double>(last.pruned_keyword);
+  state.counters["pruned_support"] = static_cast<double>(last.pruned_support);
+  state.counters["pruned_score"] =
+      static_cast<double>(last.pruned_score + last.pruned_termination);
+  state.counters["refined"] = static_cast<double>(last.candidates_refined);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== Figure 4: pruning ablation (a: pruned candidates, b: wall "
+              "clock time) ==\n");
+  for (DatasetKind kind : {DatasetKind::kDblp, DatasetKind::kAmazon,
+                           DatasetKind::kUni, DatasetKind::kGau,
+                           DatasetKind::kZipf}) {
+    DatasetConfig config;
+    config.kind = kind;
+    config.num_vertices = DefaultVertices();
+    for (const Combo& combo : Combos()) {
+      benchmark::RegisterBenchmark(
+        (std::string("fig4/") + DatasetName(kind) + "/" + combo.name).c_str(),
+          [config, combo](benchmark::State& s) {
+            BM_Ablation(s, config, combo.options);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->MinTime(0.1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Figure 5 case study: compare the influence of the Top1-ICDE seed community
+// against a k-core community around the same center vertex on the
+// Amazon(-like) graph, k = 4.
+//
+// The paper reports: Top1-ICDE community of 4 users ((4,2)-truss) with
+// σ(g) = 344.31 and 974 possibly influenced nodes, vs a 4-core community of
+// 5 users with σ(g) = 239.81 and 646 influenced nodes — the truss community
+// is smaller yet more influential. This harness prints the same comparison
+// for our workload; the expected *shape* is σ(truss-pick) > σ(core) around
+// the same center with comparable or smaller seed size.
+//
+// The paper counts "possibly influenced nodes" more inclusively than gInf
+// (every node reachable with nonzero MIA probability); we report both that
+// count (theta -> 0.01) and |gInf| at the query theta.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace topl;         // NOLINT(build/namespaces)
+using namespace topl::bench;  // NOLINT(build/namespaces)
+
+void Report(const char* label, const Graph& graph,
+            const std::vector<VertexId>& seed, double theta) {
+  PropagationEngine engine(graph);
+  const InfluencedCommunity at_theta = engine.Compute(seed, theta);
+  const InfluencedCommunity possibly = engine.Compute(seed, 0.01);
+  std::printf("%-12s seed=%5zu  sigma(theta=%.2f)=%10.2f  |gInf|=%6zu  "
+              "possibly_influenced=%6zu  sigma/seed=%7.2f\n",
+              label, seed.size(), theta, at_theta.score, at_theta.size(),
+              possibly.size(), at_theta.score / static_cast<double>(seed.size()));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Figure 5 case study: Top1-ICDE vs %u-core (Amazon-like) ==\n",
+              4u);
+  DatasetConfig config;
+  config.kind = DatasetKind::kAmazon;
+  config.num_vertices = DefaultVertices();
+  const Workload& w = GetWorkload(config);
+
+  // The paper's case-study community is keyword-homogeneous ("Movies"); with
+  // randomly assigned synthetic keywords the equivalent is a keyword set
+  // covering the domain, so structure (not keyword luck) decides the result.
+  Query query = DefaultQuery(config.keyword_domain);
+  query.keywords.clear();
+  for (KeywordId kw = 0; kw < config.keyword_domain; ++kw) {
+    query.keywords.push_back(kw);
+  }
+  query.k = 4;
+  query.top_l = 1;
+  TopLDetector detector(w.graph, *w.pre, w.tree);
+  Result<TopLResult> top1 = detector.Search(query);
+  TOPL_CHECK(top1.ok(), top1.status().ToString().c_str());
+  if (top1->communities.empty()) {
+    // Sparse stand-in without a keyword-feasible (4, 2)-truss: fall back to
+    // k=3 so the harness still prints a comparison.
+    query.k = 3;
+    top1 = detector.Search(query);
+    TOPL_CHECK(top1.ok(), top1.status().ToString().c_str());
+    std::printf("note: no (4, 2)-truss found; falling back to k=3\n");
+  }
+  if (top1->communities.empty()) {
+    std::printf("no truss community found on this workload; rerun with a "
+                "larger TOPL_BENCH_V\n");
+    return 0;
+  }
+  const CommunityResult& best = top1->communities.front();
+  const VertexId center = best.community.center;
+
+  // The same center vertex (the red star in Fig. 5), k-core comparator. The
+  // BA-style stand-in has degeneracy 3 (each arriving vertex brings 3
+  // edges), so when no 4-core exists we compare against the deepest core
+  // level that does — the comparison "truss pick vs core pick around the
+  // same center" is what the figure demonstrates.
+  std::uint32_t core_k = query.k;
+  std::vector<VertexId> core;
+  while (core_k >= 2) {
+    core = KCoreCommunity(w.graph, center, core_k, query.radius);
+    if (!core.empty()) break;
+    --core_k;
+  }
+
+  std::printf("center vertex: %u\n", center);
+  Report("Top1-ICDE", w.graph, best.community.vertices, query.theta);
+  if (core.empty()) {
+    std::printf("%-12s (center not in any core within r=%u)\n", "k-core",
+                query.radius);
+  } else {
+    std::printf("(deepest core level containing the center: %u)\n", core_k);
+    Report((std::to_string(core_k) + "-core").c_str(), w.graph, core,
+           query.theta);
+  }
+
+  // Paper-reported reference values, for EXPERIMENTS.md side-by-side.
+  std::printf("\npaper (com-Amazon, 334,863 nodes): Top1-ICDE 4 users, "
+              "sigma=344.31, 974 influenced; 4-core 5 users, sigma=239.81, "
+              "646 influenced\n");
+  return 0;
+}

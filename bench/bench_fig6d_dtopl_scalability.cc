@@ -1,0 +1,58 @@
+// Figure 6(d): DTopL-ICDE (Greedy_WP) scalability over |V(G)| on the three
+// synthetic datasets. Paper sweep: 10K → 1M; harness default 1K → 50K
+// (TOPL_BENCH_FULL=1 for the paper grid).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace topl;         // NOLINT(build/namespaces)
+using namespace topl::bench;  // NOLINT(build/namespaces)
+
+std::vector<std::size_t> Sizes() {
+  if (FullScale()) {
+    return {10000, 25000, 50000, 100000, 250000, 500000, 1000000};
+  }
+  return {1000, 2500, 5000, 10000, 25000, 50000};
+}
+
+void BM_DTopLScalability(benchmark::State& state, DatasetConfig config) {
+  const Workload& w = GetWorkload(config);
+  DTopLDetector detector(w.graph, *w.pre, w.tree);
+  const Query query = DefaultQueryFor(w);
+  DTopLResult last;
+  for (auto _ : state) {
+    Result<DTopLResult> result = detector.Search(query);
+    TOPL_CHECK(result.ok(), result.status().ToString().c_str());
+    last = std::move(result).value();
+    benchmark::DoNotOptimize(last.diversity_score);
+  }
+  state.counters["V"] = static_cast<double>(w.graph.NumVertices());
+  state.counters["diversity"] = last.diversity_score;
+  state.counters["offline_s"] = w.offline_seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== Figure 6(d): DTopL-ICDE scalability over |V(G)| ==\n");
+  for (DatasetKind kind :
+       {DatasetKind::kUni, DatasetKind::kGau, DatasetKind::kZipf}) {
+    for (std::size_t n : Sizes()) {
+      DatasetConfig config;
+      config.kind = kind;
+      config.num_vertices = n;
+      benchmark::RegisterBenchmark(
+        (std::string("fig6d/") + DatasetName(kind) + "/V:" + std::to_string(n)).c_str(),
+          [config](benchmark::State& s) { BM_DTopLScalability(s, config); })
+          ->Unit(benchmark::kMillisecond)
+          ->MinTime(0.1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

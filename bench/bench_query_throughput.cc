@@ -1,0 +1,87 @@
+// Concurrent query throughput (not a paper figure): the online phase is
+// read-only over Graph + PrecomputedData + TreeIndex, so a server answers
+// TopL-ICDE queries from per-thread detectors with zero synchronization.
+// This bench measures aggregate queries/second as worker threads scale,
+// with each worker cycling through distinct keyword sets.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace topl;         // NOLINT(build/namespaces)
+using namespace topl::bench;  // NOLINT(build/namespaces)
+
+void BM_ConcurrentQueries(benchmark::State& state) {
+  DatasetConfig config;
+  config.kind = DatasetKind::kUni;
+  config.num_vertices = DefaultVertices();
+  const Workload& w = GetWorkload(config);
+  const std::size_t num_threads = static_cast<std::size_t>(state.range(0));
+  const std::size_t queries_per_round = 32;
+
+  // Distinct query keyword sets, cycled by the workers.
+  std::vector<Query> queries;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Query q;
+    q.keywords = MakeQueryKeywordsFromGraph(w.graph, 5, seed);
+    q.k = 4;
+    q.radius = 2;
+    q.theta = 0.2;
+    q.top_l = 5;
+    queries.push_back(std::move(q));
+  }
+
+  // One long-lived detector per worker, as a query server would hold them;
+  // construction (O(n) scratch) stays out of the timed region.
+  std::vector<std::unique_ptr<TopLDetector>> detectors;
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    detectors.push_back(std::make_unique<TopLDetector>(w.graph, *w.pre, w.tree));
+  }
+
+  std::uint64_t answered = 0;
+  for (auto _ : state) {
+    std::atomic<std::size_t> next{0};
+    auto worker = [&](std::size_t worker_id) {
+      TopLDetector& detector = *detectors[worker_id];
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= queries_per_round) return;
+        Result<TopLResult> result = detector.Search(queries[i % queries.size()]);
+        TOPL_CHECK(result.ok(), result.status().ToString().c_str());
+        benchmark::DoNotOptimize(result->communities.data());
+      }
+    };
+    std::vector<std::thread> threads;
+    for (std::size_t t = 1; t < num_threads; ++t) threads.emplace_back(worker, t);
+    worker(0);
+    for (auto& t : threads) t.join();
+    answered += queries_per_round;
+  }
+  state.counters["queries_per_s"] = benchmark::Counter(
+      static_cast<double>(answered), benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== Concurrent TopL-ICDE query throughput (read-only shared "
+              "index, per-thread detectors) ==\n");
+  benchmark::RegisterBenchmark("throughput/threads", BM_ConcurrentQueries)
+      ->Arg(1)
+      ->Arg(2)
+      ->Arg(4)
+      ->Arg(8)
+      ->Unit(benchmark::kMillisecond)
+      ->MinTime(0.2)
+      ->UseRealTime();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

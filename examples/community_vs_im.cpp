@@ -1,0 +1,116 @@
+// Communities versus free-form influence maximization (the §IX related-work
+// contrast): classic IM picks the k individually strongest users anywhere in
+// the network; TopL-ICDE insists the seeds form a cohesive k-truss community
+// with shared interests. This example quantifies the trade on one network:
+// how much raw spread the structural constraints cost, and what cohesion is
+// bought — plus an Independent-Cascade Monte-Carlo check of how conservative
+// the MIA scores are.
+//
+//   $ ./example_community_vs_im [num_users]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "topl.h"
+
+namespace {
+
+// Edges among a seed set (cohesion measure: IM seed sets are usually
+// scattered, seed communities are dense by construction).
+std::size_t InternalEdges(const topl::Graph& g,
+                          const std::vector<topl::VertexId>& seeds) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    for (std::size_t j = i + 1; j < seeds.size(); ++j) {
+      if (g.HasEdge(seeds[i], seeds[j])) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace topl;  // NOLINT(build/namespaces)
+
+  const std::size_t num_users =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 10000;
+
+  SmallWorldOptions generator;
+  generator.num_vertices = num_users;
+  generator.keywords.domain_size = 20;
+  generator.seed = 31;
+  Result<Graph> graph = MakeSmallWorld(generator);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+
+  Result<PrecomputedData> pre = PrecomputedData::Build(*graph, PrecomputeOptions());
+  Result<TreeIndex> tree =
+      pre.ok() ? TreeIndex::Build(*graph, *pre) : Result<TreeIndex>(pre.status());
+  if (!tree.ok()) {
+    std::fprintf(stderr, "%s\n", tree.status().ToString().c_str());
+    return 1;
+  }
+
+  // -- Top-1 seed community ---------------------------------------------------
+  Query query;
+  query.keywords = {0, 1, 2, 3, 4};
+  query.k = 3;
+  query.radius = 2;
+  query.theta = 0.2;
+  query.top_l = 1;
+  TopLDetector detector(*graph, *pre, *tree);
+  Result<TopLResult> community_answer = detector.Search(query);
+  if (!community_answer.ok() || community_answer->communities.empty()) {
+    std::fprintf(stderr, "no seed community found; try a larger network\n");
+    return 1;
+  }
+  const CommunityResult& community = community_answer->communities.front();
+
+  // -- IM with the same seed budget -------------------------------------------
+  ImGreedyOptions im_options;
+  im_options.budget = static_cast<std::uint32_t>(community.community.size());
+  im_options.theta = query.theta;
+  Result<ImGreedyResult> im = GreedyInfluenceMaximization(*graph, im_options);
+  if (!im.ok()) {
+    std::fprintf(stderr, "%s\n", im.status().ToString().c_str());
+    return 1;
+  }
+
+  // -- Ground-truth IC simulation for both seed sets --------------------------
+  // Same σ semantics as the MIA scores: sum activation probabilities over
+  // vertices activated with probability ≥ θ. (Unrestricted IC spread
+  // percolates to nearly the whole graph at these edge weights.)
+  IcSimulator simulator(*graph);
+  IcSimulator::Options mc;
+  mc.num_rounds = 2000;
+  const double community_ic =
+      simulator.EstimateSpread(community.community.vertices, mc, query.theta)
+          .score;
+  const double im_ic = simulator.EstimateSpread(im->seeds, mc, query.theta).score;
+
+  const std::size_t community_edges =
+      InternalEdges(*graph, community.community.vertices);
+  const std::size_t im_edges = InternalEdges(*graph, im->seeds);
+
+  std::printf("seed budget: %zu users (network: %zu users)\n\n",
+              community.community.size(), graph->NumVertices());
+  std::printf("%-28s %16s %16s\n", "", "seed community", "IM seed set");
+  std::printf("%-28s %16.2f %16.2f\n", "MIA spread (sigma)", community.score(),
+              im->spread);
+  std::printf("%-28s %16.2f %16.2f\n", "IC simulated spread", community_ic, im_ic);
+  std::printf("%-28s %16zu %16zu\n", "edges among seeds", community_edges,
+              im_edges);
+  std::printf("%-28s %16s %16s\n", "keyword-coherent", "yes (by query)", "no");
+  std::printf("\nIM reaches %.1f%% more users, but its seeds share %zu "
+              "ties versus the community's %zu — no group-buying structure.\n",
+              100.0 * (im->spread - community.score()) / community.score(),
+              im_edges, community_edges);
+  std::printf("note: with edge weights in [0.5, 0.6) the IC process is "
+              "supercritical — any seed set saturates the network, which is "
+              "why the paper scores communities under the per-path MIA model "
+              "instead.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Diversified advertising (the paper's DTopL-ICDE motivation): plain
+// TopL-ICDE may return L communities that influence the *same* users — a
+// wasted ad budget, since each user buys once. DTopL-ICDE instead picks the
+// set of L communities with the highest *collective* reach (diversity score,
+// Eq. (6)). This example runs both on the same network and reports the
+// overlap reduction.
+//
+//   $ ./example_diversified_advertising [num_users]
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "topl.h"
+
+namespace {
+
+// Distinct users influenced by a selection, and the summed overlap.
+std::pair<std::size_t, std::size_t> CoverageOf(
+    const std::vector<topl::CommunityResult>& communities) {
+  std::set<topl::VertexId> distinct;
+  std::size_t total = 0;
+  for (const topl::CommunityResult& c : communities) {
+    total += c.influence.size();
+    distinct.insert(c.influence.vertices.begin(), c.influence.vertices.end());
+  }
+  return {distinct.size(), total - distinct.size()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace topl;  // NOLINT(build/namespaces)
+
+  const std::size_t num_users =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
+
+  SmallWorldOptions generator;
+  generator.num_vertices = num_users;
+  generator.keywords.domain_size = 20;
+  generator.seed = 23;
+  Result<Graph> graph = MakeSmallWorld(generator);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+
+  Result<PrecomputedData> pre = PrecomputedData::Build(*graph, PrecomputeOptions());
+  Result<TreeIndex> tree =
+      pre.ok() ? TreeIndex::Build(*graph, *pre) : Result<TreeIndex>(pre.status());
+  if (!tree.ok()) {
+    std::fprintf(stderr, "%s\n", tree.status().ToString().c_str());
+    return 1;
+  }
+
+  Query query;
+  query.keywords = {0, 3, 7};
+  query.k = 3;
+  query.radius = 2;
+  query.theta = 0.2;
+  query.top_l = 5;
+
+  // -- Plain TopL-ICDE: the L individually strongest communities ------------
+  TopLDetector topl_detector(*graph, *pre, *tree);
+  Result<TopLResult> topl_answer = topl_detector.Search(query);
+  if (!topl_answer.ok()) {
+    std::fprintf(stderr, "%s\n", topl_answer.status().ToString().c_str());
+    return 1;
+  }
+
+  // -- DTopL-ICDE: the collectively strongest set ----------------------------
+  DTopLDetector dtopl_detector(*graph, *pre, *tree);
+  DTopLOptions options;
+  options.n_factor = 5;
+  Result<DTopLResult> dtopl_answer = dtopl_detector.Search(query, options);
+  if (!dtopl_answer.ok()) {
+    std::fprintf(stderr, "%s\n", dtopl_answer.status().ToString().c_str());
+    return 1;
+  }
+
+  const auto [topl_distinct, topl_overlap] = CoverageOf(topl_answer->communities);
+  const auto [dtopl_distinct, dtopl_overlap] =
+      CoverageOf(dtopl_answer->communities);
+
+  DiversityOracle oracle;
+  for (const CommunityResult& c : topl_answer->communities) oracle.Add(c.influence);
+
+  std::printf("campaign with L=%u seed communities on %zu users\n\n",
+              query.top_l, graph->NumVertices());
+  std::printf("%-22s %18s %18s\n", "", "TopL-ICDE", "DTopL-ICDE (WP)");
+  std::printf("%-22s %18zu %18zu\n", "distinct users reached", topl_distinct,
+              dtopl_distinct);
+  std::printf("%-22s %18zu %18zu\n", "overlapping reaches", topl_overlap,
+              dtopl_overlap);
+  std::printf("%-22s %18.2f %18.2f\n", "diversity score D(S)",
+              oracle.TotalScore(), dtopl_answer->diversity_score);
+  std::printf("%-22s %18s %18llu\n", "gain evaluations", "-",
+              static_cast<unsigned long long>(dtopl_answer->gain_evaluations));
+
+  std::printf("\nselected centers:");
+  for (const CommunityResult& c : dtopl_answer->communities) {
+    std::printf(" %u", c.community.center);
+  }
+  std::printf("\n");
+  std::printf("\nDTopL-ICDE trades a little per-community strength for "
+              "%+.1f%% collective reach.\n",
+              100.0 * (dtopl_answer->diversity_score - oracle.TotalScore()) /
+                  oracle.TotalScore());
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Quickstart: build the paper's Fig. 1-style toy social network by hand,
+// index it, and ask for the single most influential "Movies" community.
+//
+//   $ ./example_quickstart
+//
+// Walks the whole public API surface: GraphBuilder -> PrecomputedData ->
+// TreeIndex -> TopLDetector, with a KeywordDictionary translating between
+// strings and KeywordIds.
+
+#include <cstdio>
+
+#include "topl.h"
+
+int main() {
+  using namespace topl;  // NOLINT(build/namespaces)
+
+  // -- 1. The social network ------------------------------------------------
+  // An 11-user network: a tight "movie buffs" clique {0,1,2,3} (every pair
+  // friends, every edge in two triangles -> a 4-truss), a looser wellness
+  // triangle {4,5,6}, and a chain of casual contacts 3-7-8-9-10 that the
+  // clique can influence.
+  KeywordDictionary dict;
+  const KeywordId movies = dict.Intern("Movies");
+  const KeywordId books = dict.Intern("Books");
+  const KeywordId health = dict.Intern("Health");
+
+  GraphBuilder builder(11);
+  const double strong = 0.8;  // activation probability between close friends
+  const double weak = 0.5;
+  for (VertexId u = 0; u < 4; ++u) {
+    for (VertexId v = u + 1; v < 4; ++v) builder.AddEdge(u, v, strong);
+    builder.AddKeyword(u, movies);
+  }
+  builder.AddKeyword(0, books);
+  builder.AddEdge(4, 5, weak);
+  builder.AddEdge(5, 6, weak);
+  builder.AddEdge(4, 6, weak);
+  for (VertexId v = 4; v < 7; ++v) builder.AddKeyword(v, health);
+  builder.AddEdge(0, 4, weak);
+  builder.AddEdge(3, 7, strong);
+  builder.AddEdge(7, 8, strong);
+  builder.AddEdge(8, 9, strong);
+  builder.AddEdge(9, 10, strong);
+  for (VertexId v = 7; v < 11; ++v) {
+    builder.AddKeyword(v, movies);
+    builder.AddKeyword(v, books);
+  }
+  Result<Graph> graph = std::move(builder).Build();
+  if (!graph.ok()) {
+    std::fprintf(stderr, "graph build failed: %s\n",
+                 graph.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("network: %zu users, %zu friendships\n", graph->NumVertices(),
+              graph->NumEdges());
+
+  // -- 2. Offline phase -----------------------------------------------------
+  PrecomputeOptions pre_options;  // r_max=3, thetas={0.1,0.2,0.3}
+  Result<PrecomputedData> pre = PrecomputedData::Build(*graph, pre_options);
+  if (!pre.ok()) {
+    std::fprintf(stderr, "precompute failed: %s\n", pre.status().ToString().c_str());
+    return 1;
+  }
+  Result<TreeIndex> tree = TreeIndex::Build(*graph, *pre);
+  if (!tree.ok()) {
+    std::fprintf(stderr, "index build failed: %s\n",
+                 tree.status().ToString().c_str());
+    return 1;
+  }
+
+  // -- 3. Online TopL-ICDE query --------------------------------------------
+  Query query;
+  query.keywords = {movies};  // already sorted (single keyword)
+  query.k = 4;                // 4-truss: every friendship in >= 2 triangles
+  query.radius = 2;
+  query.theta = 0.2;
+  query.top_l = 1;
+
+  TopLDetector detector(*graph, *pre, *tree);
+  Result<TopLResult> answer = detector.Search(query);
+  if (!answer.ok()) {
+    std::fprintf(stderr, "query failed: %s\n", answer.status().ToString().c_str());
+    return 1;
+  }
+  if (answer->communities.empty()) {
+    std::printf("no qualifying community\n");
+    return 0;
+  }
+
+  const CommunityResult& top = answer->communities.front();
+  std::printf("top-1 seed community (center user %u): {", top.community.center);
+  for (std::size_t i = 0; i < top.community.vertices.size(); ++i) {
+    std::printf("%s%u", i == 0 ? "" : ", ", top.community.vertices[i]);
+  }
+  std::printf("}\n");
+  std::printf("influential score sigma(g) = %.3f over %zu influenced users:\n",
+              top.score(), top.influence.size());
+  for (std::size_t i = 0; i < top.influence.size(); ++i) {
+    std::printf("  user %-2u cpp = %.3f\n", top.influence.vertices[i],
+                top.influence.cpp[i]);
+  }
+  std::printf("query stats: %s\n", answer->stats.ToString().c_str());
+  return 0;
+}

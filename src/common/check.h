@@ -1,0 +1,33 @@
+#ifndef TOPL_COMMON_CHECK_H_
+#define TOPL_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace topl {
+
+/// Internal invariant checks. These guard programmer errors (broken
+/// preconditions inside the library), not user input — user input is
+/// validated with Status returns. Enabled in all build types: the checked
+/// conditions are O(1) and sit outside inner loops.
+#define TOPL_CHECK(cond, msg)                                               \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "TOPL_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, (msg));                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+/// Debug-only variant for checks inside hot loops.
+#ifndef NDEBUG
+#define TOPL_DCHECK(cond, msg) TOPL_CHECK(cond, msg)
+#else
+#define TOPL_DCHECK(cond, msg) \
+  do {                         \
+  } while (false)
+#endif
+
+}  // namespace topl
+
+#endif  // TOPL_COMMON_CHECK_H_

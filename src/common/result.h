@@ -1,0 +1,62 @@
+#ifndef TOPL_COMMON_RESULT_H_
+#define TOPL_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace topl {
+
+/// \brief A value-or-Status pair, the return type of fallible constructors.
+///
+/// Minimal `absl::StatusOr`-alike: holds either an OK status plus a value, or
+/// a non-OK status. Accessing the value of a failed Result aborts (see
+/// TOPL_CHECK), so callers must test `ok()` first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a failure status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    TOPL_CHECK(!status_.ok(), "Result constructed from OK status without a value");
+  }
+
+  /// Implicit construction from a value (status becomes OK).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    TOPL_CHECK(ok(), "Result::value() on failed Result");
+    return *value_;
+  }
+  T& value() & {
+    TOPL_CHECK(ok(), "Result::value() on failed Result");
+    return *value_;
+  }
+  T&& value() && {
+    TOPL_CHECK(ok(), "Result::value() on failed Result");
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace topl
+
+#endif  // TOPL_COMMON_RESULT_H_

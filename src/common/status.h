@@ -1,0 +1,90 @@
+#ifndef TOPL_COMMON_STATUS_H_
+#define TOPL_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace topl {
+
+/// \brief Outcome of a fallible operation (RocksDB-style).
+///
+/// Algorithmic hot paths in this library are infallible by construction and
+/// return values directly; `Status` is reserved for operations that touch the
+/// outside world (file I/O, parsing, deserialization) or that validate
+/// user-supplied parameters at API boundaries.
+class Status {
+ public:
+  /// Machine-readable category of a failure.
+  enum class Code : unsigned char {
+    kOk = 0,
+    kInvalidArgument = 1,
+    kNotFound = 2,
+    kCorruption = 3,
+    kIOError = 4,
+    kOutOfRange = 5,
+    kUnimplemented = 6,
+    kInternal = 7,
+  };
+
+  /// Default-constructed Status is OK.
+  Status() : code_(Code::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, one per failure category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status NotFound(std::string_view msg) { return Status(Code::kNotFound, msg); }
+  static Status Corruption(std::string_view msg) {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status IOError(std::string_view msg) { return Status(Code::kIOError, msg); }
+  static Status OutOfRange(std::string_view msg) {
+    return Status(Code::kOutOfRange, msg);
+  }
+  static Status Unimplemented(std::string_view msg) {
+    return Status(Code::kUnimplemented, msg);
+  }
+  static Status Internal(std::string_view msg) { return Status(Code::kInternal, msg); }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool IsUnimplemented() const { return code_ == Code::kUnimplemented; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  Code code() const { return code_; }
+
+  /// Human-readable message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<category>: <message>" for logging.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), message_(msg) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK Status to the caller. Mirrors the RocksDB macro of the
+/// same shape; usable only in functions returning Status.
+#define TOPL_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::topl::Status _topl_status = (expr);         \
+    if (!_topl_status.ok()) return _topl_status;  \
+  } while (false)
+
+}  // namespace topl
+
+#endif  // TOPL_COMMON_STATUS_H_

@@ -1,0 +1,48 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace topl {
+
+ThreadPool::ThreadPool(std::size_t num_threads) : num_threads_(num_threads) {
+  if (num_threads_ == 0) {
+    num_threads_ = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
+                             const std::function<void(std::size_t)>& body,
+                             std::size_t grain) {
+  ParallelForWithWorker(
+      begin, end, [&body](std::size_t, std::size_t i) { body(i); }, grain);
+}
+
+void ThreadPool::ParallelForWithWorker(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body, std::size_t grain) {
+  if (begin >= end) return;
+  const std::size_t total = end - begin;
+  if (num_threads_ == 1 || total <= grain) {
+    for (std::size_t i = begin; i < end; ++i) body(0, i);
+    return;
+  }
+  std::atomic<std::size_t> next{begin};
+  auto worker = [&](std::size_t worker_id) {
+    for (;;) {
+      const std::size_t chunk_begin = next.fetch_add(grain);
+      if (chunk_begin >= end) return;
+      const std::size_t chunk_end = std::min(end, chunk_begin + grain);
+      for (std::size_t i = chunk_begin; i < chunk_end; ++i) body(worker_id, i);
+    }
+  };
+  const std::size_t spawn = std::min(num_threads_ - 1, (total + grain - 1) / grain);
+  std::vector<std::thread> threads;
+  threads.reserve(spawn);
+  for (std::size_t t = 0; t < spawn; ++t) {
+    threads.emplace_back(worker, t + 1);
+  }
+  worker(0);  // The calling thread participates as worker 0.
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace topl

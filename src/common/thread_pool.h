@@ -1,0 +1,51 @@
+#ifndef TOPL_COMMON_THREAD_POOL_H_
+#define TOPL_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace topl {
+
+/// \brief Fixed-size worker pool for data-parallel offline work.
+///
+/// The offline precomputation phase (Algorithm 2 of the paper) is
+/// embarrassingly parallel across vertices; ParallelFor splits an index range
+/// into dynamically scheduled chunks. The pool is intentionally minimal: no
+/// futures, no task queue — offline precompute is the only consumer and it
+/// only needs a blocking parallel-for.
+class ThreadPool {
+ public:
+  /// \param num_threads worker count; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return num_threads_; }
+
+  /// Runs body(i) for every i in [begin, end), distributing chunks of
+  /// `grain` consecutive indices over the workers. Blocks until all
+  /// iterations complete. body must be safe to invoke concurrently for
+  /// distinct i. With num_threads() == 1 the loop runs inline.
+  void ParallelFor(std::size_t begin, std::size_t end,
+                   const std::function<void(std::size_t)>& body,
+                   std::size_t grain = 64);
+
+  /// Like ParallelFor, but the body also receives the worker id in
+  /// [0, num_threads()), so callers can maintain per-worker scratch state
+  /// (e.g., one PropagationEngine per worker in the precompute phase).
+  void ParallelForWithWorker(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t worker, std::size_t i)>& body,
+      std::size_t grain = 64);
+
+ private:
+  std::size_t num_threads_;
+};
+
+}  // namespace topl
+
+#endif  // TOPL_COMMON_THREAD_POOL_H_

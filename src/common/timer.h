@@ -1,0 +1,37 @@
+#ifndef TOPL_COMMON_TIMER_H_
+#define TOPL_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace topl {
+
+/// \brief Monotonic wall-clock stopwatch used by the benchmark harness and
+/// the per-query statistics.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Reset, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time since construction / last Reset, in microseconds.
+  std::int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace topl
+
+#endif  // TOPL_COMMON_TIMER_H_

@@ -1,0 +1,43 @@
+#include "core/brute_force.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+#include "core/seed_community.h"
+#include "influence/propagation.h"
+
+namespace topl {
+
+Result<std::vector<CommunityResult>> EnumerateAllCommunities(const Graph& g,
+                                                             const Query& query) {
+  TOPL_RETURN_IF_ERROR(query.Validate());
+  SeedCommunityExtractor extractor(g);
+  PropagationEngine engine(g);
+  std::vector<CommunityResult> out;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    CommunityResult candidate;
+    if (!extractor.Extract(v, query, &candidate.community)) continue;
+    candidate.influence = engine.Compute(candidate.community.vertices, query.theta);
+    out.push_back(std::move(candidate));
+  }
+  SortCommunityResults(&out);
+  return out;
+}
+
+Result<TopLResult> BruteForceTopL(const Graph& g, const Query& query) {
+  Timer timer;
+  Result<std::vector<CommunityResult>> all = EnumerateAllCommunities(g, query);
+  if (!all.ok()) return all.status();
+
+  TopLResult result;
+  result.stats.candidates_refined = g.NumVertices();
+  result.stats.communities_found = all.value().size();
+  result.communities = std::move(all).value();
+  if (result.communities.size() > query.top_l) {
+    result.communities.resize(query.top_l);
+  }
+  result.stats.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace topl

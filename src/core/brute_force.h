@@ -1,0 +1,34 @@
+#ifndef TOPL_CORE_BRUTE_FORCE_H_
+#define TOPL_CORE_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/community_result.h"
+#include "core/query.h"
+#include "graph/graph.h"
+
+namespace topl {
+
+/// \brief Reference TopL-ICDE evaluation with no index and no pruning: every
+/// vertex is tried as a center, its maximal seed community extracted, its
+/// exact σ computed.
+///
+/// The candidate-per-center space is exactly what Algorithm 3 explores after
+/// pruning, so this is both the correctness oracle for the tests (the index
+/// path must return the same score multiset) and the "no pruning" anchor of
+/// the ablation study. It is also the candidate generator for DTopL-ICDE's
+/// Optimal baseline on small graphs.
+///
+/// Unlike the index path it supports any radius (no r_max constraint).
+Result<TopLResult> BruteForceTopL(const Graph& g, const Query& query);
+
+/// \brief Every non-empty seed community in the graph (one per center that
+/// has one), in canonical order (σ desc, center asc). `query.top_l` is
+/// ignored.
+Result<std::vector<CommunityResult>> EnumerateAllCommunities(const Graph& g,
+                                                             const Query& query);
+
+}  // namespace topl
+
+#endif  // TOPL_CORE_BRUTE_FORCE_H_

@@ -1,0 +1,40 @@
+#ifndef TOPL_CORE_COMMUNITY_RESULT_H_
+#define TOPL_CORE_COMMUNITY_RESULT_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "core/query.h"
+#include "core/seed_community.h"
+#include "influence/propagation.h"
+
+namespace topl {
+
+/// \brief One answer community: the seed community g, its influenced
+/// community gInf (vertices + cpp values), and σ(g).
+struct CommunityResult {
+  SeedCommunity community;
+  InfluencedCommunity influence;
+
+  double score() const { return influence.score; }
+};
+
+/// \brief A TopL-ICDE answer: up to L communities sorted by σ descending
+/// (ties broken by center id for determinism), plus execution counters.
+struct TopLResult {
+  std::vector<CommunityResult> communities;
+  QueryStats stats;
+};
+
+/// Sorts `communities` into canonical answer order (σ desc, center asc).
+inline void SortCommunityResults(std::vector<CommunityResult>* communities) {
+  std::sort(communities->begin(), communities->end(),
+            [](const CommunityResult& a, const CommunityResult& b) {
+              if (a.score() != b.score()) return a.score() > b.score();
+              return a.community.center < b.community.center;
+            });
+}
+
+}  // namespace topl
+
+#endif  // TOPL_CORE_COMMUNITY_RESULT_H_

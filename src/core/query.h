@@ -1,0 +1,98 @@
+#ifndef TOPL_CORE_QUERY_H_
+#define TOPL_CORE_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/types.h"
+
+namespace topl {
+
+/// \brief One TopL-ICDE query (Definition 4): keywords Q, truss support k,
+/// radius r, influence threshold θ, and result size L.
+struct Query {
+  /// Query keyword ids, sorted ascending and deduplicated.
+  std::vector<KeywordId> keywords;
+  /// Truss support parameter k (seed communities are k-trusses). Paper
+  /// default 4.
+  std::uint32_t k = 4;
+  /// Maximum radius r of seed communities. Paper default 2.
+  std::uint32_t radius = 2;
+  /// Influence threshold θ ∈ [0, 1). Paper default 0.2.
+  double theta = 0.2;
+  /// Result size L. Paper default 5.
+  std::uint32_t top_l = 5;
+
+  /// Validates ranges and keyword ordering.
+  Status Validate() const {
+    if (keywords.empty()) {
+      return Status::InvalidArgument("query needs at least one keyword");
+    }
+    for (std::size_t i = 1; i < keywords.size(); ++i) {
+      if (keywords[i] <= keywords[i - 1]) {
+        return Status::InvalidArgument(
+            "query keywords must be sorted and deduplicated");
+      }
+    }
+    if (k < 2) return Status::InvalidArgument("truss support parameter k must be >= 2");
+    if (radius < 1) return Status::InvalidArgument("radius must be >= 1");
+    if (!(theta >= 0.0 && theta < 1.0)) {
+      return Status::InvalidArgument("influence threshold must be in [0, 1)");
+    }
+    if (top_l < 1) return Status::InvalidArgument("L must be >= 1");
+    return Status::OK();
+  }
+};
+
+/// \brief Per-query execution switches. The defaults run the full paper
+/// algorithm; the ablation study (Fig. 4) toggles the three pruning rules.
+struct QueryOptions {
+  bool use_keyword_pruning = true;  // Lemmas 1 / 5
+  bool use_support_pruning = true;  // Lemmas 2 / 6
+  bool use_score_pruning = true;    // Lemmas 4 / 7 + heap early termination
+  /// Within support pruning, also apply the strengthened center-trussness
+  /// bound (DESIGN.md §3). Off = the paper's max-ball-support rule only;
+  /// the ablation benchmark compares the two.
+  bool use_center_truss_bound = true;
+};
+
+/// \brief Counters filled during query processing.
+///
+/// "Candidates" are counted in units of center vertices: pruning an index
+/// node with c vertices underneath prunes c candidates, matching Fig. 4(a)'s
+/// "# of pruned communities".
+struct QueryStats {
+  std::uint64_t heap_pops = 0;
+  std::uint64_t index_nodes_visited = 0;
+
+  std::uint64_t pruned_keyword = 0;   // candidates removed by Lemma 1 / 5
+  std::uint64_t pruned_support = 0;   // candidates removed by Lemma 2 / 6
+  std::uint64_t pruned_score = 0;     // candidates removed by Lemma 4 / 7
+  std::uint64_t pruned_termination = 0;  // candidates skipped by early stop
+
+  std::uint64_t candidates_refined = 0;   // extractions attempted
+  std::uint64_t communities_found = 0;    // non-empty seed communities
+
+  double elapsed_seconds = 0.0;
+
+  std::uint64_t TotalPruned() const {
+    return pruned_keyword + pruned_support + pruned_score + pruned_termination;
+  }
+
+  std::string ToString() const {
+    return "heap_pops=" + std::to_string(heap_pops) +
+           " pruned_keyword=" + std::to_string(pruned_keyword) +
+           " pruned_support=" + std::to_string(pruned_support) +
+           " pruned_score=" + std::to_string(pruned_score) +
+           " pruned_termination=" + std::to_string(pruned_termination) +
+           " refined=" + std::to_string(candidates_refined) +
+           " found=" + std::to_string(communities_found) +
+           " elapsed=" + std::to_string(elapsed_seconds) + "s";
+  }
+};
+
+}  // namespace topl
+
+#endif  // TOPL_CORE_QUERY_H_

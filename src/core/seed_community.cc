@@ -1,0 +1,112 @@
+#include "core/seed_community.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "truss/support.h"
+
+namespace topl {
+
+SeedCommunityExtractor::SeedCommunityExtractor(const Graph& g)
+    : graph_(&g), hop_(g) {}
+
+bool SeedCommunityExtractor::Extract(VertexId center, const Query& query,
+                                     SeedCommunity* out) {
+  out->center = center;
+  out->vertices.clear();
+  out->edges.clear();
+  last_subgraph_edges_ = 0;
+
+  // Step 1: keyword-filtered r-hop BFS. Vertices beyond r hops in the
+  // keyword-satisfying subgraph can only be further away in any community
+  // (a subgraph), so dropping them is exact, not heuristic.
+  if (!hop_.Extract(center, query.radius, query.keywords, &lg_)) {
+    return false;
+  }
+  const std::size_t nv = lg_.NumVertices();
+  const std::size_t ne = lg_.NumEdges();
+  last_subgraph_edges_ = ne;
+  if (ne == 0) return false;
+
+  edge_alive_.assign(ne, 1);
+  vertex_alive_.assign(nv, 1);
+
+  // Step 2/3 loop: peel to k-truss, then enforce connectivity + in-subgraph
+  // radius from the center; repeat until stable.
+  support_ = ComputeLocalEdgeSupports(lg_, edge_alive_);
+  for (;;) {
+    PeelToKTruss(lg_, query.k, &edge_alive_, &support_);
+
+    // BFS from the center over alive edges, recording in-subgraph distances.
+    local_dist_.assign(nv, kUnreachedDistance);
+    bfs_queue_.clear();
+    local_dist_[0] = 0;  // local id 0 is the center
+    bfs_queue_.push_back(0);
+    std::size_t head = 0;
+    while (head < bfs_queue_.size()) {
+      const std::uint32_t u = bfs_queue_[head++];
+      const std::uint32_t du = local_dist_[u];
+      if (du == query.radius) continue;
+      for (const LocalGraph::LocalArc& arc : lg_.Neighbors(u)) {
+        if (!edge_alive_[arc.local_edge]) continue;
+        if (local_dist_[arc.to] != kUnreachedDistance) continue;
+        local_dist_[arc.to] = du + 1;
+        bfs_queue_.push_back(arc.to);
+      }
+    }
+
+    // Kill vertices that are unreachable within r (this covers both
+    // disconnection and radius violations); kill their incident edges.
+    bool changed = false;
+    for (std::uint32_t l = 0; l < nv; ++l) {
+      if (!vertex_alive_[l]) continue;
+      if (local_dist_[l] != kUnreachedDistance) continue;
+      vertex_alive_[l] = 0;
+      for (const LocalGraph::LocalArc& arc : lg_.Neighbors(l)) {
+        if (edge_alive_[arc.local_edge]) {
+          edge_alive_[arc.local_edge] = 0;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+    // Supports must be recomputed against the reduced edge set before the
+    // next peel: decrements for bulk-killed edges were not propagated.
+    support_ = ComputeLocalEdgeSupports(lg_, edge_alive_);
+  }
+
+  // Collect the surviving community. The center must have an alive edge:
+  // a k-truss community is a set of edges, so an isolated center means "no
+  // community for this center".
+  bool center_has_edge = false;
+  for (const LocalGraph::LocalArc& arc : lg_.Neighbors(0)) {
+    if (edge_alive_[arc.local_edge]) {
+      center_has_edge = true;
+      break;
+    }
+  }
+  if (!center_has_edge) return false;
+
+  for (std::uint32_t l = 0; l < nv; ++l) {
+    if (!vertex_alive_[l] || local_dist_[l] == kUnreachedDistance) continue;
+    // Drop vertices that lost all their edges to peeling: they are no longer
+    // part of the k-truss edge structure.
+    bool has_edge = false;
+    for (const LocalGraph::LocalArc& arc : lg_.Neighbors(l)) {
+      if (edge_alive_[arc.local_edge]) {
+        has_edge = true;
+        break;
+      }
+    }
+    if (has_edge) out->vertices.push_back(lg_.global_ids[l]);
+  }
+  for (std::uint32_t e = 0; e < ne; ++e) {
+    if (edge_alive_[e]) out->edges.push_back(lg_.global_edge_ids[e]);
+  }
+  std::sort(out->vertices.begin(), out->vertices.end());
+  TOPL_DCHECK(std::binary_search(out->vertices.begin(), out->vertices.end(), center),
+              "extractor lost the center vertex");
+  return true;
+}
+
+}  // namespace topl

@@ -1,0 +1,75 @@
+#ifndef TOPL_CORE_SEED_COMMUNITY_H_
+#define TOPL_CORE_SEED_COMMUNITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/query.h"
+#include "graph/graph.h"
+#include "graph/local_subgraph.h"
+#include "graph/types.h"
+
+namespace topl {
+
+/// \brief A seed community g (Definition 2): the maximal connected k-truss
+/// around `center` within radius r whose vertices all carry a query keyword.
+struct SeedCommunity {
+  VertexId center = kInvalidVertex;
+  /// Member vertices, sorted ascending; includes `center`.
+  std::vector<VertexId> vertices;
+  /// Member edges as global EdgeIds (the k-truss structure), unordered.
+  std::vector<EdgeId> edges;
+
+  std::size_t size() const { return vertices.size(); }
+  bool empty() const { return vertices.empty(); }
+};
+
+/// \brief Extracts the canonical seed community of a center vertex.
+///
+/// For a center v_q and query (Q, k, r) the satisfying subgraphs of
+/// Definition 2 are closed under union (support grows and distances shrink
+/// under union), so a unique *maximal* seed community exists. It is the
+/// greatest fixpoint of alternating
+///
+///   1. keyword-filtered r-hop BFS from v_q (bullet 4 + a radius cap),
+///   2. k-truss peeling (bullet 3),
+///   3. re-check of BFS distance from v_q *inside the surviving subgraph*
+///      and of connectivity to v_q (bullets 1–2),
+///
+/// where step 3 kills violating vertices and loops back to 2 until nothing
+/// changes. Deleting a violator is safe because it violates Definition 2 in
+/// every subgraph of the current candidate, so the fixpoint is exactly the
+/// maximal community (DESIGN.md §3).
+///
+/// Holds per-instance scratch; create one per thread and reuse across
+/// queries.
+class SeedCommunityExtractor {
+ public:
+  explicit SeedCommunityExtractor(const Graph& g);
+
+  /// Computes the seed community centered at `center` for `query`.
+  /// Returns false (and clears *out) when no non-empty community exists —
+  /// the center lacks query keywords, or peeling eliminates it. Communities
+  /// contain at least one edge (an isolated center is not a community).
+  bool Extract(VertexId center, const Query& query, SeedCommunity* out);
+
+  /// The number of local-subgraph edges inspected by the last Extract call
+  /// (cost introspection for benchmarks).
+  std::size_t last_subgraph_edges() const { return last_subgraph_edges_; }
+
+ private:
+  const Graph* graph_;
+  HopExtractor hop_;
+  LocalGraph lg_;
+  // Scratch reused across calls.
+  std::vector<char> edge_alive_;
+  std::vector<char> vertex_alive_;
+  std::vector<std::uint32_t> support_;
+  std::vector<std::uint32_t> local_dist_;
+  std::vector<std::uint32_t> bfs_queue_;
+  std::size_t last_subgraph_edges_ = 0;
+};
+
+}  // namespace topl
+
+#endif  // TOPL_CORE_SEED_COMMUNITY_H_

@@ -1,0 +1,189 @@
+#include "core/topl_detector.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <utility>
+
+#include "common/timer.h"
+#include "graph/local_subgraph.h"
+#include "keywords/bit_vector.h"
+
+namespace topl {
+
+namespace {
+
+// Result-set accumulator: keeps the best L communities seen so far and the
+// running threshold σ_L (−∞ until L communities are collected). L is small
+// (paper sweeps 2–10), so linear eviction is cheaper than heap bookkeeping.
+class TopLCollector {
+ public:
+  explicit TopLCollector(std::uint32_t capacity) : capacity_(capacity) {}
+
+  bool Full() const { return entries_.size() >= capacity_; }
+
+  double threshold() const {
+    return Full() ? min_score_ : -std::numeric_limits<double>::infinity();
+  }
+
+  void Offer(CommunityResult&& result) {
+    if (!Full()) {
+      entries_.push_back(std::move(result));
+      if (Full()) RecomputeMin();
+      return;
+    }
+    if (result.score() <= min_score_) return;
+    std::size_t evict = 0;
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+      if (entries_[i].score() < entries_[evict].score()) evict = i;
+    }
+    entries_[evict] = std::move(result);
+    RecomputeMin();
+  }
+
+  std::vector<CommunityResult> Take() { return std::move(entries_); }
+
+ private:
+  void RecomputeMin() {
+    min_score_ = std::numeric_limits<double>::infinity();
+    for (const CommunityResult& r : entries_) {
+      min_score_ = std::min(min_score_, r.score());
+    }
+  }
+
+  std::uint32_t capacity_;
+  std::vector<CommunityResult> entries_;
+  double min_score_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace
+
+TopLDetector::TopLDetector(const Graph& g, const PrecomputedData& pre,
+                           const TreeIndex& tree)
+    : graph_(&g), pre_(&pre), tree_(&tree), extractor_(g), engine_(g) {}
+
+Result<TopLResult> TopLDetector::Search(const Query& query,
+                                        const QueryOptions& options) {
+  TOPL_RETURN_IF_ERROR(query.Validate());
+  if (query.radius > pre_->r_max()) {
+    return Status::InvalidArgument(
+        "query radius exceeds the index's r_max; rebuild the index with a "
+        "larger PrecomputeOptions::r_max");
+  }
+
+  Timer timer;
+  TopLResult result;
+  QueryStats& stats = result.stats;
+
+  const std::uint32_t r = query.radius;
+  // Required in-community edge support for a k-truss.
+  const std::uint32_t required_support = query.k >= 2 ? query.k - 2 : 0;
+  // Score bounds are valid only for the largest pre-selected θ_z ≤ θ.
+  const int z = pre_->ThresholdIndex(query.theta);
+  const bool score_pruning = options.use_score_pruning && z >= 0;
+  const BitVector query_bv =
+      BitVector::FromKeywords(query.keywords, pre_->signature_bits());
+
+  TopLCollector collector(query.top_l);
+
+  // Max-heap over index entries, keyed by the aggregated score bound. With
+  // no usable bound (θ < θ_1) every key is +∞ and the traversal degrades to
+  // an exhaustive filtered scan, which is still correct.
+  using HeapEntry = std::pair<double, std::uint32_t>;  // (key, node id)
+  std::priority_queue<HeapEntry> heap;
+  auto node_key = [&](std::uint32_t id) {
+    return z >= 0 ? tree_->ScoreBound(id, r, static_cast<std::uint32_t>(z))
+                  : std::numeric_limits<double>::infinity();
+  };
+  heap.emplace(node_key(tree_->root()), tree_->root());
+
+  while (!heap.empty()) {
+    const auto [key, node_id] = heap.top();
+    heap.pop();
+    ++stats.heap_pops;
+
+    // Early termination (Algorithm 3, lines 7–8): every remaining entry has
+    // key ≤ this key.
+    if (score_pruning && collector.Full() && key <= collector.threshold()) {
+      stats.pruned_termination += tree_->node(node_id).num_vertices;
+      while (!heap.empty()) {
+        stats.pruned_termination += tree_->node(heap.top().second).num_vertices;
+        heap.pop();
+      }
+      break;
+    }
+
+    const TreeIndex::Node& node = tree_->node(node_id);
+    ++stats.index_nodes_visited;
+
+    if (node.is_leaf) {
+      for (VertexId v : tree_->LeafVertices(node)) {
+        // Candidate-level pruning (Lemmas 1, 2, 4) on hop(v, r).
+        if (options.use_keyword_pruning &&
+            (!pre_->SignatureIntersects(v, r, query_bv) ||
+             !HopExtractor::HasAnyKeyword(*graph_, v, query.keywords))) {
+          // Either no vertex of hop(v, r) can hold a query keyword, or the
+          // center itself does not (and the center is in every g).
+          ++stats.pruned_keyword;
+          continue;
+        }
+        if (options.use_support_pruning &&
+            (pre_->SupportBound(v, r) < required_support ||
+             (options.use_center_truss_bound &&
+              pre_->CenterTrussBound(v) < query.k))) {
+          // Lemma 2 on the ball's max edge support, plus the sharper
+          // center-trussness form (no k-truss through v exists in the ball).
+          ++stats.pruned_support;
+          continue;
+        }
+        if (score_pruning && collector.Full() &&
+            pre_->ScoreBound(v, r, static_cast<std::uint32_t>(z)) <=
+                collector.threshold()) {
+          ++stats.pruned_score;
+          continue;
+        }
+
+        // Refinement: extract the maximal seed community and compute the
+        // exact influential score.
+        ++stats.candidates_refined;
+        CommunityResult candidate;
+        if (!extractor_.Extract(v, query, &candidate.community)) continue;
+        ++stats.communities_found;
+        candidate.influence =
+            engine_.Compute(candidate.community.vertices, query.theta);
+        collector.Offer(std::move(candidate));
+      }
+    } else {
+      for (std::uint32_t c = 0; c < node.num_children; ++c) {
+        const std::uint32_t child = node.first_child + c;
+        // Index-level pruning (Lemmas 5–7).
+        if (options.use_keyword_pruning &&
+            !tree_->SignatureIntersects(child, r, query_bv)) {
+          stats.pruned_keyword += tree_->node(child).num_vertices;
+          continue;
+        }
+        if (options.use_support_pruning &&
+            (tree_->SupportBound(child, r) < required_support ||
+             (options.use_center_truss_bound &&
+              tree_->CenterTrussBound(child) < query.k))) {
+          stats.pruned_support += tree_->node(child).num_vertices;
+          continue;
+        }
+        const double child_key = node_key(child);
+        if (score_pruning && collector.Full() &&
+            child_key <= collector.threshold()) {
+          stats.pruned_score += tree_->node(child).num_vertices;
+          continue;
+        }
+        heap.emplace(child_key, child);
+      }
+    }
+  }
+
+  result.communities = collector.Take();
+  SortCommunityResults(&result.communities);
+  stats.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace topl

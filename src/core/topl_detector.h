@@ -1,0 +1,47 @@
+#ifndef TOPL_CORE_TOPL_DETECTOR_H_
+#define TOPL_CORE_TOPL_DETECTOR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/community_result.h"
+#include "core/query.h"
+#include "core/seed_community.h"
+#include "graph/graph.h"
+#include "index/precompute.h"
+#include "index/tree_index.h"
+#include "influence/propagation.h"
+
+namespace topl {
+
+/// \brief Online TopL-ICDE processing (Algorithm 3).
+///
+/// Traverses the tree index best-first with a max-heap keyed by the nodes'
+/// influential-score upper bounds, applying the index-level pruning rules
+/// (Lemmas 5–7) at non-leaf entries and the candidate-level rules
+/// (Lemmas 1, 2, 4) at leaf vertices; surviving candidates are refined by
+/// extracting their maximal seed community and running the exact MIA
+/// propagation. Terminates early once the best unexplored upper bound cannot
+/// beat the current L-th score.
+///
+/// The detector reuses extraction/propagation scratch across calls; use one
+/// detector per thread. The referenced graph/index must outlive it.
+class TopLDetector {
+ public:
+  TopLDetector(const Graph& g, const PrecomputedData& pre, const TreeIndex& tree);
+
+  /// Answers one query. Fails with InvalidArgument when the query is
+  /// malformed or asks for a radius beyond the index's r_max.
+  Result<TopLResult> Search(const Query& query, const QueryOptions& options = {});
+
+ private:
+  const Graph* graph_;
+  const PrecomputedData* pre_;
+  const TreeIndex* tree_;
+  SeedCommunityExtractor extractor_;
+  PropagationEngine engine_;
+};
+
+}  // namespace topl
+
+#endif  // TOPL_CORE_TOPL_DETECTOR_H_

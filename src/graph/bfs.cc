@@ -1,0 +1,42 @@
+#include "graph/bfs.h"
+
+#include <deque>
+
+#include "common/check.h"
+
+namespace topl {
+
+std::vector<std::uint32_t> BfsDistances(const Graph& g, VertexId source,
+                                        std::uint32_t max_dist) {
+  TOPL_CHECK(source < g.NumVertices(), "BfsDistances: source out of range");
+  std::vector<std::uint32_t> dist(g.NumVertices(), kUnreachedDistance);
+  std::vector<VertexId> frontier = {source};
+  dist[source] = 0;
+  std::uint32_t level = 0;
+  std::vector<VertexId> next;
+  while (!frontier.empty() && level < max_dist) {
+    next.clear();
+    for (VertexId u : frontier) {
+      for (const Graph::Arc& arc : g.Neighbors(u)) {
+        if (dist[arc.to] == kUnreachedDistance) {
+          dist[arc.to] = level + 1;
+          next.push_back(arc.to);
+        }
+      }
+    }
+    frontier.swap(next);
+    ++level;
+  }
+  return dist;
+}
+
+std::size_t CountWithinRadius(const Graph& g, VertexId source, std::uint32_t radius) {
+  const auto dist = BfsDistances(g, source, radius);
+  std::size_t count = 0;
+  for (std::uint32_t d : dist) {
+    if (d != kUnreachedDistance) ++count;
+  }
+  return count;
+}
+
+}  // namespace topl

@@ -1,0 +1,26 @@
+#ifndef TOPL_GRAPH_BFS_H_
+#define TOPL_GRAPH_BFS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace topl {
+
+/// \brief Hop distances from `source` to every vertex of `g`, truncated at
+/// `max_dist` hops (vertices further than max_dist get kUnreachedDistance).
+///
+/// Simple full-graph BFS used by tests and one-off checks; the query path
+/// uses HopExtractor, which amortizes its scratch buffers across queries.
+std::vector<std::uint32_t> BfsDistances(const Graph& g, VertexId source,
+                                        std::uint32_t max_dist);
+
+/// \brief Number of vertices within `radius` hops of `source` (inclusive of
+/// source itself).
+std::size_t CountWithinRadius(const Graph& g, VertexId source, std::uint32_t radius);
+
+}  // namespace topl
+
+#endif  // TOPL_GRAPH_BFS_H_

@@ -1,0 +1,150 @@
+#include "graph/binary_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "graph/graph_builder.h"
+
+namespace topl {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'O', 'P', 'L', 'G', 'R', 'F', '1'};
+
+// Thin typed wrappers around stream I/O. The library targets little-endian
+// hosts (checked nowhere at runtime: both CI and the paper's testbed are
+// x86-64); the magic doubles as a byte-order canary since a big-endian
+// reader would fail the magic comparison on the sizes that follow.
+template <typename T>
+void PutRaw(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool GetRaw(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status WriteGraphBinary(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+
+  out.write(kMagic, sizeof(kMagic));
+  PutRaw<std::uint64_t>(out, g.NumVertices());
+  PutRaw<std::uint64_t>(out, g.NumEdges());
+  PutRaw<std::uint64_t>(out, g.TotalKeywordCount());
+
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const VertexId u = g.EdgeSource(e);
+    const VertexId v = g.EdgeTarget(e);
+    // Recover the directional probabilities from u's arc list.
+    float p_uv = 0.0f;
+    float p_vu = 0.0f;
+    for (const Graph::Arc& arc : g.Neighbors(u)) {
+      if (arc.to == v) {
+        p_uv = arc.prob;
+        break;
+      }
+    }
+    for (const Graph::Arc& arc : g.Neighbors(v)) {
+      if (arc.to == u) {
+        p_vu = arc.prob;
+        break;
+      }
+    }
+    PutRaw<std::uint32_t>(out, u);
+    PutRaw<std::uint32_t>(out, v);
+    PutRaw<float>(out, p_uv);
+    PutRaw<float>(out, p_vu);
+  }
+
+  std::uint64_t offset = 0;
+  PutRaw<std::uint64_t>(out, offset);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    offset += g.Keywords(v).size();
+    PutRaw<std::uint64_t>(out, offset);
+  }
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (KeywordId w : g.Keywords(v)) PutRaw<std::uint32_t>(out, w);
+  }
+
+  out.flush();
+  if (!out) return Status::IOError("write error on " + path);
+  return Status::OK();
+}
+
+Result<Graph> ReadGraphBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open: " + path);
+  in.seekg(0, std::ios::end);
+  const std::uint64_t file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption(path + ": bad magic");
+  }
+
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  std::uint64_t total_keywords = 0;
+  if (!GetRaw(in, &n) || !GetRaw(in, &m) || !GetRaw(in, &total_keywords)) {
+    return Status::Corruption(path + ": truncated header");
+  }
+  if (n > (1ULL << 32) || m > (1ULL << 32) || total_keywords > (1ULL << 34)) {
+    return Status::Corruption(path + ": implausible sizes");
+  }
+  // Validate the advertised sizes against the actual file length *before*
+  // sizing any allocation: a corrupted header must surface as a Status, not
+  // as a gigabyte resize.
+  const std::uint64_t expected =
+      8 + 3 * 8 + m * 16 + (n + 1) * 8 + total_keywords * 4;
+  if (file_size != expected) {
+    return Status::Corruption(path + ": size mismatch (header advertises " +
+                              std::to_string(expected) + " bytes, file has " +
+                              std::to_string(file_size) + ")");
+  }
+
+  GraphBuilder builder(n);
+  for (std::uint64_t e = 0; e < m; ++e) {
+    std::uint32_t u = 0;
+    std::uint32_t v = 0;
+    float p_uv = 0.0f;
+    float p_vu = 0.0f;
+    if (!GetRaw(in, &u) || !GetRaw(in, &v) || !GetRaw(in, &p_uv) ||
+        !GetRaw(in, &p_vu)) {
+      return Status::Corruption(path + ": truncated edge section");
+    }
+    builder.AddEdge(u, v, p_uv, p_vu);
+  }
+
+  std::vector<std::uint64_t> offsets(n + 1);
+  for (std::uint64_t i = 0; i <= n; ++i) {
+    if (!GetRaw(in, &offsets[i])) {
+      return Status::Corruption(path + ": truncated keyword offsets");
+    }
+  }
+  if (offsets[0] != 0 || offsets[n] != total_keywords) {
+    return Status::Corruption(path + ": inconsistent keyword offsets");
+  }
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if (offsets[v] > offsets[v + 1]) {
+      return Status::Corruption(path + ": non-monotonic keyword offsets");
+    }
+    for (std::uint64_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      std::uint32_t w = 0;
+      if (!GetRaw(in, &w)) {
+        return Status::Corruption(path + ": truncated keyword section");
+      }
+      builder.AddKeyword(static_cast<VertexId>(v), w);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace topl

@@ -1,0 +1,30 @@
+#ifndef TOPL_GRAPH_BINARY_IO_H_
+#define TOPL_GRAPH_BINARY_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace topl {
+
+/// \brief Lossless binary graph codec.
+///
+/// Layout (all integers little-endian, fixed width):
+///   magic "TOPLGRF1" (8 bytes)
+///   n: u64, m: u64, total_keywords: u64
+///   m × { u: u32, v: u32, p_uv: f32, p_vu: f32 }
+///   (n+1) × keyword_offset: u64
+///   total_keywords × keyword_id: u32
+///
+/// The reader re-validates everything through GraphBuilder, so a corrupt or
+/// truncated file yields Status::Corruption rather than a malformed Graph.
+Status WriteGraphBinary(const Graph& g, const std::string& path);
+
+/// Reads a graph written by WriteGraphBinary.
+Result<Graph> ReadGraphBinary(const std::string& path);
+
+}  // namespace topl
+
+#endif  // TOPL_GRAPH_BINARY_IO_H_

@@ -1,0 +1,49 @@
+#include "graph/connectivity.h"
+
+#include <algorithm>
+
+namespace topl {
+
+ComponentLabels ConnectedComponents(const Graph& g) {
+  const std::size_t n = g.NumVertices();
+  ComponentLabels out;
+  out.label.assign(n, kUnreachedDistance);
+  std::vector<VertexId> stack;
+  for (VertexId root = 0; root < n; ++root) {
+    if (out.label[root] != kUnreachedDistance) continue;
+    const auto comp = static_cast<std::uint32_t>(out.num_components++);
+    out.label[root] = comp;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const VertexId u = stack.back();
+      stack.pop_back();
+      for (const Graph::Arc& arc : g.Neighbors(u)) {
+        if (out.label[arc.to] == kUnreachedDistance) {
+          out.label[arc.to] = comp;
+          stack.push_back(arc.to);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool IsConnected(const Graph& g) {
+  if (g.NumVertices() == 0) return true;
+  return ConnectedComponents(g).num_components == 1;
+}
+
+std::vector<VertexId> LargestComponent(const Graph& g) {
+  const ComponentLabels labels = ConnectedComponents(g);
+  std::vector<std::size_t> sizes(labels.num_components, 0);
+  for (std::uint32_t c : labels.label) ++sizes[c];
+  const std::size_t best = static_cast<std::size_t>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (labels.label[v] == best) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace topl

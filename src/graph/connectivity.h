@@ -1,0 +1,31 @@
+#ifndef TOPL_GRAPH_CONNECTIVITY_H_
+#define TOPL_GRAPH_CONNECTIVITY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace topl {
+
+/// \brief Component label per vertex (labels are dense in [0, #components)).
+struct ComponentLabels {
+  std::vector<std::uint32_t> label;  // per vertex
+  std::size_t num_components = 0;
+};
+
+/// Computes connected components of the undirected structure via BFS.
+ComponentLabels ConnectedComponents(const Graph& g);
+
+/// True iff the graph is connected (Definition 1 requires a connected
+/// social network; the loaders use this to decide whether to warn / restrict
+/// to the largest component).
+bool IsConnected(const Graph& g);
+
+/// Vertices of the largest connected component, sorted ascending.
+std::vector<VertexId> LargestComponent(const Graph& g);
+
+}  // namespace topl
+
+#endif  // TOPL_GRAPH_CONNECTIVITY_H_

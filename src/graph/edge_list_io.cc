@@ -1,0 +1,148 @@
+#include "graph/edge_list_io.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/connectivity.h"
+#include "graph/graph_builder.h"
+
+namespace topl {
+
+namespace {
+
+std::uint64_t EdgeKey(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+// Parses "<int><ws><int>" from a line; returns false on malformed input.
+bool ParseEdgeLine(std::string_view line, std::uint64_t* a, std::uint64_t* b) {
+  const char* ptr = line.data();
+  const char* end = line.data() + line.size();
+  while (ptr != end && (*ptr == ' ' || *ptr == '\t')) ++ptr;
+  auto first = std::from_chars(ptr, end, *a);
+  if (first.ec != std::errc()) return false;
+  ptr = first.ptr;
+  while (ptr != end && (*ptr == ' ' || *ptr == '\t')) ++ptr;
+  auto second = std::from_chars(ptr, end, *b);
+  if (second.ec != std::errc()) return false;
+  ptr = second.ptr;
+  while (ptr != end && (*ptr == ' ' || *ptr == '\t' || *ptr == '\r')) ++ptr;
+  return ptr == end;
+}
+
+}  // namespace
+
+Result<Graph> LoadSnapEdgeList(const std::string& path,
+                               const EdgeListLoadOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open edge list: " + path);
+
+  std::unordered_map<std::uint64_t, VertexId> remap;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  std::unordered_set<std::uint64_t> seen;
+  auto intern = [&remap](std::uint64_t raw) {
+    return remap.emplace(raw, static_cast<VertexId>(remap.size())).first->second;
+  };
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::uint64_t raw_a = 0;
+    std::uint64_t raw_b = 0;
+    if (!ParseEdgeLine(line, &raw_a, &raw_b)) {
+      return Status::Corruption(path + ":" + std::to_string(line_no) +
+                                ": malformed edge line");
+    }
+    const VertexId a = intern(raw_a);
+    const VertexId b = intern(raw_b);
+    if (a == b) continue;  // SNAP files occasionally contain self-loops.
+    if (!seen.insert(EdgeKey(a, b)).second) continue;  // both orientations listed
+    edges.emplace_back(a, b);
+  }
+  if (in.bad()) return Status::IOError("read error on " + path);
+  if (remap.empty()) return Status::Corruption(path + ": no edges found");
+
+  std::size_t n = remap.size();
+
+  // Optional restriction to the largest component: build a throwaway
+  // structure-only graph, find the component, filter + renumber.
+  if (options.restrict_to_largest_component) {
+    GraphBuilder probe(n);
+    for (const auto& [a, b] : edges) probe.AddEdge(a, b, 0.5, 0.5);
+    Result<Graph> structure = std::move(probe).Build();
+    if (!structure.ok()) return structure.status();
+    const std::vector<VertexId> keep = LargestComponent(*structure);
+    std::vector<VertexId> dense(n, kInvalidVertex);
+    for (std::size_t i = 0; i < keep.size(); ++i) {
+      dense[keep[i]] = static_cast<VertexId>(i);
+    }
+    std::vector<std::pair<VertexId, VertexId>> filtered;
+    filtered.reserve(edges.size());
+    for (const auto& [a, b] : edges) {
+      if (dense[a] != kInvalidVertex && dense[b] != kInvalidVertex) {
+        filtered.emplace_back(dense[a], dense[b]);
+      }
+    }
+    edges.swap(filtered);
+    n = keep.size();
+  }
+
+  GraphBuilder builder(n);
+  Rng rng(options.attribute_seed);
+  for (const auto& [a, b] : edges) {
+    if (options.assign_attributes) {
+      const double p_ab =
+          rng.NextDouble(options.weights.min_weight, options.weights.max_weight);
+      const double p_ba =
+          options.weights.symmetric
+              ? p_ab
+              : rng.NextDouble(options.weights.min_weight, options.weights.max_weight);
+      builder.AddEdge(a, b, p_ab, p_ba);
+    } else {
+      builder.AddEdge(a, b, 1.0, 1.0);
+    }
+  }
+  if (options.assign_attributes) {
+    const KeywordModel& model = options.keywords;
+    if (model.keywords_per_vertex > model.domain_size) {
+      return Status::InvalidArgument("keywords_per_vertex exceeds domain size");
+    }
+    std::vector<KeywordId> picked;
+    for (VertexId v = 0; v < n; ++v) {
+      picked.clear();
+      while (picked.size() < model.keywords_per_vertex) {
+        const KeywordId w = DrawKeywordFromModel(model, rng);
+        if (std::find(picked.begin(), picked.end(), w) == picked.end()) {
+          picked.push_back(w);
+        }
+      }
+      for (KeywordId w : picked) builder.AddKeyword(v, w);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Status WriteSnapEdgeList(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << "# Undirected graph, written by topl\n";
+  out << "# Nodes: " << g.NumVertices() << " Edges: " << g.NumEdges() << "\n";
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    out << g.EdgeSource(e) << '\t' << g.EdgeTarget(e) << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IOError("write error on " + path);
+  return Status::OK();
+}
+
+}  // namespace topl

@@ -1,0 +1,244 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph_builder.h"
+
+namespace topl {
+
+namespace {
+
+// Packs an undirected edge into a dedup key (canonical min/max order).
+std::uint64_t EdgeKey(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+// Assigns |v.W| *distinct* keywords to every vertex.
+Status AssignKeywords(const KeywordModel& model, std::size_t num_vertices,
+                      Rng& rng, GraphBuilder& builder) {
+  if (model.domain_size == 0) {
+    return Status::InvalidArgument("keyword domain must be non-empty");
+  }
+  if (model.keywords_per_vertex > model.domain_size) {
+    return Status::InvalidArgument(
+        "keywords_per_vertex exceeds keyword domain size");
+  }
+  std::vector<KeywordId> picked;
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    picked.clear();
+    while (picked.size() < model.keywords_per_vertex) {
+      const KeywordId w = DrawKeywordFromModel(model, rng);
+      if (std::find(picked.begin(), picked.end(), w) == picked.end()) {
+        picked.push_back(w);
+      }
+    }
+    for (KeywordId w : picked) builder.AddKeyword(v, w);
+  }
+  return Status::OK();
+}
+
+void AddWeightedEdge(const WeightModel& weights, VertexId u, VertexId v, Rng& rng,
+                     GraphBuilder& builder) {
+  const double p_uv = rng.NextDouble(weights.min_weight, weights.max_weight);
+  const double p_vu =
+      weights.symmetric ? p_uv : rng.NextDouble(weights.min_weight, weights.max_weight);
+  builder.AddEdge(u, v, p_uv, p_vu);
+}
+
+Status ValidateWeightModel(const WeightModel& weights) {
+  if (!(weights.min_weight > 0.0 && weights.max_weight <= 1.0 &&
+        weights.min_weight <= weights.max_weight)) {
+    return Status::InvalidArgument("weight range must satisfy 0 < min <= max <= 1");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+KeywordId DrawKeywordFromModel(const KeywordModel& model, Rng& rng) {
+  const std::uint32_t domain = model.domain_size;
+  switch (model.distribution) {
+    case KeywordDistribution::kUniform:
+      return static_cast<KeywordId>(rng.NextBounded(domain));
+    case KeywordDistribution::kGaussian: {
+      const double mean = domain / 2.0;
+      const double stddev = domain / 6.0;
+      const double draw = std::round(mean + stddev * rng.NextGaussian());
+      const double clamped = std::clamp(draw, 0.0, static_cast<double>(domain - 1));
+      return static_cast<KeywordId>(clamped);
+    }
+    case KeywordDistribution::kZipf:
+      return static_cast<KeywordId>(rng.NextZipf(domain, model.zipf_exponent));
+  }
+  return 0;
+}
+
+Result<Graph> MakeSmallWorld(const SmallWorldOptions& options) {
+  TOPL_RETURN_IF_ERROR(ValidateWeightModel(options.weights));
+  const std::size_t n = options.num_vertices;
+  const std::uint32_t half = options.ring_neighbors / 2;
+  if (n < 3) return Status::InvalidArgument("small-world graph needs >= 3 vertices");
+  if (half == 0) {
+    return Status::InvalidArgument("ring_neighbors must be >= 2");
+  }
+  if (2ULL * half >= n) {
+    return Status::InvalidArgument("ring_neighbors too large for vertex count");
+  }
+  if (!(options.shortcut_prob >= 0.0 && options.shortcut_prob <= 1.0)) {
+    return Status::InvalidArgument("shortcut_prob must be in [0, 1]");
+  }
+
+  Rng rng(options.seed);
+  GraphBuilder builder(n);
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<std::pair<VertexId, VertexId>> ring_edges;
+
+  // Ring lattice: each vertex links to its `half` successors (covering the
+  // `ring_neighbors` nearest neighbors overall).
+  for (VertexId u = 0; u < n; ++u) {
+    for (std::uint32_t d = 1; d <= half; ++d) {
+      const VertexId v = static_cast<VertexId>((u + d) % n);
+      if (seen.insert(EdgeKey(u, v)).second) {
+        ring_edges.emplace_back(u, v);
+        AddWeightedEdge(options.weights, u, v, rng, builder);
+      }
+    }
+  }
+  // Newman–Watts shortcuts: for each lattice edge (u, v), with probability μ
+  // add an extra edge from u to a uniformly random vertex w (the NW variant
+  // *adds* shortcuts instead of rewiring, keeping the graph connected).
+  for (const auto& [u, v] : ring_edges) {
+    if (rng.NextDouble() >= options.shortcut_prob) continue;
+    // A handful of retries to find a fresh endpoint; skip if the neighborhood
+    // is saturated (only plausible for tiny n).
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      const VertexId w = static_cast<VertexId>(rng.NextBounded(n));
+      if (w == u) continue;
+      if (seen.insert(EdgeKey(u, w)).second) {
+        AddWeightedEdge(options.weights, u, w, rng, builder);
+        break;
+      }
+    }
+  }
+
+  TOPL_RETURN_IF_ERROR(AssignKeywords(options.keywords, n, rng, builder));
+  return std::move(builder).Build();
+}
+
+Result<Graph> MakePowerlawCluster(const PowerlawClusterOptions& options) {
+  TOPL_RETURN_IF_ERROR(ValidateWeightModel(options.weights));
+  const std::size_t n = options.num_vertices;
+  const std::uint32_t attach = options.edges_per_vertex;
+  if (attach == 0) return Status::InvalidArgument("edges_per_vertex must be >= 1");
+  if (n < attach + 1) {
+    return Status::InvalidArgument("need num_vertices > edges_per_vertex");
+  }
+  if (!(options.triangle_prob >= 0.0 && options.triangle_prob <= 1.0)) {
+    return Status::InvalidArgument("triangle_prob must be in [0, 1]");
+  }
+
+  Rng rng(options.seed);
+  GraphBuilder builder(n);
+  std::unordered_set<std::uint64_t> seen;
+  // `targets` holds one entry per arc endpoint, so uniform draws from it are
+  // degree-proportional (the classic BA repeated-endpoint trick).
+  std::vector<VertexId> targets;
+  std::vector<std::vector<VertexId>> adj(n);
+
+  auto add_edge = [&](VertexId u, VertexId v) {
+    if (u == v || !seen.insert(EdgeKey(u, v)).second) return false;
+    AddWeightedEdge(options.weights, u, v, rng, builder);
+    targets.push_back(u);
+    targets.push_back(v);
+    adj[u].push_back(v);
+    adj[v].push_back(u);
+    return true;
+  };
+
+  // Seed core: a path over the first attach+1 vertices (keeps the graph
+  // connected and gives every early vertex nonzero degree).
+  for (VertexId v = 0; v + 1 <= attach; ++v) add_edge(v, v + 1);
+
+  for (VertexId v = attach + 1; v < n; ++v) {
+    std::uint32_t added = 0;
+    VertexId last_target = kInvalidVertex;
+    int guard = 0;
+    while (added < attach && guard < 1000) {
+      ++guard;
+      VertexId candidate;
+      // Triad step: close a triangle through a neighbor of the previous
+      // target with probability triangle_prob (Holme–Kim).
+      if (last_target != kInvalidVertex && !adj[last_target].empty() &&
+          rng.NextDouble() < options.triangle_prob) {
+        candidate = adj[last_target][rng.NextBounded(adj[last_target].size())];
+      } else {
+        candidate = targets[rng.NextBounded(targets.size())];
+      }
+      if (add_edge(v, candidate)) {
+        last_target = candidate;
+        ++added;
+      }
+    }
+  }
+
+  TOPL_RETURN_IF_ERROR(AssignKeywords(options.keywords, n, rng, builder));
+  return std::move(builder).Build();
+}
+
+Result<Graph> MakeErdosRenyi(const ErdosRenyiOptions& options) {
+  TOPL_RETURN_IF_ERROR(ValidateWeightModel(options.weights));
+  const std::size_t n = options.num_vertices;
+  if (n < 2) return Status::InvalidArgument("Erdos-Renyi graph needs >= 2 vertices");
+  if (!(options.edge_prob >= 0.0 && options.edge_prob <= 1.0)) {
+    return Status::InvalidArgument("edge_prob must be in [0, 1]");
+  }
+
+  Rng rng(options.seed);
+  GraphBuilder builder(n);
+  std::unordered_set<std::uint64_t> seen;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      if (rng.NextDouble() < options.edge_prob) {
+        seen.insert(EdgeKey(u, v));
+        AddWeightedEdge(options.weights, u, v, rng, builder);
+      }
+    }
+  }
+  if (options.add_spanning_ring) {
+    for (VertexId u = 0; u < n; ++u) {
+      const VertexId v = static_cast<VertexId>((u + 1) % n);
+      if (seen.insert(EdgeKey(u, v)).second) {
+        AddWeightedEdge(options.weights, u, v, rng, builder);
+      }
+    }
+  }
+
+  TOPL_RETURN_IF_ERROR(AssignKeywords(options.keywords, n, rng, builder));
+  return std::move(builder).Build();
+}
+
+Result<Graph> MakeDblpLike(std::size_t num_vertices, std::uint64_t seed) {
+  PowerlawClusterOptions options;
+  options.num_vertices = num_vertices;
+  options.edges_per_vertex = 3;  // com-DBLP average degree ≈ 6.6
+  options.triangle_prob = 0.7;   // co-authorship graphs cluster strongly
+  options.seed = seed;
+  return MakePowerlawCluster(options);
+}
+
+Result<Graph> MakeAmazonLike(std::size_t num_vertices, std::uint64_t seed) {
+  PowerlawClusterOptions options;
+  options.num_vertices = num_vertices;
+  options.edges_per_vertex = 3;  // com-Amazon average degree ≈ 5.5
+  options.triangle_prob = 0.3;
+  options.seed = seed;
+  return MakePowerlawCluster(options);
+}
+
+}  // namespace topl

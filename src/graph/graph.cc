@@ -1,0 +1,37 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace topl {
+
+namespace {
+
+// Binary search in a sorted arc span for target `v`.
+const Graph::Arc* FindArc(std::span<const Graph::Arc> arcs, VertexId v) {
+  auto it = std::lower_bound(
+      arcs.begin(), arcs.end(), v,
+      [](const Graph::Arc& a, VertexId target) { return a.to < target; });
+  if (it != arcs.end() && it->to == v) return &*it;
+  return nullptr;
+}
+
+}  // namespace
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  // Search from the lower-degree endpoint.
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  return FindArc(Neighbors(u), v) != nullptr;
+}
+
+EdgeId Graph::FindEdge(VertexId u, VertexId v) const {
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  const Arc* arc = FindArc(Neighbors(u), v);
+  return arc == nullptr ? kInvalidEdge : arc->edge;
+}
+
+bool Graph::HasKeyword(VertexId v, KeywordId w) const {
+  const auto kw = Keywords(v);
+  return std::binary_search(kw.begin(), kw.end(), w);
+}
+
+}  // namespace topl

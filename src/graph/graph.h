@@ -1,0 +1,99 @@
+#ifndef TOPL_GRAPH_GRAPH_H_
+#define TOPL_GRAPH_GRAPH_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace topl {
+
+/// \brief Immutable attributed social network in CSR form (Definition 1).
+///
+/// The structure is undirected: every undirected edge {u, v} appears as two
+/// CSR arcs (u→v and v→u) with sorted neighbor lists. Influence propagation
+/// is directional, so each arc carries its own activation probability
+/// p(u→v) — the probability that u activates v under the MIA model. The two
+/// arcs of an undirected edge share one dense EdgeId, which truss algorithms
+/// use to address per-edge state (support, trussness).
+///
+/// Per-vertex keyword sets (v.W in the paper) are stored as a CSR of sorted
+/// KeywordIds.
+///
+/// Instances are created by GraphBuilder (or the I/O readers / generators)
+/// and are immutable afterwards, which makes them safe to share across the
+/// precompute thread pool without locks.
+class Graph {
+ public:
+  /// An outgoing arc: target vertex, activation probability p(source→target),
+  /// and the undirected EdgeId shared with the reverse arc.
+  struct Arc {
+    VertexId to;
+    float prob;
+    EdgeId edge;
+  };
+
+  Graph() = default;
+
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  /// Number of vertices n = |V(G)|.
+  std::size_t NumVertices() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+
+  /// Number of undirected edges m = |E(G)|.
+  std::size_t NumEdges() const { return num_edges_; }
+
+  /// Degree of v in the undirected structure.
+  std::size_t Degree(VertexId v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  /// Outgoing arcs of v, sorted by target id.
+  std::span<const Arc> Neighbors(VertexId v) const {
+    return {arcs_.data() + offsets_[v], arcs_.data() + offsets_[v + 1]};
+  }
+
+  /// True iff the undirected edge {u, v} exists (binary search, O(log deg)).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// EdgeId of {u, v}, or kInvalidEdge if absent.
+  EdgeId FindEdge(VertexId u, VertexId v) const;
+
+  /// The two endpoints of undirected edge e (u < v).
+  VertexId EdgeSource(EdgeId e) const { return edge_endpoints_[e].first; }
+  VertexId EdgeTarget(EdgeId e) const { return edge_endpoints_[e].second; }
+
+  /// Keyword set of v (sorted ascending).
+  std::span<const KeywordId> Keywords(VertexId v) const {
+    return {keywords_.data() + keyword_offsets_[v],
+            keywords_.data() + keyword_offsets_[v + 1]};
+  }
+
+  /// True iff keyword w ∈ v.W (binary search).
+  bool HasKeyword(VertexId v, KeywordId w) const;
+
+  /// Number of distinct keyword ids referenced by any vertex; equivalently an
+  /// exclusive upper bound on stored KeywordIds. 0 for keyword-less graphs.
+  KeywordId KeywordDomainBound() const { return keyword_domain_bound_; }
+
+  /// Sum of |v.W| over all vertices.
+  std::size_t TotalKeywordCount() const { return keywords_.size(); }
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<std::size_t> offsets_;  // size n+1
+  std::vector<Arc> arcs_;             // size 2m, sorted per vertex
+  std::vector<std::pair<VertexId, VertexId>> edge_endpoints_;  // size m
+  std::size_t num_edges_ = 0;
+
+  std::vector<std::size_t> keyword_offsets_;  // size n+1
+  std::vector<KeywordId> keywords_;           // flat sorted-per-vertex sets
+  KeywordId keyword_domain_bound_ = 0;
+};
+
+}  // namespace topl
+
+#endif  // TOPL_GRAPH_GRAPH_H_

@@ -1,0 +1,30 @@
+#ifndef TOPL_GRAPH_TYPES_H_
+#define TOPL_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace topl {
+
+/// Vertex identifier; vertices of a Graph are densely numbered [0, n).
+using VertexId = std::uint32_t;
+
+/// Undirected-edge identifier; edges are densely numbered [0, m).
+using EdgeId = std::uint32_t;
+
+/// Keyword identifier assigned by KeywordDictionary; dense in [0, |Σ|).
+using KeywordId = std::uint32_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+
+/// Sentinel for "no edge".
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+/// Sentinel for "unreached" BFS distance.
+inline constexpr std::uint32_t kUnreachedDistance =
+    std::numeric_limits<std::uint32_t>::max();
+
+}  // namespace topl
+
+#endif  // TOPL_GRAPH_TYPES_H_

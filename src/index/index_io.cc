@@ -1,0 +1,186 @@
+#include "index/index_io.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace topl {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'O', 'P', 'L', 'I', 'D', 'X', '1'};
+
+template <typename T>
+void PutRaw(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool GetRaw(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+template <typename T>
+void PutVector(std::ofstream& out, const std::vector<T>& v) {
+  PutRaw<std::uint64_t>(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+bool GetVector(std::ifstream& in, std::vector<T>* v, std::uint64_t max_elems) {
+  std::uint64_t size = 0;
+  if (!GetRaw(in, &size)) return false;
+  if (size > max_elems) return false;
+  v->resize(size);
+  in.read(reinterpret_cast<char*>(v->data()),
+          static_cast<std::streamsize>(size * sizeof(T)));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status IndexCodec::Write(const PrecomputedData& pre, const TreeIndex& tree,
+                         const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+
+  out.write(kMagic, sizeof(kMagic));
+  // Precomputed data.
+  PutRaw<std::uint32_t>(out, pre.r_max_);
+  PutRaw<std::uint32_t>(out, pre.signature_bits_);
+  PutRaw<std::uint64_t>(out, pre.words_);
+  PutRaw<std::uint64_t>(out, pre.n_);
+  PutVector(out, pre.thetas_);
+  PutVector(out, pre.signatures_);
+  PutVector(out, pre.support_bounds_);
+  PutVector(out, pre.center_truss_);
+  PutVector(out, pre.score_bounds_);
+  // Tree.
+  PutRaw<std::uint32_t>(out, tree.root_);
+  PutRaw<std::uint32_t>(out, tree.height_);
+  PutRaw<std::uint64_t>(out, tree.nodes_.size());
+  for (const TreeIndex::Node& n : tree.nodes_) {
+    PutRaw<std::uint8_t>(out, n.is_leaf ? 1 : 0);
+    PutRaw<std::uint32_t>(out, n.first_child);
+    PutRaw<std::uint32_t>(out, n.num_children);
+    PutRaw<std::uint32_t>(out, n.begin);
+    PutRaw<std::uint32_t>(out, n.end);
+    PutRaw<std::uint32_t>(out, n.num_vertices);
+  }
+  PutVector(out, tree.sorted_vertices_);
+  PutVector(out, tree.signatures_);
+  PutVector(out, tree.support_bounds_);
+  PutVector(out, tree.center_truss_bounds_);
+  PutVector(out, tree.score_bounds_);
+
+  out.flush();
+  if (!out) return Status::IOError("write error on " + path);
+  return Status::OK();
+}
+
+Result<IndexCodec::LoadedIndex> IndexCodec::Read(const std::string& path,
+                                                 const Graph& g) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open: " + path);
+  in.seekg(0, std::ios::end);
+  const std::uint64_t file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+  // No serialized vector can hold more elements than the file has bytes for;
+  // capping by these before resize keeps corrupted headers from triggering
+  // huge allocations.
+  const std::uint64_t cap64 = file_size / 8;
+  const std::uint64_t cap32 = file_size / 4;
+
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption(path + ": bad magic");
+  }
+
+  LoadedIndex loaded;
+  loaded.data = std::unique_ptr<PrecomputedData>(new PrecomputedData());
+  PrecomputedData& pre = *loaded.data;
+  if (!GetRaw(in, &pre.r_max_) || !GetRaw(in, &pre.signature_bits_) ||
+      !GetRaw(in, &pre.words_) || !GetRaw(in, &pre.n_)) {
+    return Status::Corruption(path + ": truncated precompute header");
+  }
+  if (pre.n_ != g.NumVertices()) {
+    return Status::InvalidArgument(path + ": index was built for a graph with " +
+                                   std::to_string(pre.n_) + " vertices");
+  }
+  if (pre.r_max_ == 0 || pre.words_ == 0 ||
+      pre.words_ != (pre.signature_bits_ + 63) / 64) {
+    return Status::Corruption(path + ": inconsistent precompute header");
+  }
+  if (!GetVector(in, &pre.thetas_, cap64) ||
+      !GetVector(in, &pre.signatures_, cap64) ||
+      !GetVector(in, &pre.support_bounds_, cap32) ||
+      !GetVector(in, &pre.center_truss_, cap32) ||
+      !GetVector(in, &pre.score_bounds_, cap64)) {
+    return Status::Corruption(path + ": truncated precompute arrays");
+  }
+  const std::size_t m = pre.thetas_.size();
+  if (m == 0 || pre.signatures_.size() != pre.n_ * pre.r_max_ * pre.words_ ||
+      pre.support_bounds_.size() != pre.n_ * pre.r_max_ ||
+      pre.center_truss_.size() != pre.n_ ||
+      pre.score_bounds_.size() != pre.n_ * pre.r_max_ * m) {
+    return Status::Corruption(path + ": precompute array size mismatch");
+  }
+
+  TreeIndex& tree = loaded.tree;
+  tree.pre_ = loaded.data.get();
+  tree.r_max_ = pre.r_max_;
+  tree.num_thetas_ = static_cast<std::uint32_t>(m);
+  tree.words_ = pre.words_;
+  std::uint64_t num_nodes = 0;
+  if (!GetRaw(in, &tree.root_) || !GetRaw(in, &tree.height_) ||
+      !GetRaw(in, &num_nodes)) {
+    return Status::Corruption(path + ": truncated tree header");
+  }
+  if (num_nodes == 0 || num_nodes > file_size / 21) {
+    // 21 bytes per serialized node.
+    return Status::Corruption(path + ": bad node count");
+  }
+  tree.nodes_.resize(num_nodes);
+  for (TreeIndex::Node& n : tree.nodes_) {
+    std::uint8_t is_leaf = 0;
+    if (!GetRaw(in, &is_leaf) || !GetRaw(in, &n.first_child) ||
+        !GetRaw(in, &n.num_children) || !GetRaw(in, &n.begin) ||
+        !GetRaw(in, &n.end) || !GetRaw(in, &n.num_vertices)) {
+      return Status::Corruption(path + ": truncated node section");
+    }
+    n.is_leaf = is_leaf != 0;
+    if (!n.is_leaf &&
+        (n.first_child >= num_nodes ||
+         n.num_children > num_nodes - n.first_child)) {
+      return Status::Corruption(path + ": node child range out of bounds");
+    }
+    if (n.is_leaf && (n.begin > n.end || n.end > pre.n_)) {
+      return Status::Corruption(path + ": leaf vertex range out of bounds");
+    }
+  }
+  if (tree.root_ >= num_nodes) {
+    return Status::Corruption(path + ": root out of bounds");
+  }
+  if (!GetVector(in, &tree.sorted_vertices_, cap32) ||
+      !GetVector(in, &tree.signatures_, cap64) ||
+      !GetVector(in, &tree.support_bounds_, cap32) ||
+      !GetVector(in, &tree.center_truss_bounds_, cap32) ||
+      !GetVector(in, &tree.score_bounds_, cap64)) {
+    return Status::Corruption(path + ": truncated tree arrays");
+  }
+  if (tree.sorted_vertices_.size() != pre.n_ ||
+      tree.signatures_.size() != num_nodes * tree.r_max_ * tree.words_ ||
+      tree.support_bounds_.size() != num_nodes * tree.r_max_ ||
+      tree.center_truss_bounds_.size() != num_nodes ||
+      tree.score_bounds_.size() != num_nodes * tree.r_max_ * m) {
+    return Status::Corruption(path + ": tree array size mismatch");
+  }
+  for (VertexId v : tree.sorted_vertices_) {
+    if (v >= pre.n_) return Status::Corruption(path + ": sorted vertex out of range");
+  }
+  return loaded;
+}
+
+}  // namespace topl

@@ -1,0 +1,38 @@
+#ifndef TOPL_INDEX_INDEX_IO_H_
+#define TOPL_INDEX_INDEX_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "index/precompute.h"
+#include "index/tree_index.h"
+
+namespace topl {
+
+/// \brief Binary persistence for the offline phase's output, so a graph's
+/// index is built once and reloaded across sessions (magic "TOPLIDX1";
+/// little-endian, fixed-width fields; everything re-validated on load).
+class IndexCodec {
+ public:
+  /// A deserialized index. PrecomputedData sits behind a unique_ptr so its
+  /// address is stable: `tree` holds a pointer to it, and LoadedIndex stays
+  /// movable without re-wiring.
+  struct LoadedIndex {
+    std::unique_ptr<PrecomputedData> data;
+    TreeIndex tree;
+  };
+
+  /// Writes `pre` and the `tree` built over it.
+  static Status Write(const PrecomputedData& pre, const TreeIndex& tree,
+                      const std::string& path);
+
+  /// Reads an index previously written for `g` (vertex count is verified).
+  static Result<LoadedIndex> Read(const std::string& path, const Graph& g);
+};
+
+}  // namespace topl
+
+#endif  // TOPL_INDEX_INDEX_IO_H_

@@ -1,0 +1,171 @@
+#include "index/precompute.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/thread_pool.h"
+#include "graph/local_subgraph.h"
+#include "influence/influence_calculator.h"
+#include "influence/propagation.h"
+#include "truss/truss_decomposition.h"
+
+namespace topl {
+
+bool PrecomputedData::SignatureIntersects(VertexId v, std::uint32_t r,
+                                          const BitVector& query_bv) const {
+  const auto words = SignatureWords(v, r);
+  const auto qwords = query_bv.words();
+  TOPL_DCHECK(words.size() == qwords.size(), "signature width mismatch");
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    if ((words[i] & qwords[i]) != 0) return true;
+  }
+  return false;
+}
+
+int PrecomputedData::ThresholdIndex(double theta) const {
+  int z = -1;
+  for (std::size_t i = 0; i < thetas_.size(); ++i) {
+    if (thetas_[i] <= theta) z = static_cast<int>(i);
+  }
+  return z;
+}
+
+double PrecomputedData::SortKey(VertexId v) const {
+  double sum = 0.0;
+  for (std::uint32_t r = 1; r <= r_max_; ++r) {
+    sum += SupportBound(v, r);
+    for (std::uint32_t z = 0; z < num_thetas(); ++z) sum += ScoreBound(v, r, z);
+  }
+  return sum / (r_max_ * (1.0 + thetas_.size()));
+}
+
+Result<PrecomputedData> PrecomputedData::Build(const Graph& g,
+                                               const PrecomputeOptions& options) {
+  if (options.r_max < 1) {
+    return Status::InvalidArgument("r_max must be >= 1");
+  }
+  if (options.thetas.empty()) {
+    return Status::InvalidArgument("at least one pre-selected theta is required");
+  }
+  for (std::size_t i = 0; i < options.thetas.size(); ++i) {
+    const double t = options.thetas[i];
+    if (!(t >= 0.0 && t < 1.0)) {
+      return Status::InvalidArgument("pre-selected thetas must be in [0, 1)");
+    }
+    if (i > 0 && t <= options.thetas[i - 1]) {
+      return Status::InvalidArgument("pre-selected thetas must be strictly ascending");
+    }
+  }
+  if (options.signature_bits < 8) {
+    return Status::InvalidArgument("signature_bits must be >= 8");
+  }
+
+  PrecomputedData data;
+  data.r_max_ = options.r_max;
+  data.thetas_ = options.thetas;
+  data.signature_bits_ = options.signature_bits;
+  data.words_ = (options.signature_bits + 63) / 64;
+  data.n_ = g.NumVertices();
+  const std::uint32_t r_max = data.r_max_;
+  const std::size_t m_thetas = data.thetas_.size();
+  data.signatures_.assign(data.n_ * r_max * data.words_, 0);
+  data.support_bounds_.assign(data.n_ * r_max, 0);
+  data.center_truss_.assign(data.n_, 2);
+  data.score_bounds_.assign(data.n_ * r_max * m_thetas, 0.0);
+
+  ThreadPool pool(options.num_threads);
+
+  // One extraction + one propagation scratch set per worker.
+  struct WorkerState {
+    explicit WorkerState(const Graph& graph) : hop(graph), engine(graph) {}
+    HopExtractor hop;
+    PropagationEngine engine;
+    LocalGraph lg;
+    std::vector<std::uint32_t> max_sup_by_radius;
+  };
+  std::vector<std::unique_ptr<WorkerState>> workers;
+  workers.reserve(pool.num_threads());
+  for (std::size_t t = 0; t < pool.num_threads(); ++t) {
+    workers.push_back(std::make_unique<WorkerState>(g));
+  }
+
+  const double theta_min = data.thetas_.front();
+
+  pool.ParallelForWithWorker(
+      0, data.n_,
+      [&](std::size_t worker_id, std::size_t vi) {
+        WorkerState& ws = *workers[worker_id];
+        const VertexId v = static_cast<VertexId>(vi);
+        // One unfiltered r_max-hop extraction; every smaller radius is a
+        // BFS-order prefix of it.
+        ws.hop.Extract(v, r_max, /*keyword_filter=*/{}, &ws.lg);
+        const LocalGraph& lg = ws.lg;
+
+        // Members per radius (prefix lengths of the BFS order).
+        std::vector<std::size_t> members_at_radius(r_max + 1, 0);
+        {
+          std::size_t idx = 0;
+          for (std::uint32_t r = 0; r <= r_max; ++r) {
+            while (idx < lg.NumVertices() && lg.dist[idx] <= r) ++idx;
+            members_at_radius[r] = idx;
+          }
+        }
+
+        // Signatures: incremental OR over BFS layers.
+        BitVector acc(data.signature_bits_);
+        {
+          std::size_t idx = 0;
+          for (std::uint32_t r = 1; r <= r_max; ++r) {
+            // Layer r-1's prefix is already folded in; fold the new layer.
+            // (For r = 1 this folds layers 0 and 1.)
+            const std::size_t upto = members_at_radius[r];
+            while (idx < upto) {
+              for (KeywordId w : g.Keywords(lg.global_ids[idx])) acc.AddKeyword(w);
+              ++idx;
+            }
+            std::copy(acc.words().begin(), acc.words().end(),
+                      data.signatures_.begin() +
+                          static_cast<std::ptrdiff_t>(data.SigOffset(v, r)));
+          }
+        }
+
+        // Support bounds "w.r.t. hop(v_i, r_max)" (Algorithm 2 lines 4-5):
+        // edge supports within the ball, plus — from the same peeling — the
+        // trussness of the center, the sharp structural bound.
+        std::vector<std::uint32_t> ball_support;
+        const std::vector<std::uint32_t> ball_trussness =
+            LocalTrussDecomposition(lg, &ball_support);
+        data.center_truss_[v] = LocalCenterTrussness(lg, ball_trussness);
+        // Max ball-support among edges appearing at each radius, then
+        // prefix-max across radii.
+        ws.max_sup_by_radius.assign(r_max + 1, 0);
+        for (std::size_t e = 0; e < lg.NumEdges(); ++e) {
+          const std::uint32_t er = lg.edge_radius[e];
+          ws.max_sup_by_radius[er] =
+              std::max(ws.max_sup_by_radius[er], ball_support[e]);
+        }
+        // edge_radius is max(dist of endpoints) ≥ 1, so bucket 0 stays empty.
+        std::uint32_t running = 0;
+        for (std::uint32_t r = 1; r <= r_max; ++r) {
+          running = std::max(running, ws.max_sup_by_radius[r]);
+          data.support_bounds_[data.Index2(v, r)] = running;
+        }
+
+        // Influential-score bounds: one propagation per radius at θ_min,
+        // then all σ_z read off the same cpp list.
+        for (std::uint32_t r = 1; r <= r_max; ++r) {
+          const std::size_t count = members_at_radius[r];
+          const std::span<const VertexId> seeds(lg.global_ids.data(), count);
+          const InfluencedCommunity inf = ws.engine.Compute(seeds, theta_min);
+          const std::vector<double> scores = ScoresAtThresholds(inf, data.thetas_);
+          for (std::uint32_t z = 0; z < m_thetas; ++z) {
+            data.score_bounds_[data.Index3(v, r, z)] = scores[z];
+          }
+        }
+      },
+      /*grain=*/32);
+
+  return data;
+}
+
+}  // namespace topl

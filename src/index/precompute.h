@@ -1,0 +1,124 @@
+#ifndef TOPL_INDEX_PRECOMPUTE_H_
+#define TOPL_INDEX_PRECOMPUTE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "keywords/bit_vector.h"
+
+namespace topl {
+
+/// Controls the offline pre-computation phase (Algorithm 2).
+struct PrecomputeOptions {
+  /// Largest radius r_max pre-computed; online queries must use r ≤ r_max.
+  /// Paper sweeps r ∈ {1, 2, 3}.
+  std::uint32_t r_max = 3;
+  /// Pre-selected influence thresholds θ_1 < θ_2 < ... < θ_m (§IV-D). The
+  /// online bound for θ is σ_z with the largest θ_z ≤ θ.
+  std::vector<double> thetas = {0.1, 0.2, 0.3};
+  /// Width B of the hashed keyword signatures.
+  std::uint32_t signature_bits = 128;
+  /// Worker threads for the per-vertex loop (0 = hardware concurrency).
+  std::size_t num_threads = 0;
+};
+
+/// \brief Per-vertex pre-computed pruning data (the paper's v_i.R lists).
+///
+/// For every vertex v and radius r ∈ [1, r_max] this stores, over the r-hop
+/// subgraph hop(v, r):
+///  - BV_r: the OR of the hashed keyword signatures of all members,
+///  - ub_sup_r: the largest edge support among hop(v, r)'s edges, measured
+///    within the r_max-ball hop(v, r_max) (Algorithm 2 lines 4–5: supports
+///    are computed "w.r.t. hop(v_i, r_max)" — valid because every seed
+///    community centered at v is a subgraph of that ball),
+///  - σ_z(hop(v, r)) for each θ_z: the influential score of the whole r-hop
+///    subgraph treated as a seed set — an upper bound on σ(g) for every seed
+///    community g ⊆ hop(v, r) and every online θ ≥ θ_z (§IV-D).
+///
+/// Additionally, per vertex (radius-independent):
+///  - center_truss: the trussness of v within hop(v, r_max) — the largest k
+///    for which *any* k-truss containing v exists inside the ball. Any seed
+///    community centered at v is such a truss, so `center_truss < k` prunes
+///    v exactly like Lemma 2 but far more sharply (DESIGN.md §3 documents
+///    this strengthening; the paper's max-support form is kept alongside).
+///
+/// Layout is flat (vertex-major) for cache-friendly index construction and
+/// trivial serialization.
+class PrecomputedData {
+ public:
+  /// Runs Algorithm 2 over the graph. Vertices are processed independently
+  /// in parallel: each worker owns a HopExtractor and a PropagationEngine.
+  static Result<PrecomputedData> Build(const Graph& g,
+                                       const PrecomputeOptions& options);
+
+  std::uint32_t r_max() const { return r_max_; }
+  std::span<const double> thetas() const { return thetas_; }
+  std::uint32_t num_thetas() const { return static_cast<std::uint32_t>(thetas_.size()); }
+  std::uint32_t signature_bits() const { return signature_bits_; }
+  std::size_t words_per_signature() const { return words_; }
+  std::size_t num_vertices() const { return n_; }
+
+  /// Raw signature words of BV_r for (v, r); r is 1-based, r ≤ r_max.
+  std::span<const std::uint64_t> SignatureWords(VertexId v, std::uint32_t r) const {
+    return {signatures_.data() + SigOffset(v, r), words_};
+  }
+
+  /// True iff BV_r(v) ∧ query_bv ≠ 0 (Lemma 5 test at vertex granularity).
+  bool SignatureIntersects(VertexId v, std::uint32_t r,
+                           const BitVector& query_bv) const;
+
+  /// ub_sup_r(v): 0 when hop(v, r) has no edges.
+  std::uint32_t SupportBound(VertexId v, std::uint32_t r) const {
+    return support_bounds_[Index2(v, r)];
+  }
+
+  /// Largest k such that a k-truss containing v exists within hop(v, r_max);
+  /// ≥ 2 always (every edge is a 2-truss).
+  std::uint32_t CenterTrussBound(VertexId v) const { return center_truss_[v]; }
+
+  /// σ_z(hop(v, r)) for threshold index z ∈ [0, num_thetas()).
+  double ScoreBound(VertexId v, std::uint32_t r, std::uint32_t z) const {
+    return score_bounds_[Index3(v, r, z)];
+  }
+
+  /// Largest z with θ_z ≤ theta, or -1 when theta < θ_1 (score pruning must
+  /// then be disabled — no precomputed bound is valid).
+  int ThresholdIndex(double theta) const;
+
+  /// The tree-index sort key: the average of all stored bounds of v
+  /// (ub_sup_r and σ_z over every r, z), per the paper's index construction.
+  double SortKey(VertexId v) const;
+
+ private:
+  friend class IndexCodec;  // serialization (index/index_io.h)
+
+  PrecomputedData() = default;
+
+  std::size_t SigOffset(VertexId v, std::uint32_t r) const {
+    return ((static_cast<std::size_t>(v) * r_max_) + (r - 1)) * words_;
+  }
+  std::size_t Index2(VertexId v, std::uint32_t r) const {
+    return static_cast<std::size_t>(v) * r_max_ + (r - 1);
+  }
+  std::size_t Index3(VertexId v, std::uint32_t r, std::uint32_t z) const {
+    return (static_cast<std::size_t>(v) * r_max_ + (r - 1)) * thetas_.size() + z;
+  }
+
+  std::uint32_t r_max_ = 0;
+  std::vector<double> thetas_;
+  std::uint32_t signature_bits_ = 0;
+  std::size_t words_ = 0;
+  std::size_t n_ = 0;
+
+  std::vector<std::uint64_t> signatures_;      // n * r_max * words_
+  std::vector<std::uint32_t> support_bounds_;  // n * r_max
+  std::vector<std::uint32_t> center_truss_;    // n
+  std::vector<double> score_bounds_;           // n * r_max * m
+};
+
+}  // namespace topl
+
+#endif  // TOPL_INDEX_PRECOMPUTE_H_

@@ -1,0 +1,138 @@
+#include "index/tree_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace topl {
+
+bool TreeIndex::SignatureIntersects(std::uint32_t node_id, std::uint32_t r,
+                                    const BitVector& query_bv) const {
+  const std::uint64_t* words = signatures_.data() + SigOffset(node_id, r);
+  const auto qwords = query_bv.words();
+  TOPL_DCHECK(qwords.size() == words_, "signature width mismatch");
+  for (std::size_t i = 0; i < words_; ++i) {
+    if ((words[i] & qwords[i]) != 0) return true;
+  }
+  return false;
+}
+
+Result<TreeIndex> TreeIndex::Build(const Graph& g, const PrecomputedData& pre,
+                                   const TreeIndexOptions& options) {
+  if (options.fanout < 2) return Status::InvalidArgument("fanout must be >= 2");
+  if (options.leaf_capacity < 1) {
+    return Status::InvalidArgument("leaf_capacity must be >= 1");
+  }
+  if (pre.num_vertices() != g.NumVertices()) {
+    return Status::InvalidArgument("precomputed data does not match graph size");
+  }
+  if (g.NumVertices() == 0) {
+    return Status::InvalidArgument("cannot index an empty graph");
+  }
+
+  TreeIndex index;
+  index.pre_ = &pre;
+  index.r_max_ = pre.r_max();
+  index.num_thetas_ = pre.num_thetas();
+  index.words_ = pre.words_per_signature();
+
+  // Sort vertices by the average of their pre-computed bounds, descending,
+  // so that the best-first traversal reaches strong candidates early and the
+  // per-node score bounds are tight.
+  const std::size_t n = g.NumVertices();
+  index.sorted_vertices_.resize(n);
+  std::iota(index.sorted_vertices_.begin(), index.sorted_vertices_.end(), 0);
+  std::vector<double> key(n);
+  for (VertexId v = 0; v < n; ++v) key[v] = pre.SortKey(v);
+  std::stable_sort(index.sorted_vertices_.begin(), index.sorted_vertices_.end(),
+                   [&key](VertexId a, VertexId b) { return key[a] > key[b]; });
+
+  // Leaf level.
+  std::vector<std::uint32_t> level;  // node ids of the level under construction
+  auto alloc_aggregates = [&index](std::uint32_t node_id) {
+    // Aggregate arrays grow in lock-step with the arena.
+    const std::size_t want_nodes = node_id + 1;
+    index.signatures_.resize(want_nodes * index.r_max_ * index.words_, 0);
+    index.support_bounds_.resize(want_nodes * index.r_max_, 0);
+    index.center_truss_bounds_.resize(want_nodes, 0);
+    index.score_bounds_.resize(want_nodes * index.r_max_ * index.num_thetas_, 0.0);
+  };
+
+  for (std::uint32_t begin = 0; begin < n; begin += options.leaf_capacity) {
+    const std::uint32_t end =
+        std::min<std::uint32_t>(static_cast<std::uint32_t>(n),
+                                begin + options.leaf_capacity);
+    const std::uint32_t id = static_cast<std::uint32_t>(index.nodes_.size());
+    Node leaf;
+    leaf.is_leaf = true;
+    leaf.begin = begin;
+    leaf.end = end;
+    leaf.num_vertices = end - begin;
+    index.nodes_.push_back(leaf);
+    alloc_aggregates(id);
+    for (std::uint32_t i = begin; i < end; ++i) {
+      index.center_truss_bounds_[id] =
+          std::max(index.center_truss_bounds_[id],
+                   pre.CenterTrussBound(index.sorted_vertices_[i]));
+    }
+    for (std::uint32_t r = 1; r <= index.r_max_; ++r) {
+      std::uint64_t* sig = index.signatures_.data() + index.SigOffset(id, r);
+      std::uint32_t& sup = index.support_bounds_[index.Index2(id, r)];
+      for (std::uint32_t i = begin; i < end; ++i) {
+        const VertexId v = index.sorted_vertices_[i];
+        const auto vsig = pre.SignatureWords(v, r);
+        for (std::size_t w = 0; w < index.words_; ++w) sig[w] |= vsig[w];
+        sup = std::max(sup, pre.SupportBound(v, r));
+        for (std::uint32_t z = 0; z < index.num_thetas_; ++z) {
+          double& score = index.score_bounds_[index.Index3(id, r, z)];
+          score = std::max(score, pre.ScoreBound(v, r, z));
+        }
+      }
+    }
+    level.push_back(id);
+  }
+
+  // Internal levels: group `fanout` children until one node remains.
+  index.height_ = 1;
+  while (level.size() > 1) {
+    std::vector<std::uint32_t> parents;
+    for (std::size_t i = 0; i < level.size(); i += options.fanout) {
+      const std::size_t child_end = std::min(level.size(), i + options.fanout);
+      const std::uint32_t id = static_cast<std::uint32_t>(index.nodes_.size());
+      Node parent;
+      parent.is_leaf = false;
+      parent.first_child = level[i];
+      parent.num_children = static_cast<std::uint32_t>(child_end - i);
+      parent.num_vertices = 0;
+      index.nodes_.push_back(parent);
+      alloc_aggregates(id);
+      for (std::size_t c = i; c < child_end; ++c) {
+        const std::uint32_t child = level[c];
+        index.nodes_[id].num_vertices += index.nodes_[child].num_vertices;
+        index.center_truss_bounds_[id] = std::max(
+            index.center_truss_bounds_[id], index.center_truss_bounds_[child]);
+        for (std::uint32_t r = 1; r <= index.r_max_; ++r) {
+          std::uint64_t* sig = index.signatures_.data() + index.SigOffset(id, r);
+          const std::uint64_t* csig =
+              index.signatures_.data() + index.SigOffset(child, r);
+          for (std::size_t w = 0; w < index.words_; ++w) sig[w] |= csig[w];
+          index.support_bounds_[index.Index2(id, r)] =
+              std::max(index.support_bounds_[index.Index2(id, r)],
+                       index.support_bounds_[index.Index2(child, r)]);
+          for (std::uint32_t z = 0; z < index.num_thetas_; ++z) {
+            double& score = index.score_bounds_[index.Index3(id, r, z)];
+            score = std::max(score, index.score_bounds_[index.Index3(child, r, z)]);
+          }
+        }
+      }
+      parents.push_back(id);
+    }
+    level.swap(parents);
+    ++index.height_;
+  }
+  index.root_ = level.front();
+  return index;
+}
+
+}  // namespace topl

@@ -1,0 +1,118 @@
+#ifndef TOPL_INDEX_TREE_INDEX_H_
+#define TOPL_INDEX_TREE_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "index/precompute.h"
+#include "keywords/bit_vector.h"
+
+namespace topl {
+
+/// Shape parameters of the hierarchical index (§V-B).
+struct TreeIndexOptions {
+  /// Children per non-leaf node (γ in the paper's complexity analysis).
+  std::uint32_t fanout = 8;
+  /// Vertices per leaf node.
+  std::uint32_t leaf_capacity = 16;
+};
+
+/// \brief The hierarchical tree index I over the pre-computed data (§V-B).
+///
+/// Vertices are sorted by the average of their pre-computed bounds (so
+/// high-influence vertices cluster under the same subtrees) and packed into
+/// leaves of `leaf_capacity`; non-leaf levels group `fanout` children until a
+/// single root remains. Every node carries, per radius r:
+///  - the OR of the BV_r signatures underneath (index-level Lemma 5),
+///  - the max ub_sup_r underneath (index-level Lemma 6),
+///  - the max σ_z underneath for every θ_z (index-level Lemma 7 and the
+///    best-first traversal key of Algorithm 3).
+///
+/// Nodes live in one arena vector; children of a node are contiguous, so a
+/// node stores only (first_child, num_children). The index references the
+/// PrecomputedData it was built from but does not own it.
+class TreeIndex {
+ public:
+  struct Node {
+    bool is_leaf = false;
+    std::uint32_t first_child = 0;   // arena index (non-leaf)
+    std::uint32_t num_children = 0;  // non-leaf
+    std::uint32_t begin = 0;         // range in sorted_vertices() (leaf)
+    std::uint32_t end = 0;           // leaf
+    std::uint32_t num_vertices = 0;  // total vertices underneath
+  };
+
+  /// Creates an empty index; assign from Build before use.
+  TreeIndex() = default;
+
+  /// Builds the index. `pre` must outlive the returned TreeIndex.
+  static Result<TreeIndex> Build(const Graph& g, const PrecomputedData& pre,
+                                 const TreeIndexOptions& options = {});
+
+  std::uint32_t root() const { return root_; }
+  std::size_t NumNodes() const { return nodes_.size(); }
+  const Node& node(std::uint32_t id) const { return nodes_[id]; }
+  std::uint32_t height() const { return height_; }
+
+  /// Vertices of a leaf node, in index order.
+  std::span<const VertexId> LeafVertices(const Node& n) const {
+    return {sorted_vertices_.data() + n.begin, sorted_vertices_.data() + n.end};
+  }
+
+  std::span<const VertexId> sorted_vertices() const { return sorted_vertices_; }
+
+  /// Aggregated BV_r of node ∧ query ≠ 0?
+  bool SignatureIntersects(std::uint32_t node_id, std::uint32_t r,
+                           const BitVector& query_bv) const;
+
+  /// Aggregated max ub_sup_r of node.
+  std::uint32_t SupportBound(std::uint32_t node_id, std::uint32_t r) const {
+    return support_bounds_[Index2(node_id, r)];
+  }
+
+  /// Aggregated max center-trussness bound of node (radius-independent).
+  std::uint32_t CenterTrussBound(std::uint32_t node_id) const {
+    return center_truss_bounds_[node_id];
+  }
+
+  /// Aggregated max σ_z of node.
+  double ScoreBound(std::uint32_t node_id, std::uint32_t r, std::uint32_t z) const {
+    return score_bounds_[Index3(node_id, r, z)];
+  }
+
+  const PrecomputedData& precomputed() const { return *pre_; }
+
+ private:
+  friend class IndexCodec;  // serialization (index/index_io.h)
+
+  std::size_t SigOffset(std::uint32_t node_id, std::uint32_t r) const {
+    return ((static_cast<std::size_t>(node_id) * r_max_) + (r - 1)) * words_;
+  }
+  std::size_t Index2(std::uint32_t node_id, std::uint32_t r) const {
+    return static_cast<std::size_t>(node_id) * r_max_ + (r - 1);
+  }
+  std::size_t Index3(std::uint32_t node_id, std::uint32_t r, std::uint32_t z) const {
+    return (static_cast<std::size_t>(node_id) * r_max_ + (r - 1)) * num_thetas_ + z;
+  }
+
+  const PrecomputedData* pre_ = nullptr;
+  std::uint32_t r_max_ = 0;
+  std::uint32_t num_thetas_ = 0;
+  std::size_t words_ = 0;
+  std::uint32_t root_ = 0;
+  std::uint32_t height_ = 0;
+
+  std::vector<Node> nodes_;
+  std::vector<VertexId> sorted_vertices_;
+  std::vector<std::uint64_t> signatures_;           // per node × r
+  std::vector<std::uint32_t> support_bounds_;       // per node × r
+  std::vector<std::uint32_t> center_truss_bounds_;  // per node
+  std::vector<double> score_bounds_;                // per node × r × z
+};
+
+}  // namespace topl
+
+#endif  // TOPL_INDEX_TREE_INDEX_H_

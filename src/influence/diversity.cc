@@ -1,0 +1,46 @@
+#include "influence/diversity.h"
+
+namespace topl {
+
+double DiversityOracle::MarginalGain(const InfluencedCommunity& g) const {
+  double gain = 0.0;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const auto it = best_cpp_.find(g.vertices[i]);
+    const double current = it == best_cpp_.end() ? 0.0 : it->second;
+    if (g.cpp[i] > current) gain += g.cpp[i] - current;
+  }
+  return gain;
+}
+
+double DiversityOracle::Add(const InfluencedCommunity& g) {
+  double gain = 0.0;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    double& slot = best_cpp_[g.vertices[i]];
+    if (g.cpp[i] > slot) {
+      gain += g.cpp[i] - slot;
+      slot = g.cpp[i];
+    }
+  }
+  total_ += gain;
+  return gain;
+}
+
+void DiversityOracle::Reset() {
+  best_cpp_.clear();
+  total_ = 0.0;
+}
+
+double DiversityScore(std::span<const InfluencedCommunity* const> selection) {
+  std::unordered_map<VertexId, double> best;
+  for (const InfluencedCommunity* g : selection) {
+    for (std::size_t i = 0; i < g->size(); ++i) {
+      double& slot = best[g->vertices[i]];
+      if (g->cpp[i] > slot) slot = g->cpp[i];
+    }
+  }
+  double total = 0.0;
+  for (const auto& entry : best) total += entry.second;
+  return total;
+}
+
+}  // namespace topl

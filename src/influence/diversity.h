@@ -1,0 +1,48 @@
+#ifndef TOPL_INFLUENCE_DIVERSITY_H_
+#define TOPL_INFLUENCE_DIVERSITY_H_
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "influence/propagation.h"
+#include "graph/types.h"
+
+namespace topl {
+
+/// \brief Incremental evaluator of the diversity score D(S) (Eq. (6)).
+///
+/// D(S) = Σ_v max_{g∈S} cpp(g, v). The oracle tracks, for every vertex
+/// covered by the current selection S, the best cpp seen so far, so a
+/// marginal gain ΔD_g(S) = D(S ∪ {g}) − D(S) is a single pass over g's
+/// influenced community — no rescan of S. This is the workhorse of both
+/// DTopL greedy variants and of the Optimal enumerator.
+class DiversityOracle {
+ public:
+  DiversityOracle() = default;
+
+  /// ΔD_g(S) for the current selection (does not modify state).
+  double MarginalGain(const InfluencedCommunity& g) const;
+
+  /// Adds g to the selection and returns its (just-realized) marginal gain.
+  double Add(const InfluencedCommunity& g);
+
+  /// D(S) of everything added so far.
+  double TotalScore() const { return total_; }
+
+  std::size_t CoveredVertices() const { return best_cpp_.size(); }
+
+  void Reset();
+
+ private:
+  std::unordered_map<VertexId, double> best_cpp_;
+  double total_ = 0.0;
+};
+
+/// \brief D(S) computed from scratch over a candidate set — the reference
+/// implementation used by tests and by the Optimal enumerator's inner loop.
+double DiversityScore(std::span<const InfluencedCommunity* const> selection);
+
+}  // namespace topl
+
+#endif  // TOPL_INFLUENCE_DIVERSITY_H_

@@ -1,0 +1,33 @@
+#ifndef TOPL_INFLUENCE_INFLUENCE_CALCULATOR_H_
+#define TOPL_INFLUENCE_INFLUENCE_CALCULATOR_H_
+
+#include <span>
+#include <vector>
+
+#include "influence/propagation.h"
+
+namespace topl {
+
+/// \brief Influential scores σ_z at several thresholds from a single
+/// propagation.
+///
+/// σ_θ(g) = Σ {cpp(g, v) : cpp(g, v) ≥ θ} is non-increasing in θ, so the
+/// propagation run once at the smallest threshold contains every term needed
+/// for all larger thresholds. The offline phase (Algorithm 2) uses this to
+/// fill the m (σ_z, θ_z) pairs per r-hop subgraph with one Dijkstra instead
+/// of m.
+///
+/// `thetas` must be sorted ascending; `community` must come from a
+/// propagation with threshold ≤ thetas.front(). Returns one score per theta.
+std::vector<double> ScoresAtThresholds(const InfluencedCommunity& community,
+                                       std::span<const double> thetas);
+
+/// \brief Restricts `community` to the vertices with cpp ≥ theta — converts
+/// a propagation computed at a smaller threshold into the exact influenced
+/// community for `theta`, without re-running Dijkstra.
+InfluencedCommunity RestrictToThreshold(const InfluencedCommunity& community,
+                                        double theta);
+
+}  // namespace topl
+
+#endif  // TOPL_INFLUENCE_INFLUENCE_CALCULATOR_H_

@@ -1,0 +1,71 @@
+#include "keywords/bit_vector.h"
+
+#include "common/check.h"
+
+namespace topl {
+
+namespace {
+
+// splitmix64 finalizer: cheap, well-mixed, and stable across platforms — the
+// signature layout is part of the serialized index format.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+BitVector::BitVector(std::uint32_t bits)
+    : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+std::uint32_t BitVector::HashPosition(KeywordId w, std::uint32_t bits) {
+  TOPL_DCHECK(bits > 0, "BitVector::HashPosition on zero-width signature");
+  return static_cast<std::uint32_t>(Mix(w) % bits);
+}
+
+void BitVector::AddKeyword(KeywordId w) { SetBit(HashPosition(w, bits_)); }
+
+void BitVector::SetBit(std::uint32_t pos) {
+  TOPL_DCHECK(pos < bits_, "BitVector::SetBit out of range");
+  words_[pos >> 6] |= (1ULL << (pos & 63));
+}
+
+bool BitVector::TestBit(std::uint32_t pos) const {
+  TOPL_DCHECK(pos < bits_, "BitVector::TestBit out of range");
+  return (words_[pos >> 6] >> (pos & 63)) & 1ULL;
+}
+
+void BitVector::OrWith(const BitVector& other) {
+  TOPL_DCHECK(bits_ == other.bits_, "BitVector width mismatch in OrWith");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+bool BitVector::IntersectsAny(const BitVector& other) const {
+  TOPL_DCHECK(bits_ == other.bits_, "BitVector width mismatch in IntersectsAny");
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+bool BitVector::AllZero() const {
+  for (std::uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+void BitVector::Clear() {
+  for (std::uint64_t& w : words_) w = 0;
+}
+
+BitVector BitVector::FromKeywords(std::span<const KeywordId> keywords,
+                                  std::uint32_t bits) {
+  BitVector bv(bits);
+  for (KeywordId w : keywords) bv.AddKeyword(w);
+  return bv;
+}
+
+}  // namespace topl

@@ -1,0 +1,71 @@
+#ifndef TOPL_KEYWORDS_BIT_VECTOR_H_
+#define TOPL_KEYWORDS_BIT_VECTOR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace topl {
+
+/// \brief Fixed-width hashed keyword signature (the paper's `BV`).
+///
+/// Keywords hash into one of B bit positions via f(w) (§V-A); signatures of
+/// vertex sets are the bit-OR of member signatures. Signatures admit false
+/// positives (two keywords may share a bit) but never false negatives, which
+/// is exactly what Lemmas 1 and 5 need: an empty AND with the query signature
+/// proves the absence of every query keyword.
+class BitVector {
+ public:
+  /// Creates an all-zero signature of `bits` bits (rounded up to 64).
+  explicit BitVector(std::uint32_t bits = 0);
+
+  BitVector(const BitVector&) = default;
+  BitVector& operator=(const BitVector&) = default;
+  BitVector(BitVector&&) = default;
+  BitVector& operator=(BitVector&&) = default;
+
+  /// Deterministic keyword-to-position hash f(w) ∈ [0, bits).
+  static std::uint32_t HashPosition(KeywordId w, std::uint32_t bits);
+
+  std::uint32_t bits() const { return bits_; }
+  std::size_t num_words() const { return words_.size(); }
+
+  /// Sets the bit for keyword w.
+  void AddKeyword(KeywordId w);
+
+  /// Sets raw bit position `pos`.
+  void SetBit(std::uint32_t pos);
+  bool TestBit(std::uint32_t pos) const;
+
+  /// this |= other (other must have the same width).
+  void OrWith(const BitVector& other);
+
+  /// True iff (this AND other) has any set bit — i.e., the signature cannot
+  /// rule out a shared keyword.
+  bool IntersectsAny(const BitVector& other) const;
+
+  bool AllZero() const;
+  void Clear();
+
+  /// Raw 64-bit words (little-endian bit order), for serialization.
+  std::span<const std::uint64_t> words() const { return words_; }
+  std::span<std::uint64_t> mutable_words() { return words_; }
+
+  friend bool operator==(const BitVector& a, const BitVector& b) {
+    return a.bits_ == b.bits_ && a.words_ == b.words_;
+  }
+
+  /// Builds the query signature Q.BV from a keyword list.
+  static BitVector FromKeywords(std::span<const KeywordId> keywords,
+                                std::uint32_t bits);
+
+ private:
+  std::uint32_t bits_;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace topl
+
+#endif  // TOPL_KEYWORDS_BIT_VECTOR_H_

@@ -1,0 +1,39 @@
+#include "keywords/keyword_dictionary.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace topl {
+
+KeywordId KeywordDictionary::Intern(std::string_view keyword) {
+  auto it = ids_.find(std::string(keyword));
+  if (it != ids_.end()) return it->second;
+  const KeywordId id = static_cast<KeywordId>(names_.size());
+  names_.emplace_back(keyword);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<KeywordId> KeywordDictionary::Find(std::string_view keyword) const {
+  auto it = ids_.find(std::string(keyword));
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& KeywordDictionary::Name(KeywordId id) const {
+  TOPL_CHECK(id < names_.size(), "KeywordDictionary::Name: unknown id");
+  return names_[id];
+}
+
+std::vector<KeywordId> KeywordDictionary::InternAll(
+    const std::vector<std::string>& keywords) {
+  std::vector<KeywordId> ids;
+  ids.reserve(keywords.size());
+  for (const std::string& kw : keywords) ids.push_back(Intern(kw));
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+}  // namespace topl

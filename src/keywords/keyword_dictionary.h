@@ -1,0 +1,45 @@
+#ifndef TOPL_KEYWORDS_KEYWORD_DICTIONARY_H_
+#define TOPL_KEYWORDS_KEYWORD_DICTIONARY_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace topl {
+
+/// \brief Bidirectional mapping between human-readable keyword strings
+/// ("Movies", "Books", ...) and the dense KeywordIds stored on Graph
+/// vertices. Algorithms operate on ids; the dictionary exists at the API rim
+/// (loaders, examples, result rendering).
+class KeywordDictionary {
+ public:
+  KeywordDictionary() = default;
+
+  /// Returns the id for `keyword`, interning it if new.
+  KeywordId Intern(std::string_view keyword);
+
+  /// Returns the id of an existing keyword, or nullopt.
+  std::optional<KeywordId> Find(std::string_view keyword) const;
+
+  /// The string for an id; ids come from Intern, so out-of-range is a
+  /// programmer error (checked).
+  const std::string& Name(KeywordId id) const;
+
+  std::size_t size() const { return names_.size(); }
+
+  /// Interns every string and returns the sorted, deduplicated id list —
+  /// the shape Query::keywords expects.
+  std::vector<KeywordId> InternAll(const std::vector<std::string>& keywords);
+
+ private:
+  std::unordered_map<std::string, KeywordId> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace topl
+
+#endif  // TOPL_KEYWORDS_KEYWORD_DICTIONARY_H_

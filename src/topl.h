@@ -1,0 +1,59 @@
+#ifndef TOPL_TOPL_H_
+#define TOPL_TOPL_H_
+
+/// \file
+/// Umbrella header for the topl library: Top-L Most Influential Community
+/// Detection over social networks (TopL-ICDE, ICDE 2024) and its diversified
+/// variant (DTopL-ICDE).
+///
+/// Typical pipeline:
+/// \code
+///   topl::SmallWorldOptions gen;                       // or LoadSnapEdgeList
+///   topl::Result<topl::Graph> g = topl::MakeSmallWorld(gen);
+///
+///   topl::PrecomputeOptions pre_opts;                  // offline phase
+///   auto pre = topl::PrecomputedData::Build(*g, pre_opts);
+///   auto tree = topl::TreeIndex::Build(*g, *pre);
+///
+///   topl::Query q;                                     // online phase
+///   q.keywords = {...}; q.k = 4; q.radius = 2; q.theta = 0.2; q.top_l = 5;
+///   topl::TopLDetector detector(*g, *pre, *tree);
+///   auto answer = detector.Search(q);
+/// \endcode
+
+#include "baselines/atindex.h"
+#include "baselines/im_greedy.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/brute_force.h"
+#include "core/community_result.h"
+#include "core/dtopl_detector.h"
+#include "core/query.h"
+#include "core/seed_community.h"
+#include "core/topl_detector.h"
+#include "graph/bfs.h"
+#include "graph/binary_io.h"
+#include "graph/connectivity.h"
+#include "graph/edge_list_io.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+#include "graph/local_subgraph.h"
+#include "graph/types.h"
+#include "index/index_io.h"
+#include "index/precompute.h"
+#include "index/tree_index.h"
+#include "influence/diversity.h"
+#include "influence/ic_simulator.h"
+#include "influence/influence_calculator.h"
+#include "influence/propagation.h"
+#include "keywords/bit_vector.h"
+#include "keywords/keyword_dictionary.h"
+#include "truss/kcore.h"
+#include "truss/support.h"
+#include "truss/truss_decomposition.h"
+
+#endif  // TOPL_TOPL_H_

@@ -1,0 +1,112 @@
+#include "truss/kcore.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace topl {
+
+std::vector<std::uint32_t> CoreDecomposition(const Graph& g) {
+  const std::size_t n = g.NumVertices();
+  std::vector<std::uint32_t> core(n, 0);
+  if (n == 0) return core;
+
+  std::vector<std::uint32_t> degree(n);
+  std::uint32_t max_degree = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = static_cast<std::uint32_t>(g.Degree(v));
+    max_degree = std::max(max_degree, degree[v]);
+  }
+
+  // Bucket sort vertices by degree.
+  std::vector<std::uint32_t> bin_start(max_degree + 2, 0);
+  for (std::uint32_t d : degree) ++bin_start[d + 1];
+  for (std::uint32_t d = 1; d < bin_start.size(); ++d) bin_start[d] += bin_start[d - 1];
+  std::vector<VertexId> sorted(n);
+  std::vector<std::uint32_t> pos_of(n);
+  {
+    std::vector<std::uint32_t> cursor(bin_start.begin(), bin_start.end() - 1);
+    for (VertexId v = 0; v < n; ++v) {
+      pos_of[v] = cursor[degree[v]];
+      sorted[pos_of[v]] = v;
+      ++cursor[degree[v]];
+    }
+  }
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const VertexId v = sorted[i];
+    core[v] = degree[v];
+    for (const Graph::Arc& arc : g.Neighbors(v)) {
+      const VertexId w = arc.to;
+      if (degree[w] > degree[v]) {
+        // Move w one degree bucket down.
+        const std::uint32_t dw = degree[w];
+        const std::uint32_t boundary = bin_start[dw];
+        const VertexId at_boundary = sorted[boundary];
+        if (at_boundary != w) {
+          const std::uint32_t pw = pos_of[w];
+          std::swap(sorted[boundary], sorted[pw]);
+          pos_of[at_boundary] = pw;
+          pos_of[w] = boundary;
+        }
+        ++bin_start[dw];
+        --degree[w];
+      }
+    }
+  }
+  return core;
+}
+
+std::vector<VertexId> KCoreCommunity(const Graph& g, VertexId center,
+                                     std::uint32_t k, std::uint32_t radius) {
+  TOPL_CHECK(center < g.NumVertices(), "KCoreCommunity: center out of range");
+  HopExtractor extractor(g);
+  LocalGraph lg;
+  extractor.Extract(center, radius, /*keyword_filter=*/{}, &lg);
+
+  const std::size_t nv = lg.NumVertices();
+  std::vector<std::uint32_t> degree(nv, 0);
+  std::vector<char> vertex_alive(nv, 1);
+  for (std::uint32_t l = 0; l < nv; ++l) {
+    degree[l] = static_cast<std::uint32_t>(lg.Neighbors(l).size());
+  }
+  // Queue-based peel of vertices with degree < k.
+  std::vector<std::uint32_t> queue;
+  for (std::uint32_t l = 0; l < nv; ++l) {
+    if (degree[l] < k) queue.push_back(l);
+  }
+  while (!queue.empty()) {
+    const std::uint32_t l = queue.back();
+    queue.pop_back();
+    if (!vertex_alive[l]) continue;
+    vertex_alive[l] = 0;
+    for (const LocalGraph::LocalArc& arc : lg.Neighbors(l)) {
+      if (!vertex_alive[arc.to]) continue;
+      if (degree[arc.to]-- == k) queue.push_back(arc.to);
+    }
+  }
+  if (!vertex_alive[0]) return {};  // local id 0 is the center
+
+  // Connected component of the center over alive vertices.
+  std::vector<char> in_component(nv, 0);
+  std::vector<std::uint32_t> stack = {0};
+  in_component[0] = 1;
+  while (!stack.empty()) {
+    const std::uint32_t l = stack.back();
+    stack.pop_back();
+    for (const LocalGraph::LocalArc& arc : lg.Neighbors(l)) {
+      if (vertex_alive[arc.to] && !in_component[arc.to]) {
+        in_component[arc.to] = 1;
+        stack.push_back(arc.to);
+      }
+    }
+  }
+  std::vector<VertexId> out;
+  for (std::uint32_t l = 0; l < nv; ++l) {
+    if (in_component[l]) out.push_back(lg.global_ids[l]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace topl

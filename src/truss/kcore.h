@@ -1,0 +1,30 @@
+#ifndef TOPL_TRUSS_KCORE_H_
+#define TOPL_TRUSS_KCORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/local_subgraph.h"
+#include "graph/types.h"
+
+namespace topl {
+
+/// \brief Core number of every vertex: the largest k such that the vertex
+/// belongs to the maximal k-core (subgraph with all degrees ≥ k).
+/// Linear-time bucket peeling (Batagelj–Zaveršnik).
+std::vector<std::uint32_t> CoreDecomposition(const Graph& g);
+
+/// \brief The k-core community of `center`: peel hop(center, radius) down to
+/// minimum degree ≥ k and return the surviving connected component containing
+/// the center (sorted global ids; empty if the center is peeled away).
+///
+/// This is the comparator used by the paper's case study (Fig. 5), which
+/// contrasts the influence of a TopL-ICDE (k,r)-truss community with a
+/// k-core community around the same center vertex.
+std::vector<VertexId> KCoreCommunity(const Graph& g, VertexId center,
+                                     std::uint32_t k, std::uint32_t radius);
+
+}  // namespace topl
+
+#endif  // TOPL_TRUSS_KCORE_H_

@@ -1,0 +1,130 @@
+#include "truss/support.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace topl {
+
+std::vector<std::uint32_t> ComputeGlobalEdgeSupports(const Graph& g,
+                                                     ThreadPool* pool) {
+  std::vector<std::uint32_t> support(g.NumEdges(), 0);
+  auto count_edge = [&](std::size_t e) {
+    VertexId u = g.EdgeSource(static_cast<EdgeId>(e));
+    VertexId v = g.EdgeTarget(static_cast<EdgeId>(e));
+    if (g.Degree(u) > g.Degree(v)) std::swap(u, v);
+    const auto nu = g.Neighbors(u);
+    const auto nv = g.Neighbors(v);
+    // Sorted-list intersection.
+    std::size_t i = 0;
+    std::size_t j = 0;
+    std::uint32_t common = 0;
+    while (i < nu.size() && j < nv.size()) {
+      if (nu[i].to == nv[j].to) {
+        ++common;
+        ++i;
+        ++j;
+      } else if (nu[i].to < nv[j].to) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    support[e] = common;
+  };
+  if (pool != nullptr && pool->num_threads() > 1) {
+    pool->ParallelFor(0, g.NumEdges(), count_edge, /*grain=*/512);
+  } else {
+    for (std::size_t e = 0; e < g.NumEdges(); ++e) count_edge(e);
+  }
+  return support;
+}
+
+namespace {
+
+// Intersects the alive adjacency lists of local vertices a and b, invoking
+// fn(c, edge_ac, edge_bc) for every common alive neighbor c.
+template <typename Fn>
+void ForEachAliveTriangle(const LocalGraph& lg, const std::vector<char>& edge_alive,
+                          std::uint32_t a, std::uint32_t b, Fn&& fn) {
+  const auto na = lg.Neighbors(a);
+  const auto nb = lg.Neighbors(b);
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < na.size() && j < nb.size()) {
+    if (na[i].to == nb[j].to) {
+      if (edge_alive[na[i].local_edge] && edge_alive[nb[j].local_edge]) {
+        fn(na[i].to, na[i].local_edge, nb[j].local_edge);
+      }
+      ++i;
+      ++j;
+    } else if (na[i].to < nb[j].to) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> ComputeLocalEdgeSupports(
+    const LocalGraph& lg, const std::vector<char>& edge_alive) {
+  TOPL_DCHECK(edge_alive.size() == lg.NumEdges(),
+              "edge_alive size mismatch in ComputeLocalEdgeSupports");
+  std::vector<std::uint32_t> support(lg.NumEdges(), 0);
+  for (std::uint32_t e = 0; e < lg.NumEdges(); ++e) {
+    if (!edge_alive[e]) continue;
+    const auto [a, b] = lg.edge_endpoints[e];
+    std::uint32_t count = 0;
+    ForEachAliveTriangle(lg, edge_alive, a, b,
+                         [&count](std::uint32_t, std::uint32_t, std::uint32_t) {
+                           ++count;
+                         });
+    support[e] = count;
+  }
+  return support;
+}
+
+void PeelToKTruss(const LocalGraph& lg, std::uint32_t k,
+                  std::vector<char>* edge_alive,
+                  std::vector<std::uint32_t>* support) {
+  TOPL_DCHECK(edge_alive->size() == lg.NumEdges(),
+              "edge_alive size mismatch in PeelToKTruss");
+  TOPL_DCHECK(support->size() == lg.NumEdges(),
+              "support size mismatch in PeelToKTruss");
+  const std::uint32_t required = k >= 2 ? k - 2 : 0;
+  if (required == 0) return;  // Every subgraph is a 2-truss.
+
+  std::vector<std::uint32_t> queue;
+  std::vector<char> queued(lg.NumEdges(), 0);
+  for (std::uint32_t e = 0; e < lg.NumEdges(); ++e) {
+    if ((*edge_alive)[e] && (*support)[e] < required) {
+      queue.push_back(e);
+      queued[e] = 1;
+    }
+  }
+  while (!queue.empty()) {
+    const std::uint32_t e = queue.back();
+    queue.pop_back();
+    if (!(*edge_alive)[e]) continue;
+    // Destroy e's triangles first (while e still counts as alive for the
+    // intersection), then kill e.
+    const auto [a, b] = lg.edge_endpoints[e];
+    ForEachAliveTriangle(
+        lg, *edge_alive, a, b,
+        [&](std::uint32_t /*c*/, std::uint32_t edge_ac, std::uint32_t edge_bc) {
+          for (std::uint32_t side : {edge_ac, edge_bc}) {
+            if ((*support)[side] > 0) --(*support)[side];
+            if ((*edge_alive)[side] && !queued[side] && (*support)[side] < required) {
+              queue.push_back(side);
+              queued[side] = 1;
+            }
+          }
+        });
+    (*edge_alive)[e] = 0;
+    (*support)[e] = 0;
+  }
+}
+
+}  // namespace topl

@@ -1,0 +1,46 @@
+#ifndef TOPL_TRUSS_SUPPORT_H_
+#define TOPL_TRUSS_SUPPORT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "graph/graph.h"
+#include "graph/local_subgraph.h"
+
+namespace topl {
+
+/// \brief Support sup(e) of every undirected edge of `g`: the number of
+/// triangles containing e, i.e. |N(u) ∩ N(v)| for e = {u, v}.
+///
+/// These global supports are the paper's offline upper bounds ub_sup(e)
+/// (§IV-B: the support of an edge in any subgraph is at most its support in
+/// the data graph). The per-edge intersections are independent, so the
+/// computation is parallelized over edges when a pool is supplied.
+std::vector<std::uint32_t> ComputeGlobalEdgeSupports(const Graph& g,
+                                                     ThreadPool* pool = nullptr);
+
+/// \brief Support of every *alive* local edge of `lg`, counting only
+/// triangles whose three edges are alive. Dead edges get support 0.
+///
+/// `edge_alive` has one flag per local edge. Used by the k-truss peeling in
+/// the seed-community extractor, where keyword/radius filtering repeatedly
+/// kills edges between peels.
+std::vector<std::uint32_t> ComputeLocalEdgeSupports(
+    const LocalGraph& lg, const std::vector<char>& edge_alive);
+
+/// \brief In-place k-truss peeling on a LocalGraph (queue-based).
+///
+/// Starting from `edge_alive` / `support` (as produced by
+/// ComputeLocalEdgeSupports), repeatedly deletes alive edges with support
+/// < k-2, decrementing the support of the other two edges of each destroyed
+/// triangle. On return `edge_alive` marks the maximal subgraph in which every
+/// edge closes ≥ k-2 alive triangles, and `support` holds the supports within
+/// that subgraph.
+void PeelToKTruss(const LocalGraph& lg, std::uint32_t k,
+                  std::vector<char>* edge_alive,
+                  std::vector<std::uint32_t>* support);
+
+}  // namespace topl
+
+#endif  // TOPL_TRUSS_SUPPORT_H_

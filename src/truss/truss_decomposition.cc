@@ -1,0 +1,178 @@
+#include "truss/truss_decomposition.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "truss/support.h"
+
+namespace topl {
+
+std::vector<std::uint32_t> TrussDecomposition(const Graph& g, ThreadPool* pool) {
+  const std::size_t m = g.NumEdges();
+  std::vector<std::uint32_t> sup = ComputeGlobalEdgeSupports(g, pool);
+  std::vector<std::uint32_t> trussness(m, 2);
+  if (m == 0) return trussness;
+
+  // Bucket sort edges by support.
+  const std::uint32_t max_sup = *std::max_element(sup.begin(), sup.end());
+  std::vector<std::uint32_t> bin_start(max_sup + 2, 0);
+  for (std::uint32_t s : sup) ++bin_start[s + 1];
+  for (std::uint32_t s = 1; s < bin_start.size(); ++s) {
+    bin_start[s] += bin_start[s - 1];
+  }
+  std::vector<std::uint32_t> sorted(m);   // edges in support order
+  std::vector<std::uint32_t> pos_of(m);   // inverse permutation
+  {
+    std::vector<std::uint32_t> cursor(bin_start.begin(), bin_start.end() - 1);
+    for (EdgeId e = 0; e < m; ++e) {
+      pos_of[e] = cursor[sup[e]];
+      sorted[pos_of[e]] = e;
+      ++cursor[sup[e]];
+    }
+  }
+
+  // Moves edge f one support bucket down (f must currently have sup[f] > 0):
+  // swap it to the front of its bucket and shrink the bucket from the left.
+  auto decrement = [&](EdgeId f) {
+    const std::uint32_t s = sup[f];
+    const std::uint32_t boundary = bin_start[s];
+    const EdgeId at_boundary = sorted[boundary];
+    if (at_boundary != f) {
+      const std::uint32_t pf = pos_of[f];
+      std::swap(sorted[boundary], sorted[pf]);
+      pos_of[at_boundary] = pf;
+      pos_of[f] = boundary;
+    }
+    ++bin_start[s];
+    --sup[f];
+  };
+
+  std::vector<char> alive(m, 1);
+  for (std::uint32_t i = 0; i < m; ++i) {
+    const EdgeId e = sorted[i];
+    const std::uint32_t level = sup[e];
+    trussness[e] = level + 2;
+    const VertexId u = g.EdgeSource(e);
+    const VertexId v = g.EdgeTarget(e);
+    // Enumerate alive triangles through e and lower the two side edges,
+    // but never below the current peel level (they will be peeled at this
+    // level themselves).
+    const auto nu = g.Neighbors(u);
+    const auto nv = g.Neighbors(v);
+    std::size_t a = 0;
+    std::size_t b = 0;
+    while (a < nu.size() && b < nv.size()) {
+      if (nu[a].to == nv[b].to) {
+        const EdgeId f1 = nu[a].edge;
+        const EdgeId f2 = nv[b].edge;
+        if (alive[f1] && alive[f2]) {
+          if (sup[f1] > level) decrement(f1);
+          if (sup[f2] > level) decrement(f2);
+        }
+        ++a;
+        ++b;
+      } else if (nu[a].to < nv[b].to) {
+        ++a;
+      } else {
+        ++b;
+      }
+    }
+    alive[e] = 0;
+  }
+  return trussness;
+}
+
+std::vector<std::uint32_t> LocalTrussDecomposition(
+    const LocalGraph& lg, std::vector<std::uint32_t>* initial_supports) {
+  const std::size_t m = lg.NumEdges();
+  const std::vector<char> all_alive(m, 1);
+  std::vector<std::uint32_t> sup = ComputeLocalEdgeSupports(lg, all_alive);
+  if (initial_supports != nullptr) *initial_supports = sup;
+  std::vector<std::uint32_t> trussness(m, 2);
+  if (m == 0) return trussness;
+
+  const std::uint32_t max_sup = *std::max_element(sup.begin(), sup.end());
+  std::vector<std::uint32_t> bin_start(max_sup + 2, 0);
+  for (std::uint32_t s : sup) ++bin_start[s + 1];
+  for (std::uint32_t s = 1; s < bin_start.size(); ++s) bin_start[s] += bin_start[s - 1];
+  std::vector<std::uint32_t> sorted(m);
+  std::vector<std::uint32_t> pos_of(m);
+  {
+    std::vector<std::uint32_t> cursor(bin_start.begin(), bin_start.end() - 1);
+    for (std::uint32_t e = 0; e < m; ++e) {
+      pos_of[e] = cursor[sup[e]];
+      sorted[pos_of[e]] = e;
+      ++cursor[sup[e]];
+    }
+  }
+  auto decrement = [&](std::uint32_t f) {
+    const std::uint32_t s = sup[f];
+    const std::uint32_t boundary = bin_start[s];
+    const std::uint32_t at_boundary = sorted[boundary];
+    if (at_boundary != f) {
+      const std::uint32_t pf = pos_of[f];
+      std::swap(sorted[boundary], sorted[pf]);
+      pos_of[at_boundary] = pf;
+      pos_of[f] = boundary;
+    }
+    ++bin_start[s];
+    --sup[f];
+  };
+
+  std::vector<char> alive(m, 1);
+  for (std::uint32_t i = 0; i < m; ++i) {
+    const std::uint32_t e = sorted[i];
+    const std::uint32_t level = sup[e];
+    trussness[e] = level + 2;
+    const auto [a, b] = lg.edge_endpoints[e];
+    const auto na = lg.Neighbors(a);
+    const auto nb = lg.Neighbors(b);
+    std::size_t x = 0;
+    std::size_t y = 0;
+    while (x < na.size() && y < nb.size()) {
+      if (na[x].to == nb[y].to) {
+        const std::uint32_t f1 = na[x].local_edge;
+        const std::uint32_t f2 = nb[y].local_edge;
+        if (alive[f1] && alive[f2]) {
+          if (sup[f1] > level) decrement(f1);
+          if (sup[f2] > level) decrement(f2);
+        }
+        ++x;
+        ++y;
+      } else if (na[x].to < nb[y].to) {
+        ++x;
+      } else {
+        ++y;
+      }
+    }
+    alive[e] = 0;
+  }
+  return trussness;
+}
+
+std::uint32_t LocalCenterTrussness(const LocalGraph& lg,
+                                   const std::vector<std::uint32_t>& edge_trussness) {
+  TOPL_CHECK(edge_trussness.size() == lg.NumEdges(),
+             "edge_trussness size mismatch in LocalCenterTrussness");
+  std::uint32_t best = 2;
+  if (lg.NumVertices() == 0) return best;
+  for (const LocalGraph::LocalArc& arc : lg.Neighbors(0)) {
+    best = std::max(best, edge_trussness[arc.local_edge]);
+  }
+  return best;
+}
+
+std::vector<std::uint32_t> VertexTrussness(
+    const Graph& g, const std::vector<std::uint32_t>& edge_trussness) {
+  TOPL_CHECK(edge_trussness.size() == g.NumEdges(),
+             "edge_trussness size mismatch in VertexTrussness");
+  std::vector<std::uint32_t> out(g.NumVertices(), 0);
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const std::uint32_t t = edge_trussness[e];
+    out[g.EdgeSource(e)] = std::max(out[g.EdgeSource(e)], t);
+    out[g.EdgeTarget(e)] = std::max(out[g.EdgeTarget(e)], t);
+  }
+  return out;
+}
+
+}  // namespace topl

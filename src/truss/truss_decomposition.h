@@ -1,0 +1,54 @@
+#ifndef TOPL_TRUSS_TRUSS_DECOMPOSITION_H_
+#define TOPL_TRUSS_TRUSS_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "graph/graph.h"
+#include "graph/local_subgraph.h"
+
+namespace topl {
+
+/// \brief Trussness τ(e) of every edge: the largest k such that e belongs to
+/// the maximal k-truss of g. Every edge has τ(e) ≥ 2.
+///
+/// Classic peeling algorithm (Wang & Cheng): process edges in non-decreasing
+/// support order with bucket bookkeeping; when an edge is peeled at support
+/// s, its trussness is s+2 and the supports of the other two edges of each
+/// of its triangles drop by one. O(Σ_e min(deg(u), deg(v))) after support
+/// computation.
+///
+/// This is the offline half of the ATindex baseline (§VIII-A): the state of
+/// the art (k,d)-truss search indexes trussness on edges/vertices and uses
+/// it to filter candidate centers online.
+std::vector<std::uint32_t> TrussDecomposition(const Graph& g,
+                                              ThreadPool* pool = nullptr);
+
+/// \brief Vertex trussness: max τ(e) over edges incident to v (0 for
+/// isolated vertices). A vertex can belong to a k-truss community only if
+/// its trussness is ≥ k.
+std::vector<std::uint32_t> VertexTrussness(
+    const Graph& g, const std::vector<std::uint32_t>& edge_trussness);
+
+/// \brief Trussness of every edge of a LocalGraph (same peeling algorithm as
+/// TrussDecomposition, over the materialized hop subgraph).
+///
+/// The offline phase (Algorithm 2) runs this per r_max-ball: the initial
+/// supports are the paper's ub_sup(e) "w.r.t. hop(v_i, r_max)" (§V-A), and
+/// the trussness of the ball's center bounds the largest k any seed
+/// community centered there can reach (DESIGN.md §3).
+///
+/// If `initial_supports` is non-null it receives sup(e) within the ball
+/// before peeling.
+std::vector<std::uint32_t> LocalTrussDecomposition(
+    const LocalGraph& lg, std::vector<std::uint32_t>* initial_supports = nullptr);
+
+/// \brief Trussness of the ball's center (local vertex 0): the max trussness
+/// over its incident edges, or 2 if it has none.
+std::uint32_t LocalCenterTrussness(const LocalGraph& lg,
+                                   const std::vector<std::uint32_t>& edge_trussness);
+
+}  // namespace topl
+
+#endif  // TOPL_TRUSS_TRUSS_DECOMPOSITION_H_

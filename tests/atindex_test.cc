@@ -1,0 +1,99 @@
+#include "baselines/atindex.h"
+
+#include "core/brute_force.h"
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace topl {
+namespace {
+
+using testing::Scores;
+
+Graph Workload(std::uint64_t seed) {
+  SmallWorldOptions gen;
+  gen.num_vertices = 180;
+  gen.seed = seed;
+  gen.keywords.domain_size = 10;
+  Result<Graph> g = MakeSmallWorld(gen);
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+Query DefaultQuery() {
+  Query q;
+  q.keywords = {0, 1, 2, 3, 4};
+  q.k = 3;
+  q.radius = 2;
+  q.theta = 0.2;
+  q.top_l = 5;
+  return q;
+}
+
+TEST(ATIndexTest, MatchesBruteForce) {
+  // The baseline is slower but must be equally correct: same score multiset
+  // as the exhaustive reference.
+  for (std::uint64_t seed : {71u, 72u, 73u}) {
+    const Graph g = Workload(seed);
+    const ATIndex index = ATIndex::Build(g);
+    const Query q = DefaultQuery();
+    Result<TopLResult> at = index.Search(q);
+    ASSERT_TRUE(at.ok());
+    Result<TopLResult> brute = BruteForceTopL(g, q);
+    ASSERT_TRUE(brute.ok());
+    const auto a = Scores(at->communities);
+    const auto b = Scores(brute->communities);
+    ASSERT_EQ(a.size(), b.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-9);
+  }
+}
+
+TEST(ATIndexTest, TrussnessFilterIsSafeAndEffective) {
+  const Graph g = Workload(74);
+  const ATIndex index = ATIndex::Build(g);
+  const Query q = DefaultQuery();
+  Result<TopLResult> result = index.Search(q);
+  ASSERT_TRUE(result.ok());
+  // Filtering must skip some centers (support pruning) on this workload but
+  // never a center that brute force turns into a community.
+  EXPECT_GT(result->stats.pruned_support + result->stats.pruned_keyword, 0u);
+  Result<TopLResult> brute = BruteForceTopL(g, q);
+  ASSERT_TRUE(brute.ok());
+  EXPECT_EQ(result->stats.communities_found, brute->stats.communities_found);
+}
+
+TEST(ATIndexTest, SamplingReducesWork) {
+  const Graph g = Workload(75);
+  const ATIndex index = ATIndex::Build(g);
+  const Query q = DefaultQuery();
+  ATIndex::SearchOptions full;
+  ATIndex::SearchOptions sampled;
+  sampled.center_sample_rate = 0.2;
+  Result<TopLResult> r_full = index.Search(q, full);
+  Result<TopLResult> r_sampled = index.Search(q, sampled);
+  ASSERT_TRUE(r_full.ok());
+  ASSERT_TRUE(r_sampled.ok());
+  EXPECT_LT(r_sampled->stats.candidates_refined,
+            r_full->stats.candidates_refined);
+  EXPECT_GT(r_sampled->stats.candidates_refined, 0u);
+}
+
+TEST(ATIndexTest, RejectsBadSampleRate) {
+  const Graph g = Workload(76);
+  const ATIndex index = ATIndex::Build(g);
+  ATIndex::SearchOptions opts;
+  opts.center_sample_rate = 0.0;
+  EXPECT_FALSE(index.Search(DefaultQuery(), opts).ok());
+  opts.center_sample_rate = 1.5;
+  EXPECT_FALSE(index.Search(DefaultQuery(), opts).ok());
+}
+
+TEST(ATIndexTest, ExposesTrussness) {
+  const Graph g = Workload(77);
+  const ATIndex index = ATIndex::Build(g);
+  EXPECT_EQ(index.edge_trussness().size(), g.NumEdges());
+  EXPECT_EQ(index.vertex_trussness().size(), g.NumVertices());
+}
+
+}  // namespace
+}  // namespace topl

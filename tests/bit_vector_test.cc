@@ -1,0 +1,124 @@
+#include "keywords/bit_vector.h"
+
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace topl {
+namespace {
+
+TEST(BitVectorTest, StartsAllZero) {
+  BitVector bv(128);
+  EXPECT_TRUE(bv.AllZero());
+  EXPECT_EQ(bv.bits(), 128u);
+  EXPECT_EQ(bv.num_words(), 2u);
+}
+
+TEST(BitVectorTest, WidthRoundsUpToWords) {
+  EXPECT_EQ(BitVector(1).num_words(), 1u);
+  EXPECT_EQ(BitVector(64).num_words(), 1u);
+  EXPECT_EQ(BitVector(65).num_words(), 2u);
+  EXPECT_EQ(BitVector(200).num_words(), 4u);
+}
+
+TEST(BitVectorTest, SetAndTestBits) {
+  BitVector bv(100);
+  bv.SetBit(0);
+  bv.SetBit(63);
+  bv.SetBit(64);
+  bv.SetBit(99);
+  EXPECT_TRUE(bv.TestBit(0));
+  EXPECT_TRUE(bv.TestBit(63));
+  EXPECT_TRUE(bv.TestBit(64));
+  EXPECT_TRUE(bv.TestBit(99));
+  EXPECT_FALSE(bv.TestBit(1));
+  EXPECT_FALSE(bv.TestBit(65));
+  EXPECT_FALSE(bv.AllZero());
+}
+
+TEST(BitVectorTest, HashPositionStableAndInRange) {
+  for (KeywordId w = 0; w < 1000; ++w) {
+    const std::uint32_t p = BitVector::HashPosition(w, 128);
+    EXPECT_LT(p, 128u);
+    EXPECT_EQ(p, BitVector::HashPosition(w, 128));  // deterministic
+  }
+}
+
+TEST(BitVectorTest, NoFalseNegatives) {
+  // The signature of a keyword set must intersect the signature of any
+  // non-disjoint query — the property Lemma 1/5 relies on.
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    BitVector set_bv(64);
+    std::vector<KeywordId> kws;
+    for (int i = 0; i < 5; ++i) {
+      const KeywordId w = static_cast<KeywordId>(rng.NextBounded(500));
+      kws.push_back(w);
+      set_bv.AddKeyword(w);
+    }
+    // A query containing one of the set's keywords must intersect.
+    const KeywordId probe = kws[rng.NextBounded(kws.size())];
+    BitVector q = BitVector::FromKeywords(std::vector<KeywordId>{probe}, 64);
+    EXPECT_TRUE(set_bv.IntersectsAny(q));
+  }
+}
+
+TEST(BitVectorTest, DisjointUsuallyDoNotIntersect) {
+  // False positives are allowed but must be rare with few keywords in a
+  // 1024-bit signature.
+  Rng rng(6);
+  int false_positives = 0;
+  const int trials = 500;
+  for (int t = 0; t < trials; ++t) {
+    BitVector a(1024);
+    BitVector b(1024);
+    for (int i = 0; i < 3; ++i) {
+      a.AddKeyword(static_cast<KeywordId>(rng.NextBounded(100000)));
+      b.AddKeyword(static_cast<KeywordId>(100000 + rng.NextBounded(100000)));
+    }
+    if (a.IntersectsAny(b)) ++false_positives;
+  }
+  EXPECT_LT(false_positives, trials / 10);
+}
+
+TEST(BitVectorTest, OrWithAccumulates) {
+  BitVector a(64);
+  BitVector b(64);
+  a.AddKeyword(1);
+  b.AddKeyword(2);
+  a.OrWith(b);
+  BitVector q1 = BitVector::FromKeywords(std::vector<KeywordId>{1}, 64);
+  BitVector q2 = BitVector::FromKeywords(std::vector<KeywordId>{2}, 64);
+  EXPECT_TRUE(a.IntersectsAny(q1));
+  EXPECT_TRUE(a.IntersectsAny(q2));
+}
+
+TEST(BitVectorTest, ClearResets) {
+  BitVector a(64);
+  a.AddKeyword(3);
+  EXPECT_FALSE(a.AllZero());
+  a.Clear();
+  EXPECT_TRUE(a.AllZero());
+}
+
+TEST(BitVectorTest, EqualityComparesBitsAndWidth) {
+  BitVector a(64);
+  BitVector b(64);
+  EXPECT_TRUE(a == b);
+  a.AddKeyword(9);
+  EXPECT_FALSE(a == b);
+  b.AddKeyword(9);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(BitVector(64) == BitVector(128));
+}
+
+TEST(BitVectorTest, FromKeywordsMatchesIncremental) {
+  const std::vector<KeywordId> kws = {4, 99, 12345};
+  BitVector inc(256);
+  for (KeywordId w : kws) inc.AddKeyword(w);
+  EXPECT_TRUE(inc == BitVector::FromKeywords(kws, 256));
+}
+
+}  // namespace
+}  // namespace topl

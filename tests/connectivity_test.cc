@@ -1,0 +1,72 @@
+#include "graph/connectivity.h"
+
+#include "graph/bfs.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace topl {
+namespace {
+
+using testing::MakeGraph;
+
+TEST(ConnectivityTest, SingleComponent) {
+  const Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  const ComponentLabels labels = ConnectedComponents(g);
+  EXPECT_EQ(labels.num_components, 1u);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(ConnectivityTest, MultipleComponents) {
+  const Graph g = MakeGraph(6, {{0, 1}, {2, 3}, {3, 4}});
+  const ComponentLabels labels = ConnectedComponents(g);
+  EXPECT_EQ(labels.num_components, 3u);  // {0,1}, {2,3,4}, {5}
+  EXPECT_FALSE(IsConnected(g));
+  EXPECT_EQ(labels.label[0], labels.label[1]);
+  EXPECT_EQ(labels.label[2], labels.label[3]);
+  EXPECT_EQ(labels.label[3], labels.label[4]);
+  EXPECT_NE(labels.label[0], labels.label[2]);
+  EXPECT_NE(labels.label[0], labels.label[5]);
+}
+
+TEST(ConnectivityTest, LargestComponent) {
+  const Graph g = MakeGraph(7, {{0, 1}, {2, 3}, {3, 4}, {4, 5}});
+  const std::vector<VertexId> largest = LargestComponent(g);
+  EXPECT_EQ(largest, (std::vector<VertexId>{2, 3, 4, 5}));
+}
+
+TEST(ConnectivityTest, EmptyGraphIsConnected) {
+  GraphBuilder b(0);
+  Result<Graph> g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(IsConnected(*g));
+}
+
+TEST(BfsTest, Distances) {
+  const Graph g = MakeGraph(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  const auto dist = BfsDistances(g, 0, 10);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], 2u);
+  EXPECT_EQ(dist[3], 3u);
+  EXPECT_EQ(dist[4], 4u);
+  EXPECT_EQ(dist[5], kUnreachedDistance);
+}
+
+TEST(BfsTest, TruncationAtMaxDist) {
+  const Graph g = MakeGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  const auto dist = BfsDistances(g, 0, 2);
+  EXPECT_EQ(dist[2], 2u);
+  EXPECT_EQ(dist[3], kUnreachedDistance);
+  EXPECT_EQ(CountWithinRadius(g, 0, 2), 3u);
+}
+
+TEST(BfsTest, ShortestOfMultiplePaths) {
+  // 0-1-2-3 chain plus shortcut 0-3.
+  const Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+  const auto dist = BfsDistances(g, 0, 10);
+  EXPECT_EQ(dist[3], 1u);
+  EXPECT_EQ(dist[2], 2u);
+}
+
+}  // namespace
+}  // namespace topl

@@ -1,0 +1,126 @@
+#include "influence/diversity.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace topl {
+namespace {
+
+InfluencedCommunity Make(std::vector<VertexId> vertices, std::vector<double> cpp) {
+  InfluencedCommunity c;
+  c.vertices = std::move(vertices);
+  c.cpp = std::move(cpp);
+  for (double p : c.cpp) c.score += p;
+  return c;
+}
+
+// Random influenced communities for property sweeps.
+std::vector<InfluencedCommunity> RandomCommunities(std::uint64_t seed, int count,
+                                                   int universe) {
+  Rng rng(seed);
+  std::vector<InfluencedCommunity> out;
+  for (int i = 0; i < count; ++i) {
+    InfluencedCommunity c;
+    const int size = 1 + static_cast<int>(rng.NextBounded(universe));
+    for (int j = 0; j < size; ++j) {
+      const VertexId v = static_cast<VertexId>(rng.NextBounded(universe));
+      if (std::find(c.vertices.begin(), c.vertices.end(), v) != c.vertices.end()) {
+        continue;
+      }
+      c.vertices.push_back(v);
+      c.cpp.push_back(0.1 + 0.9 * rng.NextDouble());
+      c.score += c.cpp.back();
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+TEST(DiversityOracleTest, SingleCommunityScoresItself) {
+  DiversityOracle oracle;
+  const auto c = Make({1, 2, 3}, {0.5, 0.6, 0.7});
+  EXPECT_DOUBLE_EQ(oracle.MarginalGain(c), 1.8);
+  oracle.Add(c);
+  EXPECT_DOUBLE_EQ(oracle.TotalScore(), 1.8);
+  EXPECT_EQ(oracle.CoveredVertices(), 3u);
+}
+
+TEST(DiversityOracleTest, OverlapCountsMaxOnly) {
+  DiversityOracle oracle;
+  oracle.Add(Make({1, 2}, {0.9, 0.2}));
+  const auto c = Make({2, 3}, {0.5, 0.4});
+  // Vertex 2 improves 0.2 -> 0.5 (gain 0.3); vertex 3 is new (0.4).
+  EXPECT_DOUBLE_EQ(oracle.MarginalGain(c), 0.7);
+  oracle.Add(c);
+  EXPECT_DOUBLE_EQ(oracle.TotalScore(), 0.9 + 0.5 + 0.4);
+}
+
+TEST(DiversityOracleTest, DominatedCommunityGainsNothing) {
+  DiversityOracle oracle;
+  oracle.Add(Make({1, 2}, {0.9, 0.8}));
+  const auto weaker = Make({1, 2}, {0.5, 0.5});
+  EXPECT_DOUBLE_EQ(oracle.MarginalGain(weaker), 0.0);
+  oracle.Add(weaker);
+  EXPECT_DOUBLE_EQ(oracle.TotalScore(), 1.7);
+}
+
+TEST(DiversityOracleTest, ResetClears) {
+  DiversityOracle oracle;
+  oracle.Add(Make({1}, {0.5}));
+  oracle.Reset();
+  EXPECT_DOUBLE_EQ(oracle.TotalScore(), 0.0);
+  EXPECT_EQ(oracle.CoveredVertices(), 0u);
+}
+
+TEST(DiversityScoreTest, MatchesOracle) {
+  const auto a = Make({1, 2}, {0.9, 0.2});
+  const auto b = Make({2, 3}, {0.5, 0.4});
+  const std::vector<const InfluencedCommunity*> sel = {&a, &b};
+  DiversityOracle oracle;
+  oracle.Add(a);
+  oracle.Add(b);
+  EXPECT_DOUBLE_EQ(DiversityScore(sel), oracle.TotalScore());
+}
+
+// Property: D is monotone (adding a community never lowers it) and
+// submodular (gains shrink as the selection grows) — the two facts Lemma 9
+// and the (1-1/e) bound rest on.
+class DiversityPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DiversityPropertyTest, MonotoneAndSubmodular) {
+  const auto communities = RandomCommunities(GetParam(), 8, 20);
+  // S' ⊆ S: build both incrementally, measuring the same candidate g.
+  for (std::size_t split = 1; split + 1 < communities.size(); ++split) {
+    DiversityOracle small;   // S' = first `split` communities
+    DiversityOracle large;   // S  = first `split`+1 communities
+    for (std::size_t i = 0; i < split; ++i) {
+      small.Add(communities[i]);
+      large.Add(communities[i]);
+    }
+    large.Add(communities[split]);
+    EXPECT_GE(large.TotalScore(), small.TotalScore() - 1e-12);  // monotone
+    const InfluencedCommunity& g = communities.back();
+    EXPECT_GE(small.MarginalGain(g), large.MarginalGain(g) - 1e-12);  // submodular
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiversityPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(DiversityPropertyTest2, GainEqualsScoreDelta) {
+  const auto communities = RandomCommunities(77, 6, 15);
+  DiversityOracle oracle;
+  for (const auto& c : communities) {
+    const double before = oracle.TotalScore();
+    const double predicted = oracle.MarginalGain(c);
+    const double realized = oracle.Add(c);
+    EXPECT_NEAR(predicted, realized, 1e-12);
+    EXPECT_NEAR(oracle.TotalScore(), before + predicted, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace topl

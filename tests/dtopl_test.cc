@@ -1,0 +1,210 @@
+#include "core/dtopl_detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/brute_force.h"
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace topl {
+namespace {
+
+using testing::BuildIndexFor;
+using testing::BuiltIndex;
+
+Query DefaultQuery() {
+  Query q;
+  q.keywords = {0, 1, 2, 3, 4};
+  q.k = 3;
+  q.radius = 2;
+  q.theta = 0.2;
+  q.top_l = 3;
+  return q;
+}
+
+Graph Workload(std::uint64_t seed, std::size_t n = 200) {
+  SmallWorldOptions gen;
+  gen.num_vertices = n;
+  gen.seed = seed;
+  gen.keywords.domain_size = 10;
+  Result<Graph> g = MakeSmallWorld(gen);
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(DTopLSelectionTest, GreedyVariantsAgreeExactly) {
+  // Lemma 9's lazy evaluation is a pure optimization: Greedy_WP must select
+  // the same communities as Greedy_WoP (up to ties, which the diversity
+  // score resolves identically here).
+  const Graph g = Workload(51);
+  Query q = DefaultQuery();
+  q.top_l = 60;  // large candidate pool
+  Result<std::vector<CommunityResult>> all = EnumerateAllCommunities(g, q);
+  ASSERT_TRUE(all.ok());
+  if (all->size() < 5) GTEST_SKIP() << "workload produced too few communities";
+
+  for (std::uint32_t l : {2u, 3u, 5u}) {
+    std::uint64_t evals_wp = 0;
+    std::uint64_t evals_wop = 0;
+    const auto wp = SelectDiversifiedGreedyWP(*all, l, &evals_wp);
+    const auto wop = SelectDiversifiedGreedyWoP(*all, l, &evals_wop);
+    EXPECT_NEAR(DiversityOfSelection(*all, wp), DiversityOfSelection(*all, wop),
+                1e-9)
+        << "L=" << l;
+    // The pruned variant must not evaluate more gains than the exhaustive
+    // one (that is its whole point).
+    EXPECT_LE(evals_wp, evals_wop);
+  }
+}
+
+TEST(DTopLSelectionTest, GreedyMatchesOptimalBound) {
+  // (1 - 1/e) ≈ 0.632 approximation guarantee against the optimal subset of
+  // the same candidate pool.
+  const Graph g = Workload(52, 150);
+  Query q = DefaultQuery();
+  q.top_l = 1000;
+  Result<std::vector<CommunityResult>> all = EnumerateAllCommunities(g, q);
+  ASSERT_TRUE(all.ok());
+  if (all->size() < 6) GTEST_SKIP() << "too few communities";
+  // Cap the pool so C(n, L) stays enumerable.
+  std::vector<CommunityResult> pool(all->begin(),
+                                    all->begin() + std::min<std::size_t>(12, all->size()));
+  for (std::uint32_t l : {2u, 3u}) {
+    const auto greedy = SelectDiversifiedGreedyWP(pool, l, nullptr);
+    Result<std::vector<std::size_t>> optimal =
+        SelectDiversifiedOptimal(pool, l, 1'000'000);
+    ASSERT_TRUE(optimal.ok());
+    const double d_greedy = DiversityOfSelection(pool, greedy);
+    const double d_optimal = DiversityOfSelection(pool, *optimal);
+    EXPECT_GE(d_optimal + 1e-9, d_greedy);
+    EXPECT_GE(d_greedy, (1.0 - 1.0 / M_E) * d_optimal - 1e-9);
+  }
+}
+
+TEST(DTopLSelectionTest, OptimalRefusesBlowup) {
+  const Graph g = Workload(53);
+  Query q = DefaultQuery();
+  q.top_l = 100;
+  Result<std::vector<CommunityResult>> all = EnumerateAllCommunities(g, q);
+  ASSERT_TRUE(all.ok());
+  if (all->size() < 30) GTEST_SKIP() << "too few communities";
+  Result<std::vector<std::size_t>> r = SelectDiversifiedOptimal(*all, 10, 1000);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(DTopLSelectionTest, FirstPickIsHighestInfluence) {
+  // ΔD(∅) = σ, so greedy must open with the top-influence community.
+  const Graph g = Workload(54);
+  Query q = DefaultQuery();
+  q.top_l = 40;
+  Result<std::vector<CommunityResult>> all = EnumerateAllCommunities(g, q);
+  ASSERT_TRUE(all.ok());
+  if (all->size() < 2) GTEST_SKIP();
+  const auto sel = SelectDiversifiedGreedyWP(*all, 3, nullptr);
+  ASSERT_FALSE(sel.empty());
+  EXPECT_EQ(sel[0], 0u);  // candidates arrive sorted by σ desc
+}
+
+TEST(DTopLSelectionTest, SelectionHasNoDuplicates) {
+  const Graph g = Workload(55);
+  Query q = DefaultQuery();
+  q.top_l = 40;
+  Result<std::vector<CommunityResult>> all = EnumerateAllCommunities(g, q);
+  ASSERT_TRUE(all.ok());
+  if (all->size() < 5) GTEST_SKIP();
+  const auto sel = SelectDiversifiedGreedyWP(*all, 5, nullptr);
+  const std::set<std::size_t> unique(sel.begin(), sel.end());
+  EXPECT_EQ(unique.size(), sel.size());
+}
+
+TEST(DTopLSelectionTest, PoolSmallerThanLReturnsPool) {
+  const Graph g = Workload(56);
+  Query q = DefaultQuery();
+  q.top_l = 2;
+  Result<std::vector<CommunityResult>> all = EnumerateAllCommunities(g, q);
+  ASSERT_TRUE(all.ok());
+  std::vector<CommunityResult> pool(
+      all->begin(), all->begin() + std::min<std::size_t>(2, all->size()));
+  const auto sel = SelectDiversifiedGreedyWP(pool, 10, nullptr);
+  EXPECT_EQ(sel.size(), pool.size());
+}
+
+TEST(DTopLDetectorTest, EndToEnd) {
+  const Graph g = Workload(57, 250);
+  const BuiltIndex built = BuildIndexFor(g);
+  DTopLDetector detector(g, built.pre(), built.tree);
+  Query q = DefaultQuery();
+  DTopLOptions opts;
+  opts.n_factor = 4;
+  Result<DTopLResult> result = detector.Search(q, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_LE(result->communities.size(), q.top_l);
+  EXPECT_GT(result->diversity_score, 0.0);
+  // Diversity can never exceed the summed influences of the selection.
+  double sum = 0.0;
+  for (const CommunityResult& c : result->communities) sum += c.score();
+  EXPECT_LE(result->diversity_score, sum + 1e-9);
+}
+
+TEST(DTopLDetectorTest, AlgorithmsProduceSameDiversity) {
+  const Graph g = Workload(58, 220);
+  const BuiltIndex built = BuildIndexFor(g);
+  DTopLDetector detector(g, built.pre(), built.tree);
+  Query q = DefaultQuery();
+  q.top_l = 2;
+  DTopLOptions wp;
+  wp.n_factor = 3;
+  wp.algorithm = DTopLAlgorithm::kGreedyWithPruning;
+  DTopLOptions wop = wp;
+  wop.algorithm = DTopLAlgorithm::kGreedyWithoutPruning;
+  DTopLOptions optimal = wp;
+  optimal.algorithm = DTopLAlgorithm::kOptimal;
+
+  Result<DTopLResult> r_wp = detector.Search(q, wp);
+  Result<DTopLResult> r_wop = detector.Search(q, wop);
+  Result<DTopLResult> r_opt = detector.Search(q, optimal);
+  ASSERT_TRUE(r_wp.ok());
+  ASSERT_TRUE(r_wop.ok());
+  ASSERT_TRUE(r_opt.ok());
+  EXPECT_NEAR(r_wp->diversity_score, r_wop->diversity_score, 1e-9);
+  EXPECT_GE(r_opt->diversity_score + 1e-9, r_wp->diversity_score);
+  EXPECT_GE(r_wp->diversity_score, (1.0 - 1.0 / M_E) * r_opt->diversity_score - 1e-9);
+}
+
+TEST(DTopLDetectorTest, RejectsBadNFactor) {
+  const Graph g = Workload(59);
+  const BuiltIndex built = BuildIndexFor(g);
+  DTopLDetector detector(g, built.pre(), built.tree);
+  DTopLOptions opts;
+  opts.n_factor = 0;
+  EXPECT_FALSE(detector.Search(DefaultQuery(), opts).ok());
+}
+
+// Property: greedy diversity is monotone in L (selecting more communities
+// never lowers D) and bounded by the sum of candidate scores.
+class DTopLPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DTopLPropertyTest, DiversityMonotoneInL) {
+  const Graph g = Workload(GetParam());
+  Query q = DefaultQuery();
+  q.top_l = 50;
+  Result<std::vector<CommunityResult>> all = EnumerateAllCommunities(g, q);
+  ASSERT_TRUE(all.ok());
+  if (all->size() < 4) GTEST_SKIP();
+  double prev = 0.0;
+  for (std::uint32_t l = 1; l <= std::min<std::size_t>(6, all->size()); ++l) {
+    const auto sel = SelectDiversifiedGreedyWP(*all, l, nullptr);
+    const double d = DiversityOfSelection(*all, sel);
+    EXPECT_GE(d + 1e-12, prev);
+    prev = d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DTopLPropertyTest, ::testing::Values(61, 62, 63));
+
+}  // namespace
+}  // namespace topl

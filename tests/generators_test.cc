@@ -1,0 +1,252 @@
+#include "graph/generators.h"
+
+#include <cmath>
+
+#include "graph/connectivity.h"
+#include "gtest/gtest.h"
+
+namespace topl {
+namespace {
+
+TEST(SmallWorldTest, SizesMatchTheModel) {
+  SmallWorldOptions opts;
+  opts.num_vertices = 500;
+  opts.ring_neighbors = 6;
+  opts.shortcut_prob = 0.167;
+  Result<Graph> g = MakeSmallWorld(opts);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->NumVertices(), 500u);
+  // Ring lattice contributes n * (m/2) edges; shortcuts add ~ μ more per
+  // lattice edge.
+  const std::size_t lattice = 500 * 3;
+  EXPECT_GE(g->NumEdges(), lattice);
+  EXPECT_LE(g->NumEdges(), lattice + lattice / 2);
+}
+
+TEST(SmallWorldTest, ConnectedByConstruction) {
+  SmallWorldOptions opts;
+  opts.num_vertices = 300;
+  Result<Graph> g = MakeSmallWorld(opts);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(IsConnected(*g));
+}
+
+TEST(SmallWorldTest, DeterministicForSeed) {
+  SmallWorldOptions opts;
+  opts.num_vertices = 200;
+  opts.seed = 99;
+  Result<Graph> a = MakeSmallWorld(opts);
+  Result<Graph> b = MakeSmallWorld(opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->NumEdges(), b->NumEdges());
+  for (EdgeId e = 0; e < a->NumEdges(); ++e) {
+    EXPECT_EQ(a->EdgeSource(e), b->EdgeSource(e));
+    EXPECT_EQ(a->EdgeTarget(e), b->EdgeTarget(e));
+  }
+  for (VertexId v = 0; v < a->NumVertices(); ++v) {
+    ASSERT_EQ(a->Keywords(v).size(), b->Keywords(v).size());
+  }
+}
+
+TEST(SmallWorldTest, WeightsInConfiguredRange) {
+  SmallWorldOptions opts;
+  opts.num_vertices = 100;
+  opts.weights.min_weight = 0.5;
+  opts.weights.max_weight = 0.6;
+  Result<Graph> g = MakeSmallWorld(opts);
+  ASSERT_TRUE(g.ok());
+  for (VertexId v = 0; v < g->NumVertices(); ++v) {
+    for (const Graph::Arc& arc : g->Neighbors(v)) {
+      EXPECT_GE(arc.prob, 0.5f);
+      EXPECT_LT(arc.prob, 0.6f + 1e-6f);
+    }
+  }
+}
+
+TEST(SmallWorldTest, KeywordCountsPerVertex) {
+  SmallWorldOptions opts;
+  opts.num_vertices = 100;
+  opts.keywords.keywords_per_vertex = 4;
+  opts.keywords.domain_size = 20;
+  Result<Graph> g = MakeSmallWorld(opts);
+  ASSERT_TRUE(g.ok());
+  for (VertexId v = 0; v < g->NumVertices(); ++v) {
+    EXPECT_EQ(g->Keywords(v).size(), 4u);
+    for (KeywordId w : g->Keywords(v)) EXPECT_LT(w, 20u);
+  }
+}
+
+TEST(SmallWorldTest, RejectsBadParameters) {
+  SmallWorldOptions opts;
+  opts.num_vertices = 2;
+  EXPECT_FALSE(MakeSmallWorld(opts).ok());
+  opts.num_vertices = 100;
+  opts.ring_neighbors = 1;  // half = 0
+  EXPECT_FALSE(MakeSmallWorld(opts).ok());
+  opts.ring_neighbors = 6;
+  opts.shortcut_prob = 1.5;
+  EXPECT_FALSE(MakeSmallWorld(opts).ok());
+  opts.shortcut_prob = 0.1;
+  opts.keywords.keywords_per_vertex = 100;
+  opts.keywords.domain_size = 10;
+  EXPECT_FALSE(MakeSmallWorld(opts).ok());
+}
+
+TEST(PowerlawClusterTest, SizesAndConnectivity) {
+  PowerlawClusterOptions opts;
+  opts.num_vertices = 400;
+  opts.edges_per_vertex = 3;
+  Result<Graph> g = MakePowerlawCluster(opts);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->NumVertices(), 400u);
+  EXPECT_TRUE(IsConnected(*g));
+  // ~3 edges per arriving vertex.
+  EXPECT_GE(g->NumEdges(), 350u);
+  EXPECT_LE(g->NumEdges(), 3 * 400u);
+}
+
+TEST(PowerlawClusterTest, SkewedDegrees) {
+  PowerlawClusterOptions opts;
+  opts.num_vertices = 2000;
+  opts.edges_per_vertex = 3;
+  opts.triangle_prob = 0.5;
+  Result<Graph> g = MakePowerlawCluster(opts);
+  ASSERT_TRUE(g.ok());
+  std::size_t max_degree = 0;
+  for (VertexId v = 0; v < g->NumVertices(); ++v) {
+    max_degree = std::max(max_degree, g->Degree(v));
+  }
+  const double avg_degree = 2.0 * g->NumEdges() / g->NumVertices();
+  // Preferential attachment produces hubs far above the average degree.
+  EXPECT_GT(static_cast<double>(max_degree), 5.0 * avg_degree);
+}
+
+TEST(PowerlawClusterTest, TriangleProbRaisesClustering) {
+  auto triangle_count = [](const Graph& g) {
+    std::size_t triangles = 0;
+    for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+      const VertexId u = g.EdgeSource(e);
+      const VertexId v = g.EdgeTarget(e);
+      for (const Graph::Arc& arc : g.Neighbors(u)) {
+        if (arc.to != v && g.HasEdge(arc.to, v)) ++triangles;
+      }
+    }
+    return triangles / 3;
+  };
+  PowerlawClusterOptions low;
+  low.num_vertices = 1500;
+  low.triangle_prob = 0.0;
+  low.seed = 5;
+  PowerlawClusterOptions high = low;
+  high.triangle_prob = 0.9;
+  Result<Graph> g_low = MakePowerlawCluster(low);
+  Result<Graph> g_high = MakePowerlawCluster(high);
+  ASSERT_TRUE(g_low.ok());
+  ASSERT_TRUE(g_high.ok());
+  EXPECT_GT(triangle_count(*g_high), 2 * triangle_count(*g_low));
+}
+
+TEST(ErdosRenyiTest, RingKeepsItConnected) {
+  ErdosRenyiOptions opts;
+  opts.num_vertices = 150;
+  opts.edge_prob = 0.01;
+  opts.add_spanning_ring = true;
+  Result<Graph> g = MakeErdosRenyi(opts);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(IsConnected(*g));
+}
+
+TEST(ErdosRenyiTest, DensityTracksProbability) {
+  ErdosRenyiOptions opts;
+  opts.num_vertices = 200;
+  opts.edge_prob = 0.1;
+  opts.add_spanning_ring = false;
+  Result<Graph> g = MakeErdosRenyi(opts);
+  ASSERT_TRUE(g.ok());
+  const double expected = 0.1 * 200 * 199 / 2;
+  EXPECT_GT(g->NumEdges(), expected * 0.8);
+  EXPECT_LT(g->NumEdges(), expected * 1.2);
+}
+
+TEST(KeywordDistributionTest, GaussianConcentratesNearMean) {
+  SmallWorldOptions opts;
+  opts.num_vertices = 3000;
+  opts.keywords.distribution = KeywordDistribution::kGaussian;
+  opts.keywords.domain_size = 50;
+  opts.keywords.keywords_per_vertex = 1;
+  Result<Graph> g = MakeSmallWorld(opts);
+  ASSERT_TRUE(g.ok());
+  std::size_t near_mean = 0;
+  std::size_t total = 0;
+  for (VertexId v = 0; v < g->NumVertices(); ++v) {
+    for (KeywordId w : g->Keywords(v)) {
+      ++total;
+      if (w >= 9 && w <= 41) ++near_mean;  // within ~2 stddev of mean 25
+    }
+  }
+  EXPECT_GT(static_cast<double>(near_mean) / total, 0.9);
+}
+
+TEST(KeywordDistributionTest, ZipfFavorsLowIds) {
+  SmallWorldOptions opts;
+  opts.num_vertices = 3000;
+  opts.keywords.distribution = KeywordDistribution::kZipf;
+  opts.keywords.domain_size = 50;
+  opts.keywords.keywords_per_vertex = 1;
+  Result<Graph> g = MakeSmallWorld(opts);
+  ASSERT_TRUE(g.ok());
+  std::size_t low = 0;
+  std::size_t total = 0;
+  for (VertexId v = 0; v < g->NumVertices(); ++v) {
+    for (KeywordId w : g->Keywords(v)) {
+      ++total;
+      if (w < 5) ++low;
+    }
+  }
+  EXPECT_GT(static_cast<double>(low) / total, 0.5);
+}
+
+TEST(PowerlawClusterTest, DeterministicForSeed) {
+  PowerlawClusterOptions opts;
+  opts.num_vertices = 300;
+  opts.seed = 77;
+  Result<Graph> a = MakePowerlawCluster(opts);
+  Result<Graph> b = MakePowerlawCluster(opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->NumEdges(), b->NumEdges());
+  for (EdgeId e = 0; e < a->NumEdges(); ++e) {
+    EXPECT_EQ(a->EdgeSource(e), b->EdgeSource(e));
+    EXPECT_EQ(a->EdgeTarget(e), b->EdgeTarget(e));
+  }
+}
+
+TEST(PowerlawClusterTest, RejectsBadParameters) {
+  PowerlawClusterOptions opts;
+  opts.num_vertices = 2;
+  opts.edges_per_vertex = 3;
+  EXPECT_FALSE(MakePowerlawCluster(opts).ok());
+  opts = PowerlawClusterOptions();
+  opts.edges_per_vertex = 0;
+  EXPECT_FALSE(MakePowerlawCluster(opts).ok());
+  opts = PowerlawClusterOptions();
+  opts.triangle_prob = -0.5;
+  EXPECT_FALSE(MakePowerlawCluster(opts).ok());
+}
+
+TEST(StandInTest, DblpAndAmazonLikeBuild) {
+  Result<Graph> dblp = MakeDblpLike(1000, 1);
+  Result<Graph> amazon = MakeAmazonLike(1000, 1);
+  ASSERT_TRUE(dblp.ok());
+  ASSERT_TRUE(amazon.ok());
+  EXPECT_TRUE(IsConnected(*dblp));
+  EXPECT_TRUE(IsConnected(*amazon));
+  // Average degrees in the ballpark of the SNAP originals (~6.6 / ~5.5).
+  const double dblp_avg = 2.0 * dblp->NumEdges() / dblp->NumVertices();
+  EXPECT_GT(dblp_avg, 4.0);
+  EXPECT_LT(dblp_avg, 9.0);
+}
+
+}  // namespace
+}  // namespace topl

@@ -1,0 +1,128 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace topl {
+namespace {
+
+using testing::MakeGraph;
+using testing::MakeKeywordGraph;
+
+TEST(GraphTest, EmptyGraph) {
+  GraphBuilder b(0);
+  Result<Graph> g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumVertices(), 0u);
+  EXPECT_EQ(g->NumEdges(), 0u);
+}
+
+TEST(GraphTest, SizesAndDegrees) {
+  const Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}, {0, 2}});
+  EXPECT_EQ(g.NumVertices(), 4u);
+  EXPECT_EQ(g.NumEdges(), 4u);
+  EXPECT_EQ(g.Degree(0), 2u);
+  EXPECT_EQ(g.Degree(1), 2u);
+  EXPECT_EQ(g.Degree(2), 3u);
+  EXPECT_EQ(g.Degree(3), 1u);
+}
+
+TEST(GraphTest, NeighborsSortedByTarget) {
+  const Graph g = MakeGraph(5, {{2, 4}, {2, 0}, {2, 3}, {2, 1}});
+  const auto arcs = g.Neighbors(2);
+  ASSERT_EQ(arcs.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(arcs.begin(), arcs.end(),
+                             [](const Graph::Arc& a, const Graph::Arc& b) {
+                               return a.to < b.to;
+                             }));
+}
+
+TEST(GraphTest, HasEdgeSymmetric) {
+  const Graph g = MakeGraph(4, {{0, 1}, {2, 3}});
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(3, 2));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_FALSE(g.HasEdge(1, 3));
+}
+
+TEST(GraphTest, FindEdgeReturnsSharedId) {
+  const Graph g = MakeGraph(3, {{0, 1}, {1, 2}});
+  const EdgeId e01 = g.FindEdge(0, 1);
+  ASSERT_NE(e01, kInvalidEdge);
+  EXPECT_EQ(g.FindEdge(1, 0), e01);
+  EXPECT_EQ(g.FindEdge(0, 2), kInvalidEdge);
+}
+
+TEST(GraphTest, EdgeEndpointsCanonicalOrder) {
+  const Graph g = MakeGraph(3, {{2, 1}, {1, 0}});
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    EXPECT_LT(g.EdgeSource(e), g.EdgeTarget(e));
+  }
+}
+
+TEST(GraphTest, DirectionalProbabilities) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1, /*prob_uv=*/0.9, /*prob_vu=*/0.3);
+  Result<Graph> g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  ASSERT_EQ(g->Neighbors(0).size(), 1u);
+  ASSERT_EQ(g->Neighbors(1).size(), 1u);
+  EXPECT_FLOAT_EQ(g->Neighbors(0)[0].prob, 0.9f);  // p(0→1)
+  EXPECT_FLOAT_EQ(g->Neighbors(1)[0].prob, 0.3f);  // p(1→0)
+}
+
+TEST(GraphTest, DirectionalProbabilitiesSurviveEndpointSwap) {
+  // AddEdge(u > v) must keep the orientation of the probabilities.
+  GraphBuilder b(2);
+  b.AddEdge(1, 0, /*prob_uv=*/0.9, /*prob_vu=*/0.3);  // p(1→0)=0.9, p(0→1)=0.3
+  Result<Graph> g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_FLOAT_EQ(g->Neighbors(1)[0].prob, 0.9f);
+  EXPECT_FLOAT_EQ(g->Neighbors(0)[0].prob, 0.3f);
+}
+
+TEST(GraphTest, KeywordsSortedAndQueryable) {
+  const Graph g = MakeKeywordGraph(2, {{0, 1}}, {{5, 1, 3}, {}});
+  const auto kw = g.Keywords(0);
+  ASSERT_EQ(kw.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(kw.begin(), kw.end()));
+  EXPECT_TRUE(g.HasKeyword(0, 3));
+  EXPECT_FALSE(g.HasKeyword(0, 2));
+  EXPECT_EQ(g.Keywords(1).size(), 0u);
+}
+
+TEST(GraphTest, KeywordDomainBound) {
+  const Graph g = MakeKeywordGraph(2, {{0, 1}}, {{7}, {2}});
+  EXPECT_EQ(g.KeywordDomainBound(), 8u);
+  EXPECT_EQ(g.TotalKeywordCount(), 2u);
+}
+
+TEST(GraphTest, BothArcsShareEdgeId) {
+  const Graph g = MakeGraph(3, {{0, 1}, {1, 2}, {0, 2}});
+  for (VertexId u = 0; u < 3; ++u) {
+    for (const Graph::Arc& arc : g.Neighbors(u)) {
+      // The reverse arc carries the same EdgeId.
+      bool found = false;
+      for (const Graph::Arc& rev : g.Neighbors(arc.to)) {
+        if (rev.to == u) {
+          EXPECT_EQ(rev.edge, arc.edge);
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST(GraphTest, MoveSemantics) {
+  Graph g = MakeGraph(3, {{0, 1}, {1, 2}});
+  Graph h = std::move(g);
+  EXPECT_EQ(h.NumVertices(), 3u);
+  EXPECT_EQ(h.NumEdges(), 2u);
+}
+
+}  // namespace
+}  // namespace topl

@@ -1,0 +1,140 @@
+#include "influence/ic_simulator.h"
+
+#include <map>
+
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace topl {
+namespace {
+
+using testing::MakeGraph;
+
+std::map<VertexId, double> AsMap(const InfluencedCommunity& c) {
+  std::map<VertexId, double> out;
+  for (std::size_t i = 0; i < c.size(); ++i) out[c.vertices[i]] = c.cpp[i];
+  return out;
+}
+
+TEST(IcSimulatorTest, SeedsAlwaysActive) {
+  const Graph g = MakeGraph(3, {{0, 1}, {1, 2}}, 0.5);
+  IcSimulator sim(g);
+  IcSimulator::Options options;
+  options.num_rounds = 200;
+  const std::vector<VertexId> seeds = {0, 2};
+  const auto est = AsMap(sim.EstimateSpread(seeds, options));
+  EXPECT_DOUBLE_EQ(est.at(0), 1.0);
+  EXPECT_DOUBLE_EQ(est.at(2), 1.0);
+}
+
+TEST(IcSimulatorTest, SingleEdgeMatchesProbability) {
+  const Graph g = MakeGraph(2, {{0, 1}}, 0.5);
+  IcSimulator sim(g);
+  IcSimulator::Options options;
+  options.num_rounds = 20000;
+  const std::vector<VertexId> seeds = {0};
+  const auto est = AsMap(sim.EstimateSpread(seeds, options));
+  EXPECT_NEAR(est.at(1), 0.5, 0.02);  // ~4 standard errors
+}
+
+TEST(IcSimulatorTest, TwoDisjointPathsUnionProbability) {
+  // 0 -> 3 via two disjoint 1-hop relays with p = 0.5 per arc: IC activates
+  // 3 with probability p^2 + p^2 - p^4 = 0.4375; MIA would report only the
+  // best single path, 0.25.
+  GraphBuilder b(4);
+  b.AddEdge(0, 1, 0.5);
+  b.AddEdge(1, 3, 0.5);
+  b.AddEdge(0, 2, 0.5);
+  b.AddEdge(2, 3, 0.5);
+  Result<Graph> g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  IcSimulator sim(*g);
+  IcSimulator::Options options;
+  options.num_rounds = 30000;
+  const std::vector<VertexId> seeds = {0};
+  const auto est = AsMap(sim.EstimateSpread(seeds, options));
+  EXPECT_NEAR(est.at(3), 0.4375, 0.02);
+  PropagationEngine mia(*g);
+  EXPECT_NEAR(AsMap(mia.ComputeFromSource(0, 0.0)).at(3), 0.25, 1e-9);
+}
+
+TEST(IcSimulatorTest, DeterministicForSeed) {
+  const Graph g = MakeGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}}, 0.5);
+  IcSimulator a(g);
+  IcSimulator b(g);
+  IcSimulator::Options options;
+  options.num_rounds = 500;
+  options.seed = 99;
+  const std::vector<VertexId> seeds = {0};
+  EXPECT_EQ(AsMap(a.EstimateSpread(seeds, options)),
+            AsMap(b.EstimateSpread(seeds, options)));
+}
+
+TEST(IcSimulatorTest, MinProbabilityFilters) {
+  const Graph g = MakeGraph(3, {{0, 1}, {1, 2}}, 0.3);
+  IcSimulator sim(g);
+  IcSimulator::Options options;
+  options.num_rounds = 5000;
+  const std::vector<VertexId> seeds = {0};
+  const auto all = sim.EstimateSpread(seeds, options, 0.0);
+  const auto filtered = sim.EstimateSpread(seeds, options, 0.2);
+  EXPECT_GE(all.size(), filtered.size());
+  for (double p : filtered.cpp) EXPECT_GE(p, 0.2);
+}
+
+TEST(IcSimulatorTest, ExpectedSpreadConsistentWithPerVertex) {
+  const Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}}, 0.6);
+  IcSimulator sim(g);
+  IcSimulator::Options options;
+  options.num_rounds = 3000;
+  const std::vector<VertexId> seeds = {0};
+  const auto per_vertex = sim.EstimateSpread(seeds, options);
+  const double direct = sim.EstimateExpectedSpread(seeds, options);
+  EXPECT_NEAR(per_vertex.score, direct, 1e-9);  // same RNG seed -> same runs
+}
+
+TEST(IcSimulatorTest, SimulatorReusableAcrossCalls) {
+  const Graph g = MakeGraph(3, {{0, 1}, {1, 2}}, 0.5);
+  IcSimulator sim(g);
+  IcSimulator::Options options;
+  options.num_rounds = 2000;
+  const std::vector<VertexId> s0 = {0};
+  const std::vector<VertexId> s2 = {2};
+  const double first = sim.EstimateExpectedSpread(s0, options);
+  const double second = sim.EstimateExpectedSpread(s2, options);
+  // Symmetric chain: both ends should see statistically equal spread.
+  EXPECT_NEAR(first, second, 0.1);
+}
+
+// THE relationship the MIA model is built on (§II-B): the best-single-path
+// probability lower-bounds the IC activation probability for every vertex.
+class MiaVsIcPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MiaVsIcPropertyTest, MiaLowerBoundsIc) {
+  ErdosRenyiOptions opts;
+  opts.num_vertices = 40;
+  opts.edge_prob = 0.12;
+  opts.seed = GetParam();
+  Result<Graph> g = MakeErdosRenyi(opts);
+  ASSERT_TRUE(g.ok());
+  PropagationEngine mia(*g);
+  IcSimulator ic(*g);
+  IcSimulator::Options options;
+  options.num_rounds = 4000;
+  options.seed = GetParam();
+  const std::vector<VertexId> seeds = {0, 1};
+  const auto mia_est = AsMap(mia.Compute(seeds, 0.0));
+  const auto ic_est = AsMap(ic.EstimateSpread(seeds, options));
+  for (const auto& [v, p_mia] : mia_est) {
+    const auto it = ic_est.find(v);
+    const double p_ic = it == ic_est.end() ? 0.0 : it->second;
+    // Allow Monte-Carlo noise: ~4 standard errors at 4000 rounds.
+    EXPECT_GE(p_ic + 0.032, p_mia) << "vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MiaVsIcPropertyTest, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace topl

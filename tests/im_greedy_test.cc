@@ -1,0 +1,127 @@
+#include "baselines/im_greedy.h"
+
+#include <set>
+
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "influence/diversity.h"
+#include "tests/test_util.h"
+
+namespace topl {
+namespace {
+
+using testing::MakeGraph;
+
+TEST(ImGreedyTest, RejectsBadOptions) {
+  const Graph g = MakeGraph(3, {{0, 1}, {1, 2}});
+  ImGreedyOptions options;
+  options.budget = 0;
+  EXPECT_FALSE(GreedyInfluenceMaximization(g, options).ok());
+  options = ImGreedyOptions();
+  options.theta = 1.0;
+  EXPECT_FALSE(GreedyInfluenceMaximization(g, options).ok());
+  options = ImGreedyOptions();
+  options.candidates = {99};
+  EXPECT_FALSE(GreedyInfluenceMaximization(g, options).ok());
+}
+
+TEST(ImGreedyTest, PicksTheObviousHub) {
+  // Star with strong arcs from the hub: the hub is the best single seed.
+  GraphBuilder b(6);
+  for (VertexId leaf = 1; leaf < 6; ++leaf) b.AddEdge(0, leaf, 0.9);
+  Result<Graph> g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  ImGreedyOptions options;
+  options.budget = 1;
+  options.theta = 0.1;
+  Result<ImGreedyResult> result = GreedyInfluenceMaximization(*g, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->seeds.size(), 1u);
+  EXPECT_EQ(result->seeds[0], 0u);
+  EXPECT_NEAR(result->spread, 1.0 + 5 * 0.9, 1e-5);
+}
+
+TEST(ImGreedyTest, SecondSeedAvoidsRedundancy) {
+  // Two far-apart stars: after taking one hub, the greedy must jump to the
+  // other hub rather than a leaf of the first.
+  GraphBuilder b(10);
+  for (VertexId leaf = 1; leaf < 5; ++leaf) b.AddEdge(0, leaf, 0.9);
+  for (VertexId leaf = 6; leaf < 10; ++leaf) b.AddEdge(5, leaf, 0.9);
+  b.AddEdge(4, 6, 0.5);  // weak bridge keeps the graph connected
+  Result<Graph> g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  ImGreedyOptions options;
+  options.budget = 2;
+  options.theta = 0.1;
+  Result<ImGreedyResult> result = GreedyInfluenceMaximization(*g, options);
+  ASSERT_TRUE(result.ok());
+  const std::set<VertexId> seeds(result->seeds.begin(), result->seeds.end());
+  EXPECT_TRUE(seeds.count(0) == 1 && seeds.count(5) == 1)
+      << "seeds: " << result->seeds[0] << ", " << result->seeds[1];
+}
+
+TEST(ImGreedyTest, SpreadMatchesOracleRecomputation) {
+  SmallWorldOptions gen;
+  gen.num_vertices = 120;
+  gen.seed = 5;
+  Result<Graph> g = MakeSmallWorld(gen);
+  ASSERT_TRUE(g.ok());
+  ImGreedyOptions options;
+  options.budget = 4;
+  options.theta = 0.2;
+  Result<ImGreedyResult> result = GreedyInfluenceMaximization(*g, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->seeds.size(), 4u);
+  // Recompute the spread independently.
+  PropagationEngine engine(*g);
+  DiversityOracle oracle;
+  for (VertexId s : result->seeds) {
+    oracle.Add(engine.ComputeFromSource(s, options.theta));
+  }
+  EXPECT_NEAR(result->spread, oracle.TotalScore(), 1e-9);
+}
+
+TEST(ImGreedyTest, CandidateRestrictionHonored) {
+  SmallWorldOptions gen;
+  gen.num_vertices = 100;
+  gen.seed = 6;
+  Result<Graph> g = MakeSmallWorld(gen);
+  ASSERT_TRUE(g.ok());
+  ImGreedyOptions options;
+  options.budget = 3;
+  options.candidates = {10, 20, 30, 40};
+  Result<ImGreedyResult> result = GreedyInfluenceMaximization(*g, options);
+  ASSERT_TRUE(result.ok());
+  for (VertexId s : result->seeds) {
+    EXPECT_TRUE(s == 10 || s == 20 || s == 30 || s == 40);
+  }
+}
+
+TEST(ImGreedyTest, BudgetBeyondGraphSize) {
+  const Graph g = MakeGraph(3, {{0, 1}, {1, 2}});
+  ImGreedyOptions options;
+  options.budget = 10;
+  Result<ImGreedyResult> result = GreedyInfluenceMaximization(g, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->seeds.size(), 3u);
+}
+
+TEST(ImGreedyTest, SpreadMonotoneInBudget) {
+  SmallWorldOptions gen;
+  gen.num_vertices = 150;
+  gen.seed = 7;
+  Result<Graph> g = MakeSmallWorld(gen);
+  ASSERT_TRUE(g.ok());
+  double prev = 0.0;
+  for (std::uint32_t budget : {1u, 2u, 4u, 8u}) {
+    ImGreedyOptions options;
+    options.budget = budget;
+    Result<ImGreedyResult> result = GreedyInfluenceMaximization(*g, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(result->spread + 1e-12, prev);
+    prev = result->spread;
+  }
+}
+
+}  // namespace
+}  // namespace topl

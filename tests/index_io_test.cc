@@ -1,0 +1,123 @@
+#include "index/index_io.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/topl_detector.h"
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace topl {
+namespace {
+
+using testing::BuildIndexFor;
+using testing::BuiltIndex;
+using testing::Scores;
+
+class IndexIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("topl_index_io_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    SmallWorldOptions gen;
+    gen.num_vertices = 120;
+    gen.seed = 81;
+    gen.keywords.domain_size = 10;
+    Result<Graph> g = MakeSmallWorld(gen);
+    ASSERT_TRUE(g.ok());
+    graph_ = std::make_unique<Graph>(std::move(g).value());
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+  std::unique_ptr<Graph> graph_;
+};
+
+TEST_F(IndexIoTest, RoundTripPreservesQueryResults) {
+  const BuiltIndex built = BuildIndexFor(*graph_);
+  const std::string path = Path("index.bin");
+  ASSERT_TRUE(IndexCodec::Write(built.pre(), built.tree, path).ok());
+
+  Result<IndexCodec::LoadedIndex> loaded = IndexCodec::Read(path, *graph_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  Query q;
+  q.keywords = {0, 1, 2, 3, 4};
+  q.k = 3;
+  q.radius = 2;
+  q.theta = 0.2;
+  q.top_l = 5;
+  TopLDetector original(*graph_, built.pre(), built.tree);
+  TopLDetector restored(*graph_, *loaded->data, loaded->tree);
+  Result<TopLResult> a = original.Search(q);
+  Result<TopLResult> b = restored.Search(q);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(Scores(a->communities), Scores(b->communities));
+  EXPECT_EQ(a->stats.candidates_refined, b->stats.candidates_refined);
+  EXPECT_EQ(a->stats.TotalPruned(), b->stats.TotalPruned());
+}
+
+TEST_F(IndexIoTest, RoundTripPreservesRawData) {
+  const BuiltIndex built = BuildIndexFor(*graph_);
+  const std::string path = Path("index.bin");
+  ASSERT_TRUE(IndexCodec::Write(built.pre(), built.tree, path).ok());
+  Result<IndexCodec::LoadedIndex> loaded = IndexCodec::Read(path, *graph_);
+  ASSERT_TRUE(loaded.ok());
+  const PrecomputedData& pre = built.pre();
+  const PrecomputedData& back = *loaded->data;
+  ASSERT_EQ(back.r_max(), pre.r_max());
+  ASSERT_EQ(back.num_thetas(), pre.num_thetas());
+  for (VertexId v = 0; v < graph_->NumVertices(); ++v) {
+    for (std::uint32_t r = 1; r <= pre.r_max(); ++r) {
+      EXPECT_EQ(back.SupportBound(v, r), pre.SupportBound(v, r));
+      for (std::uint32_t z = 0; z < pre.num_thetas(); ++z) {
+        EXPECT_DOUBLE_EQ(back.ScoreBound(v, r, z), pre.ScoreBound(v, r, z));
+      }
+    }
+  }
+  ASSERT_EQ(loaded->tree.NumNodes(), built.tree.NumNodes());
+  EXPECT_EQ(loaded->tree.root(), built.tree.root());
+  EXPECT_EQ(loaded->tree.height(), built.tree.height());
+}
+
+TEST_F(IndexIoTest, RejectsWrongGraph) {
+  const BuiltIndex built = BuildIndexFor(*graph_);
+  const std::string path = Path("index.bin");
+  ASSERT_TRUE(IndexCodec::Write(built.pre(), built.tree, path).ok());
+  SmallWorldOptions gen;
+  gen.num_vertices = 60;  // different size
+  Result<Graph> other = MakeSmallWorld(gen);
+  ASSERT_TRUE(other.ok());
+  Result<IndexCodec::LoadedIndex> loaded = IndexCodec::Read(path, *other);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalidArgument());
+}
+
+TEST_F(IndexIoTest, RejectsBadMagicAndTruncation) {
+  const std::string junk = Path("junk.bin");
+  {
+    std::ofstream out(junk, std::ios::binary);
+    out << "garbage";
+  }
+  EXPECT_TRUE(IndexCodec::Read(junk, *graph_).status().IsCorruption());
+
+  const BuiltIndex built = BuildIndexFor(*graph_);
+  const std::string path = Path("index.bin");
+  ASSERT_TRUE(IndexCodec::Write(built.pre(), built.tree, path).ok());
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) / 3);
+  EXPECT_TRUE(IndexCodec::Read(path, *graph_).status().IsCorruption());
+}
+
+TEST_F(IndexIoTest, MissingFileIsIOError) {
+  EXPECT_TRUE(IndexCodec::Read(Path("absent.bin"), *graph_).status().IsIOError());
+}
+
+}  // namespace
+}  // namespace topl

@@ -1,0 +1,170 @@
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "graph/binary_io.h"
+#include "graph/edge_list_io.h"
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace topl {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("topl_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, SnapRoundTripStructure) {
+  const Graph g = testing::MakeGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}});
+  const std::string path = Path("ring.txt");
+  ASSERT_TRUE(WriteSnapEdgeList(g, path).ok());
+
+  EdgeListLoadOptions opts;
+  opts.assign_attributes = false;
+  Result<Graph> loaded = LoadSnapEdgeList(path, opts);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->NumVertices(), 5u);
+  EXPECT_EQ(loaded->NumEdges(), 5u);
+}
+
+TEST_F(IoTest, SnapParsesCommentsAndDuplicates) {
+  const std::string path = Path("snap.txt");
+  {
+    std::ofstream out(path);
+    out << "# Undirected graph: example\n";
+    out << "# Nodes: 3 Edges: 2\n";
+    out << "10\t20\n";
+    out << "20\t10\n";   // duplicate in reverse orientation
+    out << "20 30\n";    // space-separated
+    out << "30\t30\n";   // self loop: dropped
+    out << "\n";
+  }
+  EdgeListLoadOptions opts;
+  opts.assign_attributes = false;
+  Result<Graph> g = LoadSnapEdgeList(path, opts);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->NumVertices(), 3u);
+  EXPECT_EQ(g->NumEdges(), 2u);
+}
+
+TEST_F(IoTest, SnapRejectsMalformedLine) {
+  const std::string path = Path("bad.txt");
+  {
+    std::ofstream out(path);
+    out << "1\tnotanumber\n";
+  }
+  Result<Graph> g = LoadSnapEdgeList(path, EdgeListLoadOptions());
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsCorruption());
+}
+
+TEST_F(IoTest, SnapMissingFileIsIOError) {
+  Result<Graph> g = LoadSnapEdgeList(Path("nope.txt"), EdgeListLoadOptions());
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsIOError());
+}
+
+TEST_F(IoTest, SnapAssignsAttributes) {
+  const std::string path = Path("attrs.txt");
+  {
+    std::ofstream out(path);
+    out << "0\t1\n1\t2\n";
+  }
+  EdgeListLoadOptions opts;
+  opts.assign_attributes = true;
+  opts.keywords.keywords_per_vertex = 2;
+  opts.keywords.domain_size = 10;
+  Result<Graph> g = LoadSnapEdgeList(path, opts);
+  ASSERT_TRUE(g.ok());
+  for (VertexId v = 0; v < g->NumVertices(); ++v) {
+    EXPECT_EQ(g->Keywords(v).size(), 2u);
+    for (const Graph::Arc& arc : g->Neighbors(v)) {
+      EXPECT_GE(arc.prob, 0.5f);
+      EXPECT_LT(arc.prob, 0.6f + 1e-6f);
+    }
+  }
+}
+
+TEST_F(IoTest, SnapLargestComponentRestriction) {
+  const std::string path = Path("two_comps.txt");
+  {
+    std::ofstream out(path);
+    // Component A: triangle {0,1,2}; component B: edge {7,8}.
+    out << "0 1\n1 2\n0 2\n7 8\n";
+  }
+  EdgeListLoadOptions opts;
+  opts.assign_attributes = false;
+  opts.restrict_to_largest_component = true;
+  Result<Graph> g = LoadSnapEdgeList(path, opts);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumVertices(), 3u);
+  EXPECT_EQ(g->NumEdges(), 3u);
+}
+
+TEST_F(IoTest, BinaryRoundTripExact) {
+  SmallWorldOptions gen;
+  gen.num_vertices = 120;
+  gen.seed = 3;
+  Result<Graph> original = MakeSmallWorld(gen);
+  ASSERT_TRUE(original.ok());
+
+  const std::string path = Path("graph.bin");
+  ASSERT_TRUE(WriteGraphBinary(*original, path).ok());
+  Result<Graph> loaded = ReadGraphBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  ASSERT_EQ(loaded->NumVertices(), original->NumVertices());
+  ASSERT_EQ(loaded->NumEdges(), original->NumEdges());
+  for (VertexId v = 0; v < original->NumVertices(); ++v) {
+    const auto a = original->Neighbors(v);
+    const auto b = loaded->Neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].to, b[i].to);
+      EXPECT_FLOAT_EQ(a[i].prob, b[i].prob);
+    }
+    const auto ka = original->Keywords(v);
+    const auto kb = loaded->Keywords(v);
+    ASSERT_EQ(ka.size(), kb.size());
+    for (std::size_t i = 0; i < ka.size(); ++i) EXPECT_EQ(ka[i], kb[i]);
+  }
+}
+
+TEST_F(IoTest, BinaryRejectsBadMagic) {
+  const std::string path = Path("junk.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTAGRAPHFILE";
+  }
+  Result<Graph> g = ReadGraphBinary(path);
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsCorruption());
+}
+
+TEST_F(IoTest, BinaryRejectsTruncation) {
+  const Graph g = testing::MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  const std::string path = Path("trunc.bin");
+  ASSERT_TRUE(WriteGraphBinary(g, path).ok());
+  // Chop the file.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  Result<Graph> loaded = ReadGraphBinary(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace topl

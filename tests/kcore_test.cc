@@ -1,0 +1,108 @@
+#include "truss/kcore.h"
+
+#include <algorithm>
+
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace topl {
+namespace {
+
+using testing::MakeClique;
+using testing::MakeGraph;
+
+TEST(CoreDecompositionTest, CliqueCores) {
+  const Graph g = MakeClique(5);
+  const auto core = CoreDecomposition(g);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(core[v], 4u);
+}
+
+TEST(CoreDecompositionTest, PathCores) {
+  const Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  const auto core = CoreDecomposition(g);
+  for (VertexId v = 0; v < 4; ++v) EXPECT_EQ(core[v], 1u);
+}
+
+TEST(CoreDecompositionTest, CliqueWithTail) {
+  // K4 {0..3} + tail 3-4-5.
+  const Graph g =
+      MakeGraph(6, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {3, 4}, {4, 5}});
+  const auto core = CoreDecomposition(g);
+  EXPECT_EQ(core[0], 3u);
+  EXPECT_EQ(core[3], 3u);
+  EXPECT_EQ(core[4], 1u);
+  EXPECT_EQ(core[5], 1u);
+}
+
+TEST(CoreDecompositionTest, IsolatedVertex) {
+  const Graph g = MakeGraph(3, {{0, 1}});
+  const auto core = CoreDecomposition(g);
+  EXPECT_EQ(core[2], 0u);
+}
+
+// Property: the k-core invariant — in the subgraph induced by vertices with
+// core >= k, every vertex has degree >= k.
+class CorePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CorePropertyTest, CoreInvariantHolds) {
+  ErdosRenyiOptions opts;
+  opts.num_vertices = 70;
+  opts.edge_prob = 0.12;
+  opts.seed = GetParam();
+  Result<Graph> g = MakeErdosRenyi(opts);
+  ASSERT_TRUE(g.ok());
+  const auto core = CoreDecomposition(*g);
+  const std::uint32_t kmax = *std::max_element(core.begin(), core.end());
+  for (std::uint32_t k = 1; k <= kmax; ++k) {
+    for (VertexId v = 0; v < g->NumVertices(); ++v) {
+      if (core[v] < k) continue;
+      std::uint32_t in_degree = 0;
+      for (const Graph::Arc& arc : g->Neighbors(v)) {
+        if (core[arc.to] >= k) ++in_degree;
+      }
+      EXPECT_GE(in_degree, k) << "vertex " << v << " at k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorePropertyTest, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(KCoreCommunityTest, CliqueCommunity) {
+  const Graph g = MakeClique(5);
+  const auto community = KCoreCommunity(g, 0, 4, 2);
+  EXPECT_EQ(community.size(), 5u);
+}
+
+TEST(KCoreCommunityTest, TailExcluded) {
+  // K4 + tail: the 3-core around vertex 0 is exactly the K4.
+  const Graph g =
+      MakeGraph(6, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {3, 4}, {4, 5}});
+  const auto community = KCoreCommunity(g, 0, 3, 3);
+  EXPECT_EQ(community, (std::vector<VertexId>{0, 1, 2, 3}));
+}
+
+TEST(KCoreCommunityTest, CenterPeeledAwayGivesEmpty) {
+  const Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_TRUE(KCoreCommunity(g, 0, 2, 3).empty());
+}
+
+TEST(KCoreCommunityTest, RadiusLimitsCommunity) {
+  // Long path with k=1: radius bounds how far the community extends.
+  const Graph g = MakeGraph(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}});
+  const auto community = KCoreCommunity(g, 2, 1, 2);
+  EXPECT_EQ(community, (std::vector<VertexId>{0, 1, 2, 3, 4}));
+}
+
+TEST(KCoreCommunityTest, DisconnectedCoreKeepsCenterSide) {
+  // Two K4s joined by a path through low-degree vertices: the 3-core within
+  // radius contains both cliques, but only the center's component counts.
+  Graph g = MakeGraph(9, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3},  // K4 a
+                          {5, 6}, {5, 7}, {5, 8}, {6, 7}, {6, 8}, {7, 8},  // K4 b
+                          {3, 4}, {4, 5}});                                // bridge
+  const auto community = KCoreCommunity(g, 0, 3, 10);
+  EXPECT_EQ(community, (std::vector<VertexId>{0, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace topl

@@ -1,0 +1,49 @@
+#include "keywords/keyword_dictionary.h"
+
+#include "gtest/gtest.h"
+
+namespace topl {
+namespace {
+
+TEST(KeywordDictionaryTest, InternAssignsDenseIds) {
+  KeywordDictionary dict;
+  EXPECT_EQ(dict.Intern("movies"), 0u);
+  EXPECT_EQ(dict.Intern("books"), 1u);
+  EXPECT_EQ(dict.Intern("movies"), 0u);  // idempotent
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(KeywordDictionaryTest, FindWithoutInterning) {
+  KeywordDictionary dict;
+  dict.Intern("health");
+  EXPECT_EQ(dict.Find("health"), std::optional<KeywordId>(0));
+  EXPECT_EQ(dict.Find("missing"), std::nullopt);
+  EXPECT_EQ(dict.size(), 1u);  // Find must not intern
+}
+
+TEST(KeywordDictionaryTest, NameRoundTrip) {
+  KeywordDictionary dict;
+  const KeywordId a = dict.Intern("jewelry");
+  const KeywordId b = dict.Intern("crafts");
+  EXPECT_EQ(dict.Name(a), "jewelry");
+  EXPECT_EQ(dict.Name(b), "crafts");
+}
+
+TEST(KeywordDictionaryTest, InternAllSortsAndDeduplicates) {
+  KeywordDictionary dict;
+  const std::vector<KeywordId> ids =
+      dict.InternAll({"zeta", "alpha", "zeta", "mid"});
+  // Three distinct keywords; result sorted by id.
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+}
+
+TEST(KeywordDictionaryTest, EmptyStringIsAKeyword) {
+  KeywordDictionary dict;
+  const KeywordId id = dict.Intern("");
+  EXPECT_EQ(dict.Name(id), "");
+  EXPECT_TRUE(dict.Find("").has_value());
+}
+
+}  // namespace
+}  // namespace topl

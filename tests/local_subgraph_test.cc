@@ -1,0 +1,146 @@
+#include "graph/local_subgraph.h"
+
+#include <algorithm>
+#include <set>
+
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace topl {
+namespace {
+
+using testing::MakeGraph;
+using testing::MakeKeywordGraph;
+
+TEST(HopExtractorTest, RadiusOneIsClosedNeighborhood) {
+  const Graph g = MakeGraph(6, {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 4}, {4, 5}});
+  HopExtractor ex(g);
+  LocalGraph lg;
+  ASSERT_TRUE(ex.Extract(0, 1, {}, &lg));
+  std::set<VertexId> got(lg.global_ids.begin(), lg.global_ids.end());
+  EXPECT_EQ(got, (std::set<VertexId>{0, 1, 2}));
+  EXPECT_EQ(lg.NumEdges(), 3u);  // induced triangle
+}
+
+TEST(HopExtractorTest, DistancesMatchBfs) {
+  SmallWorldOptions opts;
+  opts.num_vertices = 200;
+  opts.seed = 4;
+  Result<Graph> g = MakeSmallWorld(opts);
+  ASSERT_TRUE(g.ok());
+  HopExtractor ex(*g);
+  LocalGraph lg;
+  for (VertexId center : {VertexId{0}, VertexId{17}, VertexId{111}}) {
+    ASSERT_TRUE(ex.Extract(center, 3, {}, &lg));
+    const auto dist = BfsDistances(*g, center, 3);
+    std::size_t expected = 0;
+    for (std::uint32_t d : dist) {
+      if (d != kUnreachedDistance) ++expected;
+    }
+    EXPECT_EQ(lg.NumVertices(), expected);
+    for (std::size_t l = 0; l < lg.NumVertices(); ++l) {
+      EXPECT_EQ(lg.dist[l], dist[lg.global_ids[l]]);
+    }
+  }
+}
+
+TEST(HopExtractorTest, BfsOrderIsPrefixFriendly) {
+  SmallWorldOptions opts;
+  opts.num_vertices = 150;
+  Result<Graph> g = MakeSmallWorld(opts);
+  ASSERT_TRUE(g.ok());
+  HopExtractor ex(*g);
+  LocalGraph lg;
+  ASSERT_TRUE(ex.Extract(5, 3, {}, &lg));
+  EXPECT_TRUE(std::is_sorted(lg.dist.begin(), lg.dist.end()));
+}
+
+TEST(HopExtractorTest, InducedEdgesComplete) {
+  const Graph g = MakeGraph(5, {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}});
+  HopExtractor ex(g);
+  LocalGraph lg;
+  ASSERT_TRUE(ex.Extract(0, 2, {}, &lg));
+  // Members: 0,1,2 (d<=1), 3 (d=2). Induced edges: 01, 12, 20, 23.
+  EXPECT_EQ(lg.NumVertices(), 4u);
+  EXPECT_EQ(lg.NumEdges(), 4u);
+  // Every local edge maps back to a real global edge between its endpoints.
+  for (std::uint32_t e = 0; e < lg.NumEdges(); ++e) {
+    const auto [a, b] = lg.edge_endpoints[e];
+    EXPECT_TRUE(g.HasEdge(lg.global_ids[a], lg.global_ids[b]));
+    EXPECT_EQ(lg.global_edge_ids[e],
+              g.FindEdge(lg.global_ids[a], lg.global_ids[b]));
+    EXPECT_EQ(lg.edge_radius[e], std::max(lg.dist[a], lg.dist[b]));
+  }
+}
+
+TEST(HopExtractorTest, KeywordFilterBlocksTraversal) {
+  // 0 -kw- 1 -NOKW- 2 -kw- 3 : vertex 2 lacks the keyword, so 3 must be
+  // unreachable through it even within the radius.
+  const Graph g =
+      MakeKeywordGraph(4, {{0, 1}, {1, 2}, {2, 3}}, {{7}, {7}, {1}, {7}});
+  HopExtractor ex(g);
+  LocalGraph lg;
+  const std::vector<KeywordId> filter = {7};
+  ASSERT_TRUE(ex.Extract(0, 3, filter, &lg));
+  std::set<VertexId> got(lg.global_ids.begin(), lg.global_ids.end());
+  EXPECT_EQ(got, (std::set<VertexId>{0, 1}));
+}
+
+TEST(HopExtractorTest, CenterFailingFilterReturnsFalse) {
+  const Graph g = MakeKeywordGraph(2, {{0, 1}}, {{1}, {2}});
+  HopExtractor ex(g);
+  LocalGraph lg;
+  const std::vector<KeywordId> filter = {2};
+  EXPECT_FALSE(ex.Extract(0, 1, filter, &lg));
+  EXPECT_EQ(lg.NumVertices(), 0u);
+}
+
+TEST(HopExtractorTest, ReusableAcrossCalls) {
+  const Graph g = MakeGraph(6, {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  HopExtractor ex(g);
+  LocalGraph lg;
+  ASSERT_TRUE(ex.Extract(0, 2, {}, &lg));
+  EXPECT_EQ(lg.NumVertices(), 3u);
+  ASSERT_TRUE(ex.Extract(3, 1, {}, &lg));
+  std::set<VertexId> got(lg.global_ids.begin(), lg.global_ids.end());
+  EXPECT_EQ(got, (std::set<VertexId>{3, 4}));  // stale state must not leak
+}
+
+TEST(HopExtractorTest, LocalAdjacencyConsistent) {
+  SmallWorldOptions opts;
+  opts.num_vertices = 120;
+  opts.seed = 8;
+  Result<Graph> g = MakeSmallWorld(opts);
+  ASSERT_TRUE(g.ok());
+  HopExtractor ex(*g);
+  LocalGraph lg;
+  ASSERT_TRUE(ex.Extract(10, 2, {}, &lg));
+  // Arc lists sorted; every arc's edge endpoints match; each edge appears in
+  // exactly two lists.
+  std::vector<int> appearances(lg.NumEdges(), 0);
+  for (std::uint32_t l = 0; l < lg.NumVertices(); ++l) {
+    const auto arcs = lg.Neighbors(l);
+    for (std::size_t i = 0; i < arcs.size(); ++i) {
+      if (i > 0) {
+        EXPECT_LT(arcs[i - 1].to, arcs[i].to);
+      }
+      ++appearances[arcs[i].local_edge];
+      const auto [a, b] = lg.edge_endpoints[arcs[i].local_edge];
+      EXPECT_TRUE((a == l && b == arcs[i].to) || (b == l && a == arcs[i].to));
+    }
+  }
+  for (int count : appearances) EXPECT_EQ(count, 2);
+}
+
+TEST(HopExtractorTest, HasAnyKeywordMergeSemantics) {
+  const Graph g = MakeKeywordGraph(1, {}, {{2, 5, 9}});
+  EXPECT_TRUE(HopExtractor::HasAnyKeyword(g, 0, std::vector<KeywordId>{5}));
+  EXPECT_TRUE(HopExtractor::HasAnyKeyword(g, 0, std::vector<KeywordId>{1, 9}));
+  EXPECT_FALSE(HopExtractor::HasAnyKeyword(g, 0, std::vector<KeywordId>{1, 3, 4}));
+  EXPECT_FALSE(HopExtractor::HasAnyKeyword(g, 0, std::vector<KeywordId>{}));
+}
+
+}  // namespace
+}  // namespace topl

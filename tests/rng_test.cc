@@ -1,0 +1,114 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace topl {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ZeroSeedIsUsable) {
+  Rng rng(0);
+  // splitmix seeding must not leave the all-zero xoshiro state.
+  bool any_nonzero = false;
+  for (int i = 0; i < 8; ++i) any_nonzero |= rng.NextUint64() != 0;
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble(0.5, 0.6);
+    EXPECT_GE(d, 0.5);
+    EXPECT_LT(d, 0.6);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversRangeUniformly) {
+  Rng rng(11);
+  const std::uint64_t bound = 10;
+  std::vector<int> hist(bound, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++hist[rng.NextBounded(bound)];
+  for (std::uint64_t k = 0; k < bound; ++k) {
+    // Each bucket expects 10000; allow generous slack.
+    EXPECT_GT(hist[k], 9000) << "bucket " << k;
+    EXPECT_LT(hist[k], 11000) << "bucket " << k;
+  }
+}
+
+TEST(RngTest, NextBoundedOneAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  const int draws = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < draws; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / draws;
+  const double var = sum_sq / draws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, ZipfInRangeAndSkewed) {
+  Rng rng(17);
+  const std::uint64_t n = 50;
+  std::vector<int> hist(n, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    const std::uint64_t k = rng.NextZipf(n, 1.5);
+    ASSERT_LT(k, n);
+    ++hist[k];
+  }
+  // Rank 0 must dominate and the histogram must be (mostly) decreasing.
+  EXPECT_GT(hist[0], hist[1]);
+  EXPECT_GT(hist[0], draws / 4);
+  EXPECT_GT(hist[1], hist[10]);
+}
+
+TEST(RngTest, ZipfSingleElementDomain) {
+  Rng rng(19);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.NextZipf(1, 1.2), 0u);
+}
+
+TEST(RngTest, ZipfExponentOneSupported) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) ASSERT_LT(rng.NextZipf(20, 1.0), 20u);
+}
+
+}  // namespace
+}  // namespace topl

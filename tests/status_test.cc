@@ -1,0 +1,94 @@
+#include "common/status.h"
+
+#include "common/result.h"
+#include "gtest/gtest.h"
+
+namespace topl {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryCategories) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, CategoriesAreExclusive) {
+  const Status s = Status::IOError("disk");
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(s.IsInvalidArgument());
+  EXPECT_FALSE(s.IsCorruption());
+  EXPECT_TRUE(s.IsIOError());
+}
+
+TEST(StatusTest, ToStringIncludesCategoryAndMessage) {
+  EXPECT_EQ(Status::Corruption("bad magic").ToString(), "Corruption: bad magic");
+  EXPECT_EQ(Status::InvalidArgument("k").ToString(), "InvalidArgument: k");
+}
+
+TEST(StatusTest, CopySemantics) {
+  Status a = Status::NotFound("missing");
+  Status b = a;
+  EXPECT_TRUE(b.IsNotFound());
+  EXPECT_EQ(b.message(), "missing");
+  a = Status::OK();
+  EXPECT_TRUE(a.ok());
+  EXPECT_TRUE(b.IsNotFound());  // b unaffected
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  ASSERT_TRUE(r.ok());
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(ResultTest, MutableAccess) {
+  Result<std::vector<int>> r(std::vector<int>{1});
+  r->push_back(2);
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST(ReturnIfErrorTest, PropagatesFailure) {
+  auto inner = []() { return Status::Corruption("inner"); };
+  auto outer = [&]() -> Status {
+    TOPL_RETURN_IF_ERROR(inner());
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer().IsCorruption());
+}
+
+TEST(ReturnIfErrorTest, PassesThroughOk) {
+  auto inner = []() { return Status::OK(); };
+  auto outer = [&]() -> Status {
+    TOPL_RETURN_IF_ERROR(inner());
+    return Status::InvalidArgument("reached");
+  };
+  EXPECT_TRUE(outer().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace topl

@@ -1,0 +1,183 @@
+#include "truss/support.h"
+
+#include "graph/generators.h"
+#include "graph/local_subgraph.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace topl {
+namespace {
+
+using testing::MakeClique;
+using testing::MakeGraph;
+using testing::ReferenceSupports;
+
+TEST(GlobalSupportTest, Triangle) {
+  const Graph g = MakeGraph(3, {{0, 1}, {1, 2}, {0, 2}});
+  const auto sup = ComputeGlobalEdgeSupports(g);
+  for (EdgeId e = 0; e < 3; ++e) EXPECT_EQ(sup[e], 1u);
+}
+
+TEST(GlobalSupportTest, PathHasNoTriangles) {
+  const Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  const auto sup = ComputeGlobalEdgeSupports(g);
+  for (EdgeId e = 0; e < 3; ++e) EXPECT_EQ(sup[e], 0u);
+}
+
+TEST(GlobalSupportTest, CliqueSupports) {
+  const Graph g = MakeClique(6);
+  const auto sup = ComputeGlobalEdgeSupports(g);
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) EXPECT_EQ(sup[e], 4u);  // n-2
+}
+
+// Property: intersection-based supports equal brute-force triangle counting
+// on random graphs, and the parallel path agrees with the serial path.
+class SupportPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SupportPropertyTest, MatchesReferenceAndParallel) {
+  ErdosRenyiOptions opts;
+  opts.num_vertices = 60;
+  opts.edge_prob = 0.15;
+  opts.seed = GetParam();
+  Result<Graph> g = MakeErdosRenyi(opts);
+  ASSERT_TRUE(g.ok());
+  const auto serial = ComputeGlobalEdgeSupports(*g);
+  const auto reference = ReferenceSupports(*g);
+  EXPECT_EQ(serial, reference);
+  ThreadPool pool(4);
+  const auto parallel = ComputeGlobalEdgeSupports(*g, &pool);
+  EXPECT_EQ(serial, parallel);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SupportPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(LocalSupportTest, MatchesGlobalOnFullExtraction) {
+  ErdosRenyiOptions opts;
+  opts.num_vertices = 40;
+  opts.edge_prob = 0.2;
+  opts.seed = 11;
+  Result<Graph> g = MakeErdosRenyi(opts);
+  ASSERT_TRUE(g.ok());
+  HopExtractor ex(*g);
+  LocalGraph lg;
+  // Radius big enough to cover the connected graph: local supports must
+  // equal global supports edge-for-edge.
+  ASSERT_TRUE(ex.Extract(0, 100, {}, &lg));
+  ASSERT_EQ(lg.NumEdges(), g->NumEdges());
+  const std::vector<char> alive(lg.NumEdges(), 1);
+  const auto local = ComputeLocalEdgeSupports(lg, alive);
+  const auto global = ComputeGlobalEdgeSupports(*g);
+  for (std::uint32_t e = 0; e < lg.NumEdges(); ++e) {
+    EXPECT_EQ(local[e], global[lg.global_edge_ids[e]]);
+  }
+}
+
+TEST(LocalSupportTest, DeadEdgesBreakTriangles) {
+  const Graph g = MakeGraph(3, {{0, 1}, {1, 2}, {0, 2}});
+  HopExtractor ex(g);
+  LocalGraph lg;
+  ASSERT_TRUE(ex.Extract(0, 2, {}, &lg));
+  std::vector<char> alive(3, 1);
+  alive[0] = 0;  // kill one edge of the triangle
+  const auto sup = ComputeLocalEdgeSupports(lg, alive);
+  EXPECT_EQ(sup[0], 0u);
+  EXPECT_EQ(sup[1], 0u);
+  EXPECT_EQ(sup[2], 0u);
+}
+
+TEST(PeelTest, CliqueSurvivesItsTrussLevel) {
+  const Graph g = MakeClique(5);
+  HopExtractor ex(g);
+  LocalGraph lg;
+  ASSERT_TRUE(ex.Extract(0, 2, {}, &lg));
+  // K5 is a 5-truss: peel at k=5 keeps everything...
+  std::vector<char> alive(lg.NumEdges(), 1);
+  auto sup = ComputeLocalEdgeSupports(lg, alive);
+  PeelToKTruss(lg, 5, &alive, &sup);
+  for (char a : alive) EXPECT_TRUE(a);
+  // ...and k=6 destroys everything.
+  sup = ComputeLocalEdgeSupports(lg, alive);
+  PeelToKTruss(lg, 6, &alive, &sup);
+  for (char a : alive) EXPECT_FALSE(a);
+}
+
+TEST(PeelTest, RemovesPendantEdges) {
+  // Triangle {0,1,2} with pendant edge 2-3: k=3 kills only the pendant.
+  const Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  HopExtractor ex(g);
+  LocalGraph lg;
+  ASSERT_TRUE(ex.Extract(0, 3, {}, &lg));
+  std::vector<char> alive(lg.NumEdges(), 1);
+  auto sup = ComputeLocalEdgeSupports(lg, alive);
+  PeelToKTruss(lg, 3, &alive, &sup);
+  std::size_t alive_count = 0;
+  for (std::uint32_t e = 0; e < lg.NumEdges(); ++e) {
+    if (alive[e]) {
+      ++alive_count;
+      EXPECT_GE(sup[e], 1u);
+    }
+  }
+  EXPECT_EQ(alive_count, 3u);
+}
+
+TEST(PeelTest, CascadingCollapse) {
+  // Two triangles sharing edge {1,2}: a 4-truss requires every edge in 2
+  // triangles; only the shared edge has support 2, so everything unravels.
+  const Graph g = MakeGraph(4, {{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}});
+  HopExtractor ex(g);
+  LocalGraph lg;
+  ASSERT_TRUE(ex.Extract(1, 2, {}, &lg));
+  std::vector<char> alive(lg.NumEdges(), 1);
+  auto sup = ComputeLocalEdgeSupports(lg, alive);
+  PeelToKTruss(lg, 4, &alive, &sup);
+  for (char a : alive) EXPECT_FALSE(a);
+}
+
+TEST(PeelTest, KTwoIsNoop) {
+  const Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  HopExtractor ex(g);
+  LocalGraph lg;
+  ASSERT_TRUE(ex.Extract(0, 5, {}, &lg));
+  std::vector<char> alive(lg.NumEdges(), 1);
+  auto sup = ComputeLocalEdgeSupports(lg, alive);
+  PeelToKTruss(lg, 2, &alive, &sup);
+  for (char a : alive) EXPECT_TRUE(a);
+}
+
+// Property: after PeelToKTruss, recomputing supports over the surviving
+// edges confirms every survivor has support >= k-2 (internal consistency of
+// the incremental decrements).
+class PeelPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint32_t>> {};
+
+TEST_P(PeelPropertyTest, SurvivorsSatisfyTrussConstraint) {
+  const auto [seed, k] = GetParam();
+  ErdosRenyiOptions opts;
+  opts.num_vertices = 50;
+  opts.edge_prob = 0.25;
+  opts.seed = seed;
+  Result<Graph> g = MakeErdosRenyi(opts);
+  ASSERT_TRUE(g.ok());
+  HopExtractor ex(*g);
+  LocalGraph lg;
+  ASSERT_TRUE(ex.Extract(0, 100, {}, &lg));
+  std::vector<char> alive(lg.NumEdges(), 1);
+  auto sup = ComputeLocalEdgeSupports(lg, alive);
+  PeelToKTruss(lg, k, &alive, &sup);
+  const auto recount = ComputeLocalEdgeSupports(lg, alive);
+  for (std::uint32_t e = 0; e < lg.NumEdges(); ++e) {
+    if (alive[e]) {
+      EXPECT_GE(recount[e] + 2, k) << "edge " << e;
+      EXPECT_EQ(recount[e], sup[e]) << "incremental support drifted";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndK, PeelPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(3u, 4u, 5u)));
+
+}  // namespace
+}  // namespace topl

@@ -1,0 +1,77 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace topl {
+namespace {
+
+TEST(ThreadPoolTest, ZeroThreadsDefaultsToHardware) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.ParallelFor(0, n, [&](std::size_t i) { hits[i].fetch_add(1); },
+                   /*grain=*/7);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoop) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(5, 5, [&](std::size_t) { calls.fetch_add(1); });
+  pool.ParallelFor(7, 3, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, NonZeroBegin) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> sum{0};
+  pool.ParallelFor(100, 200, [&](std::size_t i) { sum.fetch_add(i); },
+                   /*grain=*/9);
+  std::size_t expect = 0;
+  for (std::size_t i = 100; i < 200; ++i) expect += i;
+  EXPECT_EQ(sum.load(), expect);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  pool.ParallelFor(0, 5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, WorkerIdsWithinRange) {
+  ThreadPool pool(4);
+  std::atomic<bool> bad{false};
+  pool.ParallelForWithWorker(
+      0, 5000,
+      [&](std::size_t worker, std::size_t) {
+        if (worker >= pool.num_threads()) bad.store(true);
+      },
+      /*grain=*/16);
+  EXPECT_FALSE(bad.load());
+}
+
+TEST(ThreadPoolTest, WorkerScratchIsolation) {
+  // Per-worker accumulators must see a consistent view without locks.
+  ThreadPool pool(4);
+  std::vector<std::uint64_t> per_worker(pool.num_threads(), 0);
+  const std::size_t n = 20000;
+  pool.ParallelForWithWorker(
+      0, n, [&](std::size_t worker, std::size_t i) { per_worker[worker] += i; },
+      /*grain=*/13);
+  const std::uint64_t total =
+      std::accumulate(per_worker.begin(), per_worker.end(), std::uint64_t{0});
+  EXPECT_EQ(total, static_cast<std::uint64_t>(n) * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace topl

@@ -1,0 +1,213 @@
+#include "core/topl_detector.h"
+
+#include <cmath>
+
+#include "core/brute_force.h"
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace topl {
+namespace {
+
+using testing::BuildIndexFor;
+using testing::BuiltIndex;
+using testing::MakeFig1Like;
+using testing::Scores;
+using testing::VerifySeedCommunity;
+
+Query DefaultQuery() {
+  Query q;
+  q.keywords = {0, 1, 2, 3, 4};
+  q.k = 4;
+  q.radius = 2;
+  q.theta = 0.2;
+  q.top_l = 5;
+  return q;
+}
+
+TEST(TopLDetectorTest, ValidatesQuery) {
+  const Graph g = MakeFig1Like();
+  const BuiltIndex built = BuildIndexFor(g);
+  TopLDetector detector(g, built.pre(), built.tree);
+  Query q = DefaultQuery();
+  q.keywords.clear();
+  EXPECT_FALSE(detector.Search(q).ok());
+  q = DefaultQuery();
+  q.radius = 99;  // beyond r_max
+  EXPECT_FALSE(detector.Search(q).ok());
+  q = DefaultQuery();
+  q.theta = 1.0;
+  EXPECT_FALSE(detector.Search(q).ok());
+  q = DefaultQuery();
+  q.keywords = {3, 1};  // unsorted
+  EXPECT_FALSE(detector.Search(q).ok());
+}
+
+TEST(TopLDetectorTest, Fig1Top1IsTheCore) {
+  const Graph g = MakeFig1Like();
+  const BuiltIndex built = BuildIndexFor(g);
+  TopLDetector detector(g, built.pre(), built.tree);
+  Query q;
+  q.keywords = {0};  // "movies"
+  q.k = 4;
+  q.radius = 2;
+  q.theta = 0.2;
+  q.top_l = 1;
+  Result<TopLResult> result = detector.Search(q);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->communities.size(), 1u);
+  EXPECT_EQ(result->communities[0].community.vertices,
+            (std::vector<VertexId>{0, 1, 2, 3}));
+  EXPECT_TRUE(VerifySeedCommunity(g, q, result->communities[0].community));
+  // The influenced community reaches down the strong chain 3→7→8→9.
+  EXPECT_GT(result->communities[0].influence.size(), 4u);
+}
+
+TEST(TopLDetectorTest, ResultsSortedByScore) {
+  SmallWorldOptions gen;
+  gen.num_vertices = 200;
+  gen.seed = 41;
+  gen.keywords.domain_size = 10;
+  Result<Graph> g = MakeSmallWorld(gen);
+  ASSERT_TRUE(g.ok());
+  const BuiltIndex built = BuildIndexFor(*g);
+  TopLDetector detector(*g, built.pre(), built.tree);
+  Query q = DefaultQuery();
+  q.k = 3;
+  Result<TopLResult> result = detector.Search(q);
+  ASSERT_TRUE(result.ok());
+  for (std::size_t i = 1; i < result->communities.size(); ++i) {
+    EXPECT_GE(result->communities[i - 1].score(), result->communities[i].score());
+  }
+}
+
+TEST(TopLDetectorTest, NoMatchesYieldsEmpty) {
+  const Graph g = MakeFig1Like();
+  const BuiltIndex built = BuildIndexFor(g);
+  TopLDetector detector(g, built.pre(), built.tree);
+  Query q = DefaultQuery();
+  q.keywords = {42};  // nobody has this keyword
+  Result<TopLResult> result = detector.Search(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->communities.empty());
+  // Everything must have been pruned by keyword at some level.
+  EXPECT_EQ(result->stats.pruned_keyword +
+                result->stats.candidates_refined,
+            g.NumVertices());
+}
+
+TEST(TopLDetectorTest, StatsAccountForEveryVertex) {
+  SmallWorldOptions gen;
+  gen.num_vertices = 150;
+  gen.seed = 42;
+  gen.keywords.domain_size = 10;
+  Result<Graph> g = MakeSmallWorld(gen);
+  ASSERT_TRUE(g.ok());
+  const BuiltIndex built = BuildIndexFor(*g);
+  TopLDetector detector(*g, built.pre(), built.tree);
+  Query q = DefaultQuery();
+  q.k = 3;
+  Result<TopLResult> result = detector.Search(q);
+  ASSERT_TRUE(result.ok());
+  const QueryStats& s = result->stats;
+  // Every center vertex is either pruned (at some level) or refined.
+  EXPECT_EQ(s.TotalPruned() + s.candidates_refined, g->NumVertices());
+}
+
+// The headline correctness property: the index path returns exactly the
+// brute-force answer (as a score multiset) across a parameter sweep.
+struct SweepCase {
+  std::uint64_t seed;
+  std::uint32_t k;
+  std::uint32_t radius;
+  double theta;
+  std::uint32_t top_l;
+};
+
+class IndexEquivalenceTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(IndexEquivalenceTest, MatchesBruteForce) {
+  const SweepCase& param = GetParam();
+  SmallWorldOptions gen;
+  gen.num_vertices = 180;
+  gen.seed = param.seed;
+  gen.keywords.domain_size = 10;
+  gen.keywords.keywords_per_vertex = 3;
+  Result<Graph> g = MakeSmallWorld(gen);
+  ASSERT_TRUE(g.ok());
+  const BuiltIndex built = BuildIndexFor(*g);
+  TopLDetector detector(*g, built.pre(), built.tree);
+
+  Query q;
+  q.keywords = {0, 1, 2, 4, 7};
+  q.k = param.k;
+  q.radius = param.radius;
+  q.theta = param.theta;
+  q.top_l = param.top_l;
+
+  Result<TopLResult> indexed = detector.Search(q);
+  ASSERT_TRUE(indexed.ok()) << indexed.status().ToString();
+  Result<TopLResult> brute = BruteForceTopL(*g, q);
+  ASSERT_TRUE(brute.ok());
+
+  const auto a = Scores(indexed->communities);
+  const auto b = Scores(brute->communities);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-9) << "rank " << i;
+  }
+  // And the returned communities must themselves be valid.
+  for (const CommunityResult& c : indexed->communities) {
+    EXPECT_TRUE(VerifySeedCommunity(*g, q, c.community));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IndexEquivalenceTest,
+    ::testing::Values(SweepCase{1, 3, 2, 0.2, 5}, SweepCase{2, 4, 2, 0.2, 5},
+                      SweepCase{3, 3, 1, 0.1, 3}, SweepCase{4, 3, 3, 0.3, 8},
+                      SweepCase{5, 4, 3, 0.1, 2}, SweepCase{6, 5, 2, 0.2, 5},
+                      SweepCase{7, 3, 2, 0.05, 5},   // θ below θ_1: no score bound
+                      SweepCase{8, 3, 2, 0.25, 10},  // θ between presets
+                      SweepCase{9, 2, 2, 0.2, 5},    // k=2: no truss constraint
+                      SweepCase{10, 3, 2, 0.2, 1000}));  // L larger than answers
+
+TEST(TopLDetectorTest, ThetaBelowPresetDisablesScorePruning) {
+  SmallWorldOptions gen;
+  gen.num_vertices = 120;
+  gen.seed = 43;
+  gen.keywords.domain_size = 10;
+  Result<Graph> g = MakeSmallWorld(gen);
+  ASSERT_TRUE(g.ok());
+  const BuiltIndex built = BuildIndexFor(*g);
+  TopLDetector detector(*g, built.pre(), built.tree);
+  Query q = DefaultQuery();
+  q.k = 3;
+  q.theta = 0.01;  // below θ_1 = 0.1
+  Result<TopLResult> result = detector.Search(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.pruned_score, 0u);
+  EXPECT_EQ(result->stats.pruned_termination, 0u);
+}
+
+TEST(TopLDetectorTest, DetectorReusableAcrossQueries) {
+  SmallWorldOptions gen;
+  gen.num_vertices = 120;
+  gen.seed = 44;
+  gen.keywords.domain_size = 10;
+  Result<Graph> g = MakeSmallWorld(gen);
+  ASSERT_TRUE(g.ok());
+  const BuiltIndex built = BuildIndexFor(*g);
+  TopLDetector detector(*g, built.pre(), built.tree);
+  Query q = DefaultQuery();
+  q.k = 3;
+  Result<TopLResult> first = detector.Search(q);
+  Result<TopLResult> second = detector.Search(q);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(Scores(first->communities), Scores(second->communities));
+}
+
+}  // namespace
+}  // namespace topl

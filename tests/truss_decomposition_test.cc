@@ -1,0 +1,181 @@
+#include "truss/truss_decomposition.h"
+
+#include "graph/generators.h"
+#include "graph/local_subgraph.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "truss/support.h"
+
+namespace topl {
+namespace {
+
+using testing::MakeClique;
+using testing::MakeGraph;
+
+// Reference trussness: for each k, peel the whole graph to its maximal
+// k-truss; an edge's trussness is the largest k at which it survives.
+std::vector<std::uint32_t> ReferenceTrussness(const Graph& g) {
+  HopExtractor ex(g);
+  LocalGraph lg;
+  std::vector<std::uint32_t> trussness(g.NumEdges(), 2);
+  if (g.NumEdges() == 0) return trussness;
+  // The graph may be disconnected; run from every component via a virtual
+  // full extraction per vertex is wasteful — instead reuse local ids by
+  // extracting per component root.
+  std::vector<char> seen(g.NumVertices(), 0);
+  for (VertexId root = 0; root < g.NumVertices(); ++root) {
+    if (seen[root]) continue;
+    if (!ex.Extract(root, static_cast<std::uint32_t>(g.NumVertices()), {}, &lg)) {
+      continue;
+    }
+    for (VertexId v : lg.global_ids) seen[v] = 1;
+    for (std::uint32_t k = 3; k <= 16; ++k) {
+      std::vector<char> alive(lg.NumEdges(), 1);
+      auto sup = ComputeLocalEdgeSupports(lg, alive);
+      PeelToKTruss(lg, k, &alive, &sup);
+      bool any = false;
+      for (std::uint32_t e = 0; e < lg.NumEdges(); ++e) {
+        if (alive[e]) {
+          trussness[lg.global_edge_ids[e]] = k;
+          any = true;
+        }
+      }
+      if (!any) break;
+    }
+  }
+  return trussness;
+}
+
+TEST(TrussDecompositionTest, TriangleIsThreeTruss) {
+  const Graph g = MakeGraph(3, {{0, 1}, {1, 2}, {0, 2}});
+  const auto t = TrussDecomposition(g);
+  for (EdgeId e = 0; e < 3; ++e) EXPECT_EQ(t[e], 3u);
+}
+
+TEST(TrussDecompositionTest, PathIsTwoTruss) {
+  const Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  const auto t = TrussDecomposition(g);
+  for (EdgeId e = 0; e < 3; ++e) EXPECT_EQ(t[e], 2u);
+}
+
+TEST(TrussDecompositionTest, CliqueIsNTruss) {
+  const Graph g = MakeClique(6);
+  const auto t = TrussDecomposition(g);
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) EXPECT_EQ(t[e], 6u);
+}
+
+TEST(TrussDecompositionTest, CliqueWithPendant) {
+  // K4 {0..3} plus pendant edge 3-4.
+  Graph g = MakeGraph(5, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {3, 4}});
+  const auto t = TrussDecomposition(g);
+  const EdgeId pendant = g.FindEdge(3, 4);
+  ASSERT_NE(pendant, kInvalidEdge);
+  EXPECT_EQ(t[pendant], 2u);
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (e != pendant) {
+      EXPECT_EQ(t[e], 4u);
+    }
+  }
+}
+
+TEST(TrussDecompositionTest, MixedStructure) {
+  // Two triangles sharing an edge: all edges are 3-truss (shared edge's
+  // support is 2 but its triangles' side edges only reach level 3).
+  const Graph g = MakeGraph(4, {{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}});
+  const auto t = TrussDecomposition(g);
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) EXPECT_EQ(t[e], 3u);
+}
+
+class TrussnessPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrussnessPropertyTest, MatchesPeelingReference) {
+  ErdosRenyiOptions opts;
+  opts.num_vertices = 45;
+  opts.edge_prob = 0.2;
+  opts.seed = GetParam();
+  Result<Graph> g = MakeErdosRenyi(opts);
+  ASSERT_TRUE(g.ok());
+  const auto fast = TrussDecomposition(*g);
+  const auto reference = ReferenceTrussness(*g);
+  EXPECT_EQ(fast, reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrussnessPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(VertexTrussnessTest, MaxOverIncidentEdges) {
+  // Triangle {0,1,2} + pendant 2-3.
+  const Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  const auto et = TrussDecomposition(g);
+  const auto vt = VertexTrussness(g, et);
+  EXPECT_EQ(vt[0], 3u);
+  EXPECT_EQ(vt[1], 3u);
+  EXPECT_EQ(vt[2], 3u);
+  EXPECT_EQ(vt[3], 2u);
+}
+
+TEST(VertexTrussnessTest, IsolatedVertexIsZero) {
+  const Graph g = MakeGraph(3, {{0, 1}});
+  const auto vt = VertexTrussness(g, TrussDecomposition(g));
+  EXPECT_EQ(vt[2], 0u);
+}
+
+// The offline phase trusts LocalTrussDecomposition to agree with the global
+// algorithm; verify edge-for-edge on full extractions of random graphs.
+class LocalTrussPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LocalTrussPropertyTest, MatchesGlobalOnFullExtraction) {
+  ErdosRenyiOptions opts;
+  opts.num_vertices = 60;
+  opts.edge_prob = 0.15;
+  opts.seed = GetParam();
+  Result<Graph> g = MakeErdosRenyi(opts);
+  ASSERT_TRUE(g.ok());
+  const auto global = TrussDecomposition(*g);
+  const auto vertex_global = VertexTrussness(*g, global);
+  HopExtractor ex(*g);
+  LocalGraph lg;
+  for (VertexId center : {VertexId{0}, VertexId{10}, VertexId{42}}) {
+    ASSERT_TRUE(ex.Extract(center, static_cast<std::uint32_t>(g->NumVertices()),
+                           {}, &lg));
+    ASSERT_EQ(lg.NumEdges(), g->NumEdges());  // connected: full coverage
+    std::vector<std::uint32_t> initial_supports;
+    const auto local = LocalTrussDecomposition(lg, &initial_supports);
+    const auto reference_sup =
+        ComputeLocalEdgeSupports(lg, std::vector<char>(lg.NumEdges(), 1));
+    EXPECT_EQ(initial_supports, reference_sup);
+    for (std::uint32_t e = 0; e < lg.NumEdges(); ++e) {
+      EXPECT_EQ(local[e], global[lg.global_edge_ids[e]]) << "edge " << e;
+    }
+    EXPECT_EQ(LocalCenterTrussness(lg, local), vertex_global[center]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LocalTrussPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(LocalTrussTest, EmptyBall) {
+  // A keyword-isolated center: ball with one vertex and no edges.
+  const Graph g = MakeGraph(2, {{0, 1}});
+  HopExtractor ex(g);
+  LocalGraph lg;
+  ASSERT_TRUE(ex.Extract(0, 0, {}, &lg));
+  EXPECT_EQ(lg.NumEdges(), 0u);
+  const auto trussness = LocalTrussDecomposition(lg);
+  EXPECT_TRUE(trussness.empty());
+  EXPECT_EQ(LocalCenterTrussness(lg, trussness), 2u);
+}
+
+TEST(TrussDecompositionTest, ParallelSupportAgreement) {
+  ErdosRenyiOptions opts;
+  opts.num_vertices = 80;
+  opts.edge_prob = 0.15;
+  opts.seed = 21;
+  Result<Graph> g = MakeErdosRenyi(opts);
+  ASSERT_TRUE(g.ok());
+  ThreadPool pool(4);
+  EXPECT_EQ(TrussDecomposition(*g), TrussDecomposition(*g, &pool));
+}
+
+}  // namespace
+}  // namespace topl

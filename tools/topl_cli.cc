@@ -1,0 +1,268 @@
+// topl_cli — command-line front end for the library's full pipeline.
+//
+//   topl_cli generate --kind=uni --vertices=10000 --out=graph.bin
+//   topl_cli convert  --in=com-dblp.ungraph.txt --out=graph.bin
+//   topl_cli index    --graph=graph.bin --out=index.bin [--rmax=3 --threads=0]
+//   topl_cli stats    --graph=graph.bin
+//   topl_cli query    --graph=graph.bin --index=index.bin
+//                     --keywords=1,8,21 --k=4 --r=2 --theta=0.2 --L=5
+//   topl_cli dtopl    ... same flags ... [--n=5 --algorithm=wp|wop|optimal]
+//
+// All subcommands exit non-zero with a Status message on failure.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "topl.h"
+
+namespace {
+
+using namespace topl;  // NOLINT(build/namespaces)
+
+// --key=value flags into a map; returns false on malformed arguments.
+bool ParseFlags(int argc, char** argv, int first,
+                std::map<std::string, std::string>* flags) {
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) return false;
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      (*flags)[arg.substr(2)] = "1";
+    } else {
+      (*flags)[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    }
+  }
+  return true;
+}
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+std::uint64_t IntFlag(const std::map<std::string, std::string>& flags,
+                      const std::string& key, std::uint64_t fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+double DoubleFlag(const std::map<std::string, std::string>& flags,
+                  const std::string& key, double fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+std::vector<KeywordId> ParseKeywordList(const std::string& csv) {
+  std::vector<KeywordId> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string token = csv.substr(pos, comma - pos);
+    if (!token.empty()) {
+      out.push_back(static_cast<KeywordId>(std::strtoul(token.c_str(), nullptr, 10)));
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: topl_cli <generate|convert|index|stats|query|dtopl> "
+               "[--flag=value ...]\n"
+               "see the header comment of tools/topl_cli.cc for flags\n");
+  return 2;
+}
+
+int CmdGenerate(const std::map<std::string, std::string>& flags) {
+  const std::string kind = FlagOr(flags, "kind", "uni");
+  const std::string out = FlagOr(flags, "out", "graph.bin");
+  KeywordModel keywords;
+  keywords.keywords_per_vertex =
+      static_cast<std::uint32_t>(IntFlag(flags, "keywords-per-vertex", 3));
+  keywords.domain_size = static_cast<std::uint32_t>(IntFlag(flags, "domain", 50));
+  const std::size_t n = IntFlag(flags, "vertices", 10000);
+  const std::uint64_t seed = IntFlag(flags, "seed", 42);
+
+  Result<Graph> graph = Status::InvalidArgument("unknown kind: " + kind);
+  if (kind == "uni" || kind == "gau" || kind == "zipf") {
+    SmallWorldOptions options;
+    options.num_vertices = n;
+    options.seed = seed;
+    options.keywords = keywords;
+    options.keywords.distribution = kind == "uni" ? KeywordDistribution::kUniform
+                                    : kind == "gau"
+                                        ? KeywordDistribution::kGaussian
+                                        : KeywordDistribution::kZipf;
+    graph = MakeSmallWorld(options);
+  } else if (kind == "dblp") {
+    graph = MakeDblpLike(n, seed);
+  } else if (kind == "amazon") {
+    graph = MakeAmazonLike(n, seed);
+  }
+  if (!graph.ok()) return Fail(graph.status());
+  const Status status = WriteGraphBinary(*graph, out);
+  if (!status.ok()) return Fail(status);
+  std::printf("wrote %s: %zu vertices, %zu edges\n", out.c_str(),
+              graph->NumVertices(), graph->NumEdges());
+  return 0;
+}
+
+int CmdConvert(const std::map<std::string, std::string>& flags) {
+  const std::string in = FlagOr(flags, "in", "");
+  const std::string out = FlagOr(flags, "out", "graph.bin");
+  if (in.empty()) return Usage();
+  EdgeListLoadOptions load;
+  load.assign_attributes = true;
+  load.keywords.domain_size = static_cast<std::uint32_t>(IntFlag(flags, "domain", 50));
+  load.keywords.keywords_per_vertex =
+      static_cast<std::uint32_t>(IntFlag(flags, "keywords-per-vertex", 3));
+  load.attribute_seed = IntFlag(flags, "seed", 42);
+  load.restrict_to_largest_component = FlagOr(flags, "largest-cc", "1") == "1";
+  Result<Graph> graph = LoadSnapEdgeList(in, load);
+  if (!graph.ok()) return Fail(graph.status());
+  const Status status = WriteGraphBinary(*graph, out);
+  if (!status.ok()) return Fail(status);
+  std::printf("converted %s -> %s (%zu vertices, %zu edges)\n", in.c_str(),
+              out.c_str(), graph->NumVertices(), graph->NumEdges());
+  return 0;
+}
+
+int CmdIndex(const std::map<std::string, std::string>& flags) {
+  const std::string graph_path = FlagOr(flags, "graph", "graph.bin");
+  const std::string out = FlagOr(flags, "out", "index.bin");
+  Result<Graph> graph = ReadGraphBinary(graph_path);
+  if (!graph.ok()) return Fail(graph.status());
+  PrecomputeOptions options;
+  options.r_max = static_cast<std::uint32_t>(IntFlag(flags, "rmax", 3));
+  options.num_threads = IntFlag(flags, "threads", 0);
+  Timer timer;
+  Result<PrecomputedData> pre = PrecomputedData::Build(*graph, options);
+  if (!pre.ok()) return Fail(pre.status());
+  Result<TreeIndex> tree = TreeIndex::Build(*graph, *pre);
+  if (!tree.ok()) return Fail(tree.status());
+  const Status status = IndexCodec::Write(*pre, *tree, out);
+  if (!status.ok()) return Fail(status);
+  std::printf("indexed %s in %.2fs -> %s (%zu tree nodes, height %u)\n",
+              graph_path.c_str(), timer.ElapsedSeconds(), out.c_str(),
+              tree->NumNodes(), tree->height());
+  return 0;
+}
+
+int CmdStats(const std::map<std::string, std::string>& flags) {
+  const std::string graph_path = FlagOr(flags, "graph", "graph.bin");
+  Result<Graph> graph = ReadGraphBinary(graph_path);
+  if (!graph.ok()) return Fail(graph.status());
+  std::printf("vertices: %zu\nedges: %zu\n", graph->NumVertices(),
+              graph->NumEdges());
+  std::printf("connected: %s\n", IsConnected(*graph) ? "yes" : "no");
+  std::size_t max_degree = 0;
+  for (VertexId v = 0; v < graph->NumVertices(); ++v) {
+    max_degree = std::max(max_degree, graph->Degree(v));
+  }
+  std::printf("avg degree: %.2f\nmax degree: %zu\n",
+              graph->NumVertices() == 0
+                  ? 0.0
+                  : 2.0 * graph->NumEdges() / graph->NumVertices(),
+              max_degree);
+  const auto trussness = TrussDecomposition(*graph);
+  std::uint32_t max_truss = 2;
+  for (std::uint32_t t : trussness) max_truss = std::max(max_truss, t);
+  const auto cores = CoreDecomposition(*graph);
+  std::uint32_t max_core = 0;
+  for (std::uint32_t c : cores) max_core = std::max(max_core, c);
+  std::printf("max trussness: %u\nmax core: %u\n", max_truss, max_core);
+  std::printf("keyword domain bound: %u\n", graph->KeywordDomainBound());
+  return 0;
+}
+
+Result<Query> BuildQuery(const std::map<std::string, std::string>& flags) {
+  Query query;
+  query.keywords = ParseKeywordList(FlagOr(flags, "keywords", ""));
+  query.k = static_cast<std::uint32_t>(IntFlag(flags, "k", 4));
+  query.radius = static_cast<std::uint32_t>(IntFlag(flags, "r", 2));
+  query.theta = DoubleFlag(flags, "theta", 0.2);
+  query.top_l = static_cast<std::uint32_t>(IntFlag(flags, "L", 5));
+  TOPL_RETURN_IF_ERROR(query.Validate());
+  return query;
+}
+
+void PrintCommunities(const std::vector<CommunityResult>& communities) {
+  for (std::size_t i = 0; i < communities.size(); ++i) {
+    const CommunityResult& c = communities[i];
+    std::printf("#%zu center=%u members=%zu sigma=%.3f influenced=%zu\n", i + 1,
+                c.community.center, c.community.size(), c.score(),
+                c.influence.size());
+  }
+}
+
+int CmdQuery(const std::map<std::string, std::string>& flags, bool diversified) {
+  const std::string graph_path = FlagOr(flags, "graph", "graph.bin");
+  const std::string index_path = FlagOr(flags, "index", "index.bin");
+  Result<Graph> graph = ReadGraphBinary(graph_path);
+  if (!graph.ok()) return Fail(graph.status());
+  Result<IndexCodec::LoadedIndex> loaded = IndexCodec::Read(index_path, *graph);
+  if (!loaded.ok()) return Fail(loaded.status());
+  Result<Query> query = BuildQuery(flags);
+  if (!query.ok()) return Fail(query.status());
+
+  if (!diversified) {
+    TopLDetector detector(*graph, *loaded->data, loaded->tree);
+    Result<TopLResult> answer = detector.Search(*query);
+    if (!answer.ok()) return Fail(answer.status());
+    PrintCommunities(answer->communities);
+    std::printf("stats: %s\n", answer->stats.ToString().c_str());
+    return 0;
+  }
+
+  DTopLOptions options;
+  options.n_factor = static_cast<std::uint32_t>(IntFlag(flags, "n", 5));
+  const std::string algorithm = FlagOr(flags, "algorithm", "wp");
+  if (algorithm == "wp") {
+    options.algorithm = DTopLAlgorithm::kGreedyWithPruning;
+  } else if (algorithm == "wop") {
+    options.algorithm = DTopLAlgorithm::kGreedyWithoutPruning;
+  } else if (algorithm == "optimal") {
+    options.algorithm = DTopLAlgorithm::kOptimal;
+  } else {
+    return Fail(Status::InvalidArgument("unknown algorithm: " + algorithm));
+  }
+  DTopLDetector detector(*graph, *loaded->data, loaded->tree);
+  Result<DTopLResult> answer = detector.Search(*query, options);
+  if (!answer.ok()) return Fail(answer.status());
+  PrintCommunities(answer->communities);
+  std::printf("diversity score D(S) = %.3f (candidates %.3fs, refine %.3fs, "
+              "%llu gain evaluations)\n",
+              answer->diversity_score, answer->candidate_seconds,
+              answer->refine_seconds,
+              static_cast<unsigned long long>(answer->gain_evaluations));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  std::map<std::string, std::string> flags;
+  if (!ParseFlags(argc, argv, 2, &flags)) return Usage();
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "convert") return CmdConvert(flags);
+  if (command == "index") return CmdIndex(flags);
+  if (command == "stats") return CmdStats(flags);
+  if (command == "query") return CmdQuery(flags, /*diversified=*/false);
+  if (command == "dtopl") return CmdQuery(flags, /*diversified=*/true);
+  return Usage();
+}
