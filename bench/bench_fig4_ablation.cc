@@ -40,19 +40,25 @@ void BM_Ablation(benchmark::State& state, DatasetConfig config,
   const Workload& w = GetWorkload(config);
   TopLDetector detector(w.graph, *w.pre, w.tree);
   const Query query = DefaultQueryFor(w);
-  QueryStats last;
+  // Counters are merged across iterations with QueryStats::operator+= and
+  // reported as per-iteration averages; the query is deterministic, so the
+  // averages equal any single iteration's counters.
+  QueryStats total;
   for (auto _ : state) {
     Result<TopLResult> result = detector.Search(query, options);
     TOPL_CHECK(result.ok(), result.status().ToString().c_str());
-    last = result->stats;
+    total += result->stats;
     benchmark::DoNotOptimize(result->communities.data());
   }
-  state.counters["pruned_candidates"] = static_cast<double>(last.TotalPruned());
-  state.counters["pruned_keyword"] = static_cast<double>(last.pruned_keyword);
-  state.counters["pruned_support"] = static_cast<double>(last.pruned_support);
-  state.counters["pruned_score"] =
-      static_cast<double>(last.pruned_score + last.pruned_termination);
-  state.counters["refined"] = static_cast<double>(last.candidates_refined);
+  const auto avg = [](std::uint64_t value) {
+    return benchmark::Counter(static_cast<double>(value),
+                              benchmark::Counter::kAvgIterations);
+  };
+  state.counters["pruned_candidates"] = avg(total.TotalPruned());
+  state.counters["pruned_keyword"] = avg(total.pruned_keyword);
+  state.counters["pruned_support"] = avg(total.pruned_support);
+  state.counters["pruned_score"] = avg(total.pruned_score + total.pruned_termination);
+  state.counters["refined"] = avg(total.candidates_refined);
 }
 
 }  // namespace

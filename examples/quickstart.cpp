@@ -3,9 +3,9 @@
 //
 //   $ ./example_quickstart
 //
-// Walks the whole public API surface: GraphBuilder -> PrecomputedData ->
-// TreeIndex -> TopLDetector, with a KeywordDictionary translating between
-// strings and KeywordIds.
+// Walks the primary public API surface: GraphBuilder -> Engine::FromGraph
+// (which runs the offline phase in-process) -> Engine::Search, with a
+// KeywordDictionary translating between strings and KeywordIds.
 
 #include <cstdio>
 
@@ -55,16 +55,14 @@ int main() {
               graph->NumEdges());
 
   // -- 2. Offline phase -----------------------------------------------------
-  PrecomputeOptions pre_options;  // r_max=3, thetas={0.1,0.2,0.3}
-  Result<PrecomputedData> pre = PrecomputedData::Build(*graph, pre_options);
-  if (!pre.ok()) {
-    std::fprintf(stderr, "precompute failed: %s\n", pre.status().ToString().c_str());
-    return 1;
-  }
-  Result<TreeIndex> tree = TreeIndex::Build(*graph, *pre);
-  if (!tree.ok()) {
-    std::fprintf(stderr, "index build failed: %s\n",
-                 tree.status().ToString().c_str());
+  // Engine::FromGraph runs Algorithm 2 + the tree-index build in-process
+  // (EngineOptions::precompute defaults: r_max=3, thetas={0.1,0.2,0.3}) and
+  // returns a thread-safe serving facade that owns everything.
+  Result<std::unique_ptr<Engine>> engine =
+      Engine::FromGraph(std::move(graph).value());
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine build failed: %s\n",
+                 engine.status().ToString().c_str());
     return 1;
   }
 
@@ -76,8 +74,7 @@ int main() {
   query.theta = 0.2;
   query.top_l = 1;
 
-  TopLDetector detector(*graph, *pre, *tree);
-  Result<TopLResult> answer = detector.Search(query);
+  Result<TopLResult> answer = (*engine)->Search(query);
   if (!answer.ok()) {
     std::fprintf(stderr, "query failed: %s\n", answer.status().ToString().c_str());
     return 1;

@@ -1,7 +1,10 @@
 // End-to-end SNAP pipeline: ingest a SNAP-format edge list (the format of
-// com-DBLP / com-Amazon), attach synthetic attributes, persist the graph and
-// its index as binary artifacts, and answer a query — the workflow for
-// running this library against your own datasets.
+// com-DBLP / com-Amazon), attach synthetic attributes, persist the graph as
+// a binary artifact, and serve queries through topl::Engine — the workflow
+// for running this library against your own datasets. The first Engine::Open
+// builds and persists the index; the second demonstrates a warm start that
+// loads it, then answers a single query, a fanned-out batch, and an async
+// submission.
 //
 //   $ ./example_snap_pipeline [edge_list.txt [workdir]]
 //
@@ -64,38 +67,30 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // -- 3. Offline phase + persist the index ----------------------------------
-  const std::string index_bin = (workdir / "index.bin").string();
+  // -- 3. Offline phase (build + persist the index) --------------------------
+  // With no index file on disk, Engine::Open runs the offline phase and —
+  // because save_built_index defaults to true — persists it to index_path.
+  EngineOptions engine_options;
+  engine_options.graph_path = graph_bin;
+  engine_options.index_path = (workdir / "index.bin").string();
   Timer offline;
-  Result<PrecomputedData> pre = PrecomputedData::Build(*graph, PrecomputeOptions());
-  if (!pre.ok()) {
-    std::fprintf(stderr, "%s\n", pre.status().ToString().c_str());
-    return 1;
-  }
-  Result<TreeIndex> tree = TreeIndex::Build(*graph, *pre);
-  if (!tree.ok()) {
-    std::fprintf(stderr, "%s\n", tree.status().ToString().c_str());
-    return 1;
-  }
-  status = IndexCodec::Write(*pre, *tree, index_bin);
-  if (!status.ok()) {
-    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+  Result<std::unique_ptr<Engine>> cold = Engine::Open(engine_options);
+  if (!cold.ok()) {
+    std::fprintf(stderr, "%s\n", cold.status().ToString().c_str());
     return 1;
   }
   std::printf("offline phase: %.2fs -> %s\n", offline.ElapsedSeconds(),
-              index_bin.c_str());
+              engine_options.index_path.c_str());
 
-  // -- 4. A later session: reload everything and query -----------------------
-  Result<Graph> graph2 = ReadGraphBinary(graph_bin);
-  if (!graph2.ok()) {
-    std::fprintf(stderr, "%s\n", graph2.status().ToString().c_str());
+  // -- 4. A later session: warm start from the persisted artifacts -----------
+  Timer warm_start;
+  Result<std::unique_ptr<Engine>> engine = Engine::Open(engine_options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
     return 1;
   }
-  Result<IndexCodec::LoadedIndex> loaded = IndexCodec::Read(index_bin, *graph2);
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
-    return 1;
-  }
+  std::printf("warm start (load graph + index): %.2fs\n",
+              warm_start.ElapsedSeconds());
 
   Query query;
   query.keywords = {1, 8, 21, 30, 44};
@@ -103,9 +98,8 @@ int main(int argc, char** argv) {
   query.radius = 2;
   query.theta = 0.2;
   query.top_l = 3;
-  TopLDetector detector(*graph2, *loaded->data, loaded->tree);
   Timer online;
-  Result<TopLResult> answer = detector.Search(query);
+  Result<TopLResult> answer = (*engine)->Search(query);
   if (!answer.ok()) {
     std::fprintf(stderr, "%s\n", answer.status().ToString().c_str());
     return 1;
@@ -118,5 +112,21 @@ int main(int argc, char** argv) {
                 i + 1, c.community.center, c.community.size(), c.score(),
                 c.influence.size());
   }
+
+  // -- 5. Serving: batched and async queries over the same engine ------------
+  std::vector<Query> batch(4, query);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch[i].top_l = 1 + static_cast<std::uint32_t>(i);
+  }
+  std::vector<Result<TopLResult>> batch_answers = (*engine)->SearchBatch(batch);
+  std::size_t batch_ok = 0;
+  for (const Result<TopLResult>& r : batch_answers) {
+    if (r.ok()) ++batch_ok;
+  }
+  std::future<Result<TopLResult>> async_answer = (*engine)->Submit(query);
+  const bool async_ok = async_answer.get().ok();
+  std::printf("batch of %zu: %zu ok; async query: %s\n", batch.size(), batch_ok,
+              async_ok ? "ok" : "failed");
+  std::printf("engine stats: %s\n", (*engine)->Stats().ToString().c_str());
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace topl {
 
@@ -8,6 +9,15 @@ ThreadPool::ThreadPool(std::size_t num_threads) : num_threads_(num_threads) {
   if (num_threads_ == 0) {
     num_threads_ = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& worker : queue_workers_) worker.join();
 }
 
 void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
@@ -43,6 +53,40 @@ void ThreadPool::ParallelForWithWorker(
   }
   worker(0);  // The calling thread participates as worker 0.
   for (auto& t : threads) t.join();
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (queue_workers_.empty()) {
+      queue_workers_.reserve(num_threads_);
+      for (std::size_t t = 0; t < num_threads_; ++t) {
+        queue_workers_.emplace_back([this] { QueueWorkerLoop(); });
+      }
+    }
+    queue_.push_back(std::move(task));
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+  }
+  queue_cv_.notify_one();
+}
+
+void ThreadPool::QueueWorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+std::size_t ThreadPool::PendingTasks() const {
+  return in_flight_.load(std::memory_order_relaxed);
 }
 
 }  // namespace topl

@@ -2,24 +2,42 @@
 #define TOPL_COMMON_THREAD_POOL_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace topl {
 
-/// \brief Fixed-size worker pool for data-parallel offline work.
+/// \brief Fixed-size worker pool for data-parallel work and async tasks.
 ///
-/// The offline precomputation phase (Algorithm 2 of the paper) is
-/// embarrassingly parallel across vertices; ParallelFor splits an index range
-/// into dynamically scheduled chunks. The pool is intentionally minimal: no
-/// futures, no task queue — offline precompute is the only consumer and it
-/// only needs a blocking parallel-for.
+/// Two independent execution modes share one thread budget:
+///
+///  - ParallelFor / ParallelForWithWorker: blocking data-parallel loops over
+///    an index range, used by the offline precomputation phase (Algorithm 2)
+///    and by Engine::SearchBatch. Workers are spawned per call and the
+///    calling thread participates, so nested use cannot deadlock.
+///
+///  - Submit: enqueues one task on persistent queue workers (started lazily
+///    on first use, joined by the destructor) and returns a std::future for
+///    its result. This backs Engine::Submit's async query serving. Tasks run
+///    FIFO and never on the calling thread; a task must not block on another
+///    task submitted to the same pool, or all queue workers can end up
+///    waiting on queued work.
 class ThreadPool {
  public:
   /// \param num_threads worker count; 0 means std::thread::hardware_concurrency().
   explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Drains nothing: queued tasks not yet started are still executed, then
+  /// the queue workers are joined.
+  ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -42,8 +60,35 @@ class ThreadPool {
       const std::function<void(std::size_t worker, std::size_t i)>& body,
       std::size_t grain = 64);
 
+  /// Runs fn() on a persistent queue worker and returns a future for its
+  /// result. Exceptions propagate through the future.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    Enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Number of Submit tasks enqueued but not yet finished (approximate;
+  /// intended for tests and monitoring).
+  std::size_t PendingTasks() const;
+
  private:
+  void Enqueue(std::function<void()> task);
+  void QueueWorkerLoop();
+
   std::size_t num_threads_;
+
+  // Submit machinery; all fields below are guarded by queue_mu_ except
+  // in_flight_, which queue workers decrement after finishing a task.
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> queue_workers_;
+  std::atomic<std::size_t> in_flight_{0};
+  bool stopping_ = false;
 };
 
 }  // namespace topl

@@ -81,6 +81,21 @@ struct QueryStats {
     return pruned_keyword + pruned_support + pruned_score + pruned_termination;
   }
 
+  /// Field-wise merge, so aggregation over many queries (Engine stats, the
+  /// ablation benchmark) never falls out of sync with the counter set.
+  QueryStats& operator+=(const QueryStats& other) {
+    heap_pops += other.heap_pops;
+    index_nodes_visited += other.index_nodes_visited;
+    pruned_keyword += other.pruned_keyword;
+    pruned_support += other.pruned_support;
+    pruned_score += other.pruned_score;
+    pruned_termination += other.pruned_termination;
+    candidates_refined += other.candidates_refined;
+    communities_found += other.communities_found;
+    elapsed_seconds += other.elapsed_seconds;
+    return *this;
+  }
+
   std::string ToString() const {
     return "heap_pops=" + std::to_string(heap_pops) +
            " pruned_keyword=" + std::to_string(pruned_keyword) +

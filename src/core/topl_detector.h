@@ -25,7 +25,9 @@ namespace topl {
 /// beat the current L-th score.
 ///
 /// The detector reuses extraction/propagation scratch across calls; use one
-/// detector per thread. The referenced graph/index must outlive it.
+/// detector per thread, or serve through topl::Engine (engine/engine.h),
+/// which leases one pooled detector per in-flight query. The referenced
+/// graph/index must outlive it.
 class TopLDetector {
  public:
   TopLDetector(const Graph& g, const PrecomputedData& pre, const TreeIndex& tree);

@@ -1,0 +1,237 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+#include "common/timer.h"
+#include "graph/binary_io.h"
+#include "index/index_io.h"
+
+namespace topl {
+
+Engine::Engine(Graph graph, std::unique_ptr<PrecomputedData> pre, TreeIndex tree,
+               const EngineOptions& options)
+    : options_(options),
+      graph_(std::move(graph)),
+      pre_(std::move(pre)),
+      tree_(std::move(tree)),
+      pool_(options.num_threads) {}
+
+Engine::~Engine() = default;
+
+Result<std::unique_ptr<Engine>> Engine::Create(Graph graph,
+                                               std::unique_ptr<PrecomputedData> pre,
+                                               TreeIndex tree,
+                                               const EngineOptions& options) {
+  if (pre == nullptr) {
+    return Status::InvalidArgument("Engine::Create needs non-null PrecomputedData");
+  }
+  if (pre->num_vertices() != graph.NumVertices()) {
+    return Status::InvalidArgument(
+        "PrecomputedData was built over a different graph (vertex count "
+        "mismatch)");
+  }
+  if (tree.NumNodes() == 0) {
+    return Status::InvalidArgument("Engine::Create needs a built TreeIndex");
+  }
+  if (&tree.precomputed() != pre.get()) {
+    return Status::InvalidArgument(
+        "TreeIndex references different PrecomputedData than the one handed "
+        "to Engine::Create");
+  }
+  // No make_unique: the constructor is private.
+  return std::unique_ptr<Engine>(
+      new Engine(std::move(graph), std::move(pre), std::move(tree), options));
+}
+
+Result<std::unique_ptr<Engine>> Engine::FromGraph(Graph graph,
+                                                  const EngineOptions& options) {
+  Result<PrecomputedData> pre = PrecomputedData::Build(graph, options.precompute);
+  if (!pre.ok()) return pre.status();
+  auto owned = std::make_unique<PrecomputedData>(std::move(pre).value());
+  Result<TreeIndex> tree = TreeIndex::Build(graph, *owned, options.tree);
+  if (!tree.ok()) return tree.status();
+  return Create(std::move(graph), std::move(owned), std::move(tree).value(),
+                options);
+}
+
+Result<std::unique_ptr<Engine>> Engine::Open(const EngineOptions& options) {
+  if (options.graph_path.empty()) {
+    return Status::InvalidArgument("EngineOptions::graph_path is required");
+  }
+  Result<Graph> graph = ReadGraphBinary(options.graph_path);
+  if (!graph.ok()) return graph.status();
+
+  if (!options.index_path.empty() &&
+      std::filesystem::exists(options.index_path)) {
+    Result<IndexCodec::LoadedIndex> loaded =
+        IndexCodec::Read(options.index_path, *graph);
+    if (!loaded.ok()) return loaded.status();
+    return Create(std::move(graph).value(), std::move(loaded->data),
+                  std::move(loaded->tree), options);
+  }
+
+  if (!options.build_index_if_missing) {
+    return Status::NotFound("index file not found: " + options.index_path +
+                            " (set build_index_if_missing to build in-process)");
+  }
+  Result<PrecomputedData> pre = PrecomputedData::Build(*graph, options.precompute);
+  if (!pre.ok()) return pre.status();
+  auto owned = std::make_unique<PrecomputedData>(std::move(pre).value());
+  Result<TreeIndex> tree = TreeIndex::Build(*graph, *owned, options.tree);
+  if (!tree.ok()) return tree.status();
+  if (options.save_built_index && !options.index_path.empty()) {
+    TOPL_RETURN_IF_ERROR(IndexCodec::Write(*owned, *tree, options.index_path));
+  }
+  return Create(std::move(graph).value(), std::move(owned),
+                std::move(tree).value(), options);
+}
+
+Engine::WorkerContext* Engine::AcquireContext() {
+  {
+    std::lock_guard<std::mutex> lock(contexts_mu_);
+    if (!free_contexts_.empty()) {
+      WorkerContext* context = free_contexts_.back();
+      free_contexts_.pop_back();
+      return context;
+    }
+  }
+  // Pool empty: grow by one context. Construction (O(n) scratch) happens
+  // outside the lock so concurrent growth does not serialize.
+  auto created = std::make_unique<WorkerContext>(graph_, *pre_, tree_);
+  WorkerContext* context = created.get();
+  std::lock_guard<std::mutex> lock(contexts_mu_);
+  contexts_.push_back(std::move(created));
+  return context;
+}
+
+void Engine::ReleaseContext(WorkerContext* context) {
+  std::lock_guard<std::mutex> lock(contexts_mu_);
+  free_contexts_.push_back(context);
+}
+
+std::size_t Engine::pooled_contexts() const {
+  std::lock_guard<std::mutex> lock(contexts_mu_);
+  return contexts_.size();
+}
+
+Result<TopLResult> Engine::SearchOnContext(WorkerContext* context,
+                                           const Query& query,
+                                           const QueryOptions& options) {
+  Timer timer;
+  Result<TopLResult> result = context->topl.Search(query, options);
+  context->stats.Record(/*diversified=*/false, result.ok(),
+                        timer.ElapsedSeconds(),
+                        result.ok() ? result->stats : QueryStats{});
+  return result;
+}
+
+Result<DTopLResult> Engine::SearchDiversifiedOnContext(WorkerContext* context,
+                                                       const Query& query,
+                                                       const DTopLOptions& options) {
+  if (!context->dtopl.has_value()) {
+    context->dtopl.emplace(graph_, *pre_, tree_);
+  }
+  Timer timer;
+  Result<DTopLResult> result = context->dtopl->Search(query, options);
+  context->stats.Record(/*diversified=*/true, result.ok(), timer.ElapsedSeconds(),
+                        result.ok() ? result->candidate_stats : QueryStats{});
+  return result;
+}
+
+Result<TopLResult> Engine::Search(const Query& query, const QueryOptions& options) {
+  ContextLease lease(this);
+  return SearchOnContext(lease.get(), query, options);
+}
+
+Result<DTopLResult> Engine::SearchDiversified(const Query& query,
+                                              const DTopLOptions& options) {
+  ContextLease lease(this);
+  return SearchDiversifiedOnContext(lease.get(), query, options);
+}
+
+std::vector<Result<TopLResult>> Engine::SearchBatch(std::span<const Query> queries,
+                                                    const QueryOptions& options) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<Result<TopLResult>> results;
+  results.reserve(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    results.emplace_back(Status::Internal("query was not executed"));
+  }
+  if (queries.empty()) return results;
+
+  // One context leased per participating pool worker for the whole batch, so
+  // the per-query path is mutex-free. ParallelForWithWorker hands out ids in
+  // [0, spawned + 1) with the calling thread as worker 0; with grain=1 it
+  // spawns at most min(num_threads() - 1, |queries|) helpers. Each slot is
+  // written by exactly one worker thread, and only workers that actually get
+  // a chunk acquire a context (with more workers than chunks, some never run).
+  const std::size_t max_workers =
+      std::min(pool_.num_threads(), queries.size() + 1);
+  std::vector<WorkerContext*> leased(max_workers, nullptr);
+  // grain=1: each query is its own unit of work, so the batch load-balances
+  // across workers even when per-query cost is highly skewed.
+  pool_.ParallelForWithWorker(
+      0, queries.size(),
+      [&](std::size_t worker, std::size_t i) {
+        WorkerContext*& context = leased[worker];
+        if (context == nullptr) context = AcquireContext();
+        results[i] = SearchOnContext(context, queries[i], options);
+      },
+      /*grain=*/1);
+  for (WorkerContext* context : leased) {
+    if (context != nullptr) ReleaseContext(context);
+  }
+  return results;
+}
+
+std::future<Result<TopLResult>> Engine::Submit(Query query, QueryOptions options) {
+  return pool_.Submit([this, query = std::move(query), options]() {
+    return Search(query, options);
+  });
+}
+
+std::future<Result<DTopLResult>> Engine::SubmitDiversified(Query query,
+                                                           DTopLOptions options) {
+  return pool_.Submit([this, query = std::move(query), options]() {
+    return SearchDiversified(query, options);
+  });
+}
+
+EngineStats Engine::Stats() const {
+  EngineStats total;
+  std::array<std::uint64_t, EngineStatsShard::kLatencyBuckets> buckets{};
+  {
+    std::lock_guard<std::mutex> lock(contexts_mu_);
+    for (const auto& context : contexts_) {
+      context->stats.MergeInto(&total, &buckets);
+    }
+  }
+  total.batches = batches_.load(std::memory_order_relaxed);
+  total.queries_total = total.topl_queries + total.dtopl_queries;
+
+  std::uint64_t count = 0;
+  for (std::uint64_t b : buckets) count += b;
+  if (count > 0) {
+    auto percentile = [&](double q) {
+      const std::uint64_t rank =
+          static_cast<std::uint64_t>(q * static_cast<double>(count - 1));
+      std::uint64_t seen = 0;
+      for (std::size_t i = 0; i < buckets.size(); ++i) {
+        seen += buckets[i];
+        if (seen > rank) return EngineStatsShard::BucketSeconds(i);
+      }
+      return EngineStatsShard::BucketSeconds(buckets.size() - 1);
+    };
+    // Bucket-midpoint estimates can overshoot the true extremum; the exact
+    // max is tracked separately and caps them.
+    total.p50_latency_seconds =
+        std::min(percentile(0.50), total.max_latency_seconds);
+    total.p99_latency_seconds =
+        std::min(percentile(0.99), total.max_latency_seconds);
+  }
+  return total;
+}
+
+}  // namespace topl

@@ -1,0 +1,160 @@
+#ifndef TOPL_ENGINE_ENGINE_H_
+#define TOPL_ENGINE_ENGINE_H_
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/dtopl_detector.h"
+#include "core/topl_detector.h"
+#include "engine/engine_options.h"
+#include "engine/engine_stats.h"
+#include "graph/graph.h"
+#include "index/precompute.h"
+#include "index/tree_index.h"
+
+namespace topl {
+
+/// \brief Thread-safe service facade over the TopL/DTopL online phase.
+///
+/// The detectors themselves are single-threaded by design (they reuse O(n)
+/// extraction/propagation scratch across calls); an Engine owns the shared
+/// read-only state — graph, precomputed data, tree index — plus a lazily
+/// grown pool of per-worker detector contexts, and multiplexes any number of
+/// concurrent callers over them:
+///
+///  - Search / SearchDiversified: synchronous, callable from any thread.
+///  - SearchBatch: fans a whole batch out across the engine's ThreadPool.
+///  - Submit / SubmitDiversified: async; the query runs on a pool worker and
+///    the caller gets a std::future.
+///
+/// Every query's QueryStats and latency are folded into cumulative
+/// EngineStats through mutex-free per-context accumulators; Stats() takes a
+/// snapshot at any time without blocking the query path.
+///
+/// Construction:
+///  - Engine::Open(options): load graph + index from files (building and
+///    optionally persisting the index when missing).
+///  - Engine::Create(graph, pre, tree): adopt an already-built offline phase.
+///  - Engine::FromGraph(graph): run the offline phase in-process.
+class Engine {
+ public:
+  /// Adopts in-memory offline-phase output. `tree` must have been built over
+  /// `*pre` (validated), and `pre` over `graph`.
+  static Result<std::unique_ptr<Engine>> Create(Graph graph,
+                                                std::unique_ptr<PrecomputedData> pre,
+                                                TreeIndex tree,
+                                                const EngineOptions& options = {});
+
+  /// Runs the offline phase (Algorithm 2 + index build) on `graph` with
+  /// options.precompute / options.tree, then serves it.
+  static Result<std::unique_ptr<Engine>> FromGraph(Graph graph,
+                                                   const EngineOptions& options = {});
+
+  /// Loads the graph from options.graph_path and the index from
+  /// options.index_path; a missing index file is built in-process (and
+  /// persisted back when options.save_built_index).
+  static Result<std::unique_ptr<Engine>> Open(const EngineOptions& options);
+
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Answers one TopL-ICDE query. Thread-safe.
+  Result<TopLResult> Search(const Query& query, const QueryOptions& options = {});
+
+  /// Answers one DTopL-ICDE query. Thread-safe.
+  Result<DTopLResult> SearchDiversified(const Query& query,
+                                        const DTopLOptions& options = {});
+
+  /// Answers queries[i] into slot i of the returned vector, fanning out
+  /// across the engine's ThreadPool (the calling thread participates).
+  /// Per-query failures land in the corresponding slot; the batch itself
+  /// never fails.
+  std::vector<Result<TopLResult>> SearchBatch(std::span<const Query> queries,
+                                              const QueryOptions& options = {});
+
+  /// Enqueues the query on the engine's async workers.
+  std::future<Result<TopLResult>> Submit(Query query, QueryOptions options = {});
+  std::future<Result<DTopLResult>> SubmitDiversified(Query query,
+                                                     DTopLOptions options = {});
+
+  /// Cumulative service counters (snapshot; never blocks queries).
+  EngineStats Stats() const;
+
+  const Graph& graph() const { return graph_; }
+  const PrecomputedData& precomputed() const { return *pre_; }
+  const TreeIndex& tree() const { return tree_; }
+  std::size_t num_threads() const { return pool_.num_threads(); }
+
+  /// Detector contexts created so far (== peak number of concurrent
+  /// queries); exposed for tests and capacity monitoring.
+  std::size_t pooled_contexts() const;
+
+ private:
+  /// One worker's detectors + stats shard. Leased to exactly one query at a
+  /// time, so the detectors' scratch reuse stays single-threaded. The
+  /// DTopLDetector (which embeds a second TopLDetector's scratch) is only
+  /// materialized once the context serves its first diversified query.
+  struct WorkerContext {
+    WorkerContext(const Graph& g, const PrecomputedData& pre, const TreeIndex& tree)
+        : topl(g, pre, tree) {}
+
+    TopLDetector topl;
+    std::optional<DTopLDetector> dtopl;
+    EngineStatsShard stats;
+  };
+
+  /// RAII lease of a WorkerContext from the engine's free list.
+  class ContextLease {
+   public:
+    explicit ContextLease(Engine* engine)
+        : engine_(engine), context_(engine->AcquireContext()) {}
+    ~ContextLease() { engine_->ReleaseContext(context_); }
+    ContextLease(const ContextLease&) = delete;
+    ContextLease& operator=(const ContextLease&) = delete;
+    WorkerContext* get() const { return context_; }
+
+   private:
+    Engine* engine_;
+    WorkerContext* context_;
+  };
+
+  Engine(Graph graph, std::unique_ptr<PrecomputedData> pre, TreeIndex tree,
+         const EngineOptions& options);
+
+  WorkerContext* AcquireContext();
+  void ReleaseContext(WorkerContext* context);
+
+  /// Search/SearchDiversified bodies running on an already-leased context.
+  Result<TopLResult> SearchOnContext(WorkerContext* context, const Query& query,
+                                     const QueryOptions& options);
+  Result<DTopLResult> SearchDiversifiedOnContext(WorkerContext* context,
+                                                 const Query& query,
+                                                 const DTopLOptions& options);
+
+  EngineOptions options_;
+  Graph graph_;
+  std::unique_ptr<PrecomputedData> pre_;
+  TreeIndex tree_;
+
+  std::atomic<std::uint64_t> batches_{0};
+
+  mutable std::mutex contexts_mu_;
+  std::vector<std::unique_ptr<WorkerContext>> contexts_;  // all ever created
+  std::vector<WorkerContext*> free_contexts_;
+
+  // Declared last so its destructor — which drains and joins the async
+  // queue workers — runs before the contexts those workers may be using are
+  // destroyed.
+  ThreadPool pool_;
+};
+
+}  // namespace topl
+
+#endif  // TOPL_ENGINE_ENGINE_H_

@@ -1,0 +1,45 @@
+#ifndef TOPL_ENGINE_ENGINE_OPTIONS_H_
+#define TOPL_ENGINE_ENGINE_OPTIONS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "index/precompute.h"
+#include "index/tree_index.h"
+
+namespace topl {
+
+/// \brief Configuration of a topl::Engine (see engine/engine.h).
+///
+/// The path fields drive Engine::Open; Engine::Create / Engine::FromGraph
+/// ignore them and use only the serving knobs.
+struct EngineOptions {
+  /// Binary graph file (graph/binary_io.h). Required by Engine::Open.
+  std::string graph_path;
+
+  /// Index file (index/index_io.h). When the file exists it is loaded; when
+  /// it is missing (or the field is empty) the offline phase runs in-process,
+  /// subject to `build_index_if_missing`.
+  std::string index_path;
+
+  /// Open: build PrecomputedData + TreeIndex when no index file is found.
+  /// When false, a missing index file fails with NotFound instead.
+  bool build_index_if_missing = true;
+
+  /// Open: after building in-process, persist the index to `index_path` (if
+  /// non-empty) so the next Open is load-only.
+  bool save_built_index = true;
+
+  /// Offline-phase parameters used when the index is built in-process.
+  PrecomputeOptions precompute;
+  TreeIndexOptions tree;
+
+  /// Worker threads for SearchBatch fan-out and Submit async serving;
+  /// 0 = hardware concurrency. Independent of the number of pooled detector
+  /// contexts, which grows with the peak number of concurrent queries.
+  std::size_t num_threads = 0;
+};
+
+}  // namespace topl
+
+#endif  // TOPL_ENGINE_ENGINE_OPTIONS_H_

@@ -1,0 +1,146 @@
+#ifndef TOPL_ENGINE_ENGINE_STATS_H_
+#define TOPL_ENGINE_ENGINE_STATS_H_
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "core/query.h"
+
+namespace topl {
+
+/// \brief Snapshot of an Engine's cumulative service counters, aggregated
+/// over every query answered since the engine was created.
+struct EngineStats {
+  std::uint64_t queries_total = 0;
+  std::uint64_t topl_queries = 0;
+  std::uint64_t dtopl_queries = 0;
+  std::uint64_t failed_queries = 0;
+  std::uint64_t batches = 0;
+
+  /// Per-query counters merged with QueryStats::operator+= (prune counters,
+  /// heap pops, refinements; elapsed_seconds is the summed query time).
+  QueryStats query_stats;
+
+  /// Latency percentiles over all successful + failed queries, estimated
+  /// from a power-of-two-bucket histogram (values accurate to within ~1.5x).
+  double p50_latency_seconds = 0.0;
+  double p99_latency_seconds = 0.0;
+  double max_latency_seconds = 0.0;
+
+  std::string ToString() const {
+    return "queries=" + std::to_string(queries_total) +
+           " (topl=" + std::to_string(topl_queries) +
+           " dtopl=" + std::to_string(dtopl_queries) +
+           " failed=" + std::to_string(failed_queries) +
+           ") batches=" + std::to_string(batches) +
+           " p50=" + std::to_string(p50_latency_seconds) + "s" +
+           " p99=" + std::to_string(p99_latency_seconds) + "s" +
+           " max=" + std::to_string(max_latency_seconds) + "s" +
+           " pruned=" + std::to_string(query_stats.TotalPruned()) +
+           " refined=" + std::to_string(query_stats.candidates_refined);
+  }
+};
+
+/// \brief One worker context's mutex-free stats accumulator.
+///
+/// Exactly one query writes to a shard at a time (the Engine leases each
+/// worker context to a single query), but Engine::Stats() reads shards
+/// concurrently with writers, so every field is a relaxed atomic: snapshots
+/// are cheap, race-free, and never block the query path. Latencies go into a
+/// power-of-two histogram (bucket i holds queries taking [2^(i-1), 2^i)
+/// microseconds) from which the snapshot derives p50/p99.
+class EngineStatsShard {
+ public:
+  static constexpr std::size_t kLatencyBuckets = 44;  // 2^43 us ≈ 101 days
+
+  void Record(bool diversified, bool ok, double seconds, const QueryStats& qs) {
+    constexpr auto relaxed = std::memory_order_relaxed;
+    (diversified ? dtopl_queries_ : topl_queries_).fetch_add(1, relaxed);
+    if (!ok) failed_queries_.fetch_add(1, relaxed);
+
+    const std::uint64_t micros =
+        seconds <= 0.0 ? 0 : static_cast<std::uint64_t>(seconds * 1e6);
+    total_micros_.fetch_add(micros, relaxed);
+    std::uint64_t prev_max = max_micros_.load(relaxed);
+    while (prev_max < micros &&
+           !max_micros_.compare_exchange_weak(prev_max, micros, relaxed)) {
+    }
+    latency_buckets_[LatencyBucket(micros)].fetch_add(1, relaxed);
+
+    heap_pops_.fetch_add(qs.heap_pops, relaxed);
+    index_nodes_visited_.fetch_add(qs.index_nodes_visited, relaxed);
+    pruned_keyword_.fetch_add(qs.pruned_keyword, relaxed);
+    pruned_support_.fetch_add(qs.pruned_support, relaxed);
+    pruned_score_.fetch_add(qs.pruned_score, relaxed);
+    pruned_termination_.fetch_add(qs.pruned_termination, relaxed);
+    candidates_refined_.fetch_add(qs.candidates_refined, relaxed);
+    communities_found_.fetch_add(qs.communities_found, relaxed);
+  }
+
+  /// Adds this shard's counters into `total` and its latency histogram into
+  /// `buckets`. Percentiles are computed by the caller once all shards (and
+  /// thus all buckets) are merged.
+  void MergeInto(EngineStats* total,
+                 std::array<std::uint64_t, kLatencyBuckets>* buckets) const {
+    constexpr auto relaxed = std::memory_order_relaxed;
+    total->topl_queries += topl_queries_.load(relaxed);
+    total->dtopl_queries += dtopl_queries_.load(relaxed);
+    total->failed_queries += failed_queries_.load(relaxed);
+    total->max_latency_seconds =
+        std::max(total->max_latency_seconds,
+                 static_cast<double>(max_micros_.load(relaxed)) / 1e6);
+
+    QueryStats shard;
+    shard.heap_pops = heap_pops_.load(relaxed);
+    shard.index_nodes_visited = index_nodes_visited_.load(relaxed);
+    shard.pruned_keyword = pruned_keyword_.load(relaxed);
+    shard.pruned_support = pruned_support_.load(relaxed);
+    shard.pruned_score = pruned_score_.load(relaxed);
+    shard.pruned_termination = pruned_termination_.load(relaxed);
+    shard.candidates_refined = candidates_refined_.load(relaxed);
+    shard.communities_found = communities_found_.load(relaxed);
+    shard.elapsed_seconds = static_cast<double>(total_micros_.load(relaxed)) / 1e6;
+    total->query_stats += shard;
+
+    for (std::size_t i = 0; i < kLatencyBuckets; ++i) {
+      (*buckets)[i] += latency_buckets_[i].load(relaxed);
+    }
+  }
+
+  /// Representative latency (seconds) of bucket i: the arithmetic midpoint
+  /// of its [2^(i-1), 2^i) microsecond range.
+  static double BucketSeconds(std::size_t i) {
+    if (i == 0) return 0.0;
+    return 1.5 * static_cast<double>(std::uint64_t{1} << (i - 1)) / 1e6;
+  }
+
+  static std::size_t LatencyBucket(std::uint64_t micros) {
+    const std::size_t width = static_cast<std::size_t>(std::bit_width(micros));
+    return width < kLatencyBuckets ? width : kLatencyBuckets - 1;
+  }
+
+ private:
+  std::atomic<std::uint64_t> topl_queries_{0};
+  std::atomic<std::uint64_t> dtopl_queries_{0};
+  std::atomic<std::uint64_t> failed_queries_{0};
+  std::atomic<std::uint64_t> total_micros_{0};
+  std::atomic<std::uint64_t> max_micros_{0};
+  std::array<std::atomic<std::uint64_t>, kLatencyBuckets> latency_buckets_{};
+
+  std::atomic<std::uint64_t> heap_pops_{0};
+  std::atomic<std::uint64_t> index_nodes_visited_{0};
+  std::atomic<std::uint64_t> pruned_keyword_{0};
+  std::atomic<std::uint64_t> pruned_support_{0};
+  std::atomic<std::uint64_t> pruned_score_{0};
+  std::atomic<std::uint64_t> pruned_termination_{0};
+  std::atomic<std::uint64_t> candidates_refined_{0};
+  std::atomic<std::uint64_t> communities_found_{0};
+};
+
+}  // namespace topl
+
+#endif  // TOPL_ENGINE_ENGINE_STATS_H_

@@ -34,7 +34,9 @@ struct InfluencedCommunity {
 ///
 /// The engine owns epoch-stamped scratch arrays sized to the graph, so a
 /// query workload can run thousands of propagations with no allocation
-/// beyond the result vectors. One engine per thread.
+/// beyond the result vectors. One engine per thread — the serving layer
+/// (topl::Engine) upholds this by never leasing a worker context to more
+/// than one query at a time.
 class PropagationEngine {
  public:
   explicit PropagationEngine(const Graph& g);

@@ -6,20 +6,17 @@
 /// Detection over social networks (TopL-ICDE, ICDE 2024) and its diversified
 /// variant (DTopL-ICDE).
 ///
-/// Typical pipeline:
+/// Typical pipeline — an Engine owns the offline phase (loading or building
+/// the index as needed) and serves TopL/DTopL queries from any thread:
 /// \code
-///   topl::SmallWorldOptions gen;                       // or LoadSnapEdgeList
-///   topl::Result<topl::Graph> g = topl::MakeSmallWorld(gen);
-///
-///   topl::PrecomputeOptions pre_opts;                  // offline phase
-///   auto pre = topl::PrecomputedData::Build(*g, pre_opts);
-///   auto tree = topl::TreeIndex::Build(*g, *pre);
-///
-///   topl::Query q;                                     // online phase
-///   q.keywords = {...}; q.k = 4; q.radius = 2; q.theta = 0.2; q.top_l = 5;
-///   topl::TopLDetector detector(*g, *pre, *tree);
-///   auto answer = detector.Search(q);
+///   auto engine = topl::Engine::Open({.graph_path = "graph.bin",
+///                                     .index_path = "index.bin"});
+///   auto answer = (*engine)->Search({.keywords = {1, 8, 21}});
 /// \endcode
+///
+/// See engine/engine.h for batched (SearchBatch) and async (Submit) serving,
+/// and the individual headers below for the pipeline's building blocks
+/// (GraphBuilder / generators -> PrecomputedData -> TreeIndex -> detectors).
 
 #include "baselines/atindex.h"
 #include "baselines/im_greedy.h"
@@ -34,6 +31,9 @@
 #include "core/query.h"
 #include "core/seed_community.h"
 #include "core/topl_detector.h"
+#include "engine/engine.h"
+#include "engine/engine_options.h"
+#include "engine/engine_stats.h"
 #include "graph/bfs.h"
 #include "graph/binary_io.h"
 #include "graph/connectivity.h"

@@ -1,0 +1,412 @@
+#include "engine/engine.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace topl {
+namespace {
+
+// Shared serving workload: one small-world graph plus reference detectors.
+// Built once — the offline phase dominates this test binary's runtime.
+class EngineTest : public ::testing::Test {
+ protected:
+  struct World {
+    Graph graph;
+    testing::BuiltIndex index;
+    std::unique_ptr<Engine> engine;
+    std::vector<Query> queries;
+    std::vector<bool> diversified;  // per query: run through DTopL?
+  };
+
+  static World* world_;
+
+  // Graph is move-only; engines take ownership of theirs. The generator is
+  // deterministic per seed, so regenerating yields a bit-identical graph.
+  static Graph MakeWorldGraph() {
+    SmallWorldOptions gen;
+    gen.num_vertices = 400;
+    gen.seed = 17;
+    gen.keywords.domain_size = 30;
+    gen.keywords.keywords_per_vertex = 3;
+    Result<Graph> g = MakeSmallWorld(gen);
+    EXPECT_TRUE(g.ok()) << g.status().ToString();
+    return std::move(g).value();
+  }
+
+  static void SetUpTestSuite() {
+    world_ = new World();
+    world_->graph = MakeWorldGraph();
+
+    PrecomputeOptions pre_opts;
+    pre_opts.r_max = 2;
+    world_->index = testing::BuildIndexFor(world_->graph, pre_opts);
+
+    EngineOptions engine_opts;
+    engine_opts.num_threads = 4;
+    // The engine gets its own copy of the offline phase so the reference
+    // detectors below keep using `index` independently.
+    Result<std::unique_ptr<Engine>> engine =
+        MakeEngineFromSharedIndex(engine_opts);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    world_->engine = std::move(engine).value();
+
+    // A mixed query workload with population-weighted keywords (uniform
+    // domain draws on a 30-keyword domain often match nobody).
+    for (std::uint64_t seed = 1; seed <= 9; ++seed) {
+      Query q;
+      Rng rng(seed);
+      std::vector<KeywordId> kws;
+      while (kws.size() < 3) {
+        const VertexId v =
+            static_cast<VertexId>(rng.NextBounded(world_->graph.NumVertices()));
+        const auto vertex_kws = world_->graph.Keywords(v);
+        if (vertex_kws.empty()) continue;
+        const KeywordId w = vertex_kws[rng.NextBounded(vertex_kws.size())];
+        if (std::find(kws.begin(), kws.end(), w) == kws.end()) kws.push_back(w);
+      }
+      std::sort(kws.begin(), kws.end());
+      q.keywords = std::move(kws);
+      q.k = 3 + static_cast<std::uint32_t>(seed % 2);  // k in {3, 4}
+      q.radius = 1 + static_cast<std::uint32_t>(seed % 2);
+      q.theta = 0.2;
+      q.top_l = 4;
+      world_->queries.push_back(std::move(q));
+      world_->diversified.push_back(seed % 3 == 0);
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+
+  /// Fresh Engine over a copy of the shared precomputed data (tree rebuilt
+  /// so its back-pointer targets the copy) and a regenerated graph.
+  static Result<std::unique_ptr<Engine>> MakeEngineFromSharedIndex(
+      const EngineOptions& options) {
+    auto pre_copy = std::make_unique<PrecomputedData>(world_->index.pre());
+    Result<TreeIndex> tree =
+        TreeIndex::Build(world_->graph, *pre_copy, TreeIndexOptions());
+    if (!tree.ok()) return tree.status();
+    return Engine::Create(MakeWorldGraph(), std::move(pre_copy),
+                          std::move(tree).value(), options);
+  }
+
+  static DTopLOptions DiversifiedOptions() {
+    DTopLOptions options;
+    options.n_factor = 3;
+    return options;
+  }
+
+  // Engine graph/index vs reference: the engine serves from an identical
+  // copy of the offline phase, so answers must match *exactly* — same
+  // communities, same member lists, bit-identical scores.
+  static void ExpectSameCommunities(const std::vector<CommunityResult>& actual,
+                                    const std::vector<CommunityResult>& expected) {
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+      EXPECT_EQ(actual[i].community.center, expected[i].community.center) << i;
+      EXPECT_EQ(actual[i].community.vertices, expected[i].community.vertices) << i;
+      EXPECT_EQ(actual[i].influence.vertices, expected[i].influence.vertices) << i;
+      EXPECT_EQ(actual[i].influence.cpp, expected[i].influence.cpp) << i;
+      EXPECT_EQ(actual[i].score(), expected[i].score()) << i;
+    }
+  }
+};
+
+EngineTest::World* EngineTest::world_ = nullptr;
+
+TEST_F(EngineTest, SearchMatchesSingleThreadedDetector) {
+  TopLDetector reference(world_->graph, world_->index.pre(), world_->index.tree);
+  for (const Query& query : world_->queries) {
+    Result<TopLResult> expected = reference.Search(query);
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+    Result<TopLResult> actual = world_->engine->Search(query);
+    ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+    ExpectSameCommunities(actual->communities, expected->communities);
+    // The pruning trace must match too: same index, same traversal.
+    EXPECT_EQ(actual->stats.heap_pops, expected->stats.heap_pops);
+    EXPECT_EQ(actual->stats.TotalPruned(), expected->stats.TotalPruned());
+  }
+}
+
+TEST_F(EngineTest, SearchDiversifiedMatchesSingleThreadedDetector) {
+  DTopLDetector reference(world_->graph, world_->index.pre(), world_->index.tree);
+  for (const Query& query : world_->queries) {
+    Result<DTopLResult> expected = reference.Search(query, DiversifiedOptions());
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+    Result<DTopLResult> actual =
+        world_->engine->SearchDiversified(query, DiversifiedOptions());
+    ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+    ExpectSameCommunities(actual->communities, expected->communities);
+    EXPECT_EQ(actual->diversity_score, expected->diversity_score);
+  }
+}
+
+TEST_F(EngineTest, ConcurrentMixedQueriesMatchSingleThreaded) {
+  // Reference answers, computed single-threaded.
+  TopLDetector topl_ref(world_->graph, world_->index.pre(), world_->index.tree);
+  DTopLDetector dtopl_ref(world_->graph, world_->index.pre(), world_->index.tree);
+  std::vector<TopLResult> expected_topl(world_->queries.size());
+  std::vector<DTopLResult> expected_dtopl(world_->queries.size());
+  for (std::size_t i = 0; i < world_->queries.size(); ++i) {
+    if (world_->diversified[i]) {
+      Result<DTopLResult> r =
+          dtopl_ref.Search(world_->queries[i], DiversifiedOptions());
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      expected_dtopl[i] = std::move(r).value();
+    } else {
+      Result<TopLResult> r = topl_ref.Search(world_->queries[i]);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      expected_topl[i] = std::move(r).value();
+    }
+  }
+
+  // N threads, each sweeping the whole mixed workload M times against the
+  // one shared engine, all comparing against the single-threaded answers.
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kRounds = 3;
+  std::vector<std::thread> threads;
+  std::vector<std::string> failures(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        // Stagger start index per thread so threads hit different queries
+        // (and thus differently-sized scratch) at the same time.
+        for (std::size_t j = 0; j < world_->queries.size(); ++j) {
+          const std::size_t i = (j + t) % world_->queries.size();
+          const std::vector<CommunityResult>* expected;
+          std::vector<CommunityResult> actual;
+          if (world_->diversified[i]) {
+            Result<DTopLResult> r = world_->engine->SearchDiversified(
+                world_->queries[i], DiversifiedOptions());
+            if (!r.ok()) {
+              failures[t] = r.status().ToString();
+              return;
+            }
+            actual = std::move(r).value().communities;
+            expected = &expected_dtopl[i].communities;
+          } else {
+            Result<TopLResult> r = world_->engine->Search(world_->queries[i]);
+            if (!r.ok()) {
+              failures[t] = r.status().ToString();
+              return;
+            }
+            actual = std::move(r).value().communities;
+            expected = &expected_topl[i].communities;
+          }
+          if (actual.size() != expected->size()) {
+            failures[t] = "result size mismatch on query " + std::to_string(i);
+            return;
+          }
+          for (std::size_t c = 0; c < actual.size(); ++c) {
+            if (actual[c].community.center != (*expected)[c].community.center ||
+                actual[c].community.vertices != (*expected)[c].community.vertices ||
+                actual[c].influence.vertices != (*expected)[c].influence.vertices ||
+                actual[c].influence.cpp != (*expected)[c].influence.cpp) {
+              failures[t] = "community mismatch on query " + std::to_string(i);
+              return;
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(failures[t].empty()) << "thread " << t << ": " << failures[t];
+  }
+  // The context pool grew to at most the peak concurrency, not per query.
+  EXPECT_GE(world_->engine->pooled_contexts(), 1u);
+  EXPECT_LE(world_->engine->pooled_contexts(),
+            kThreads + world_->engine->num_threads());
+}
+
+TEST_F(EngineTest, SearchBatchMatchesPerSlotSearch) {
+  std::vector<Result<TopLResult>> batch =
+      world_->engine->SearchBatch(world_->queries);
+  ASSERT_EQ(batch.size(), world_->queries.size());
+  TopLDetector reference(world_->graph, world_->index.pre(), world_->index.tree);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_TRUE(batch[i].ok()) << batch[i].status().ToString();
+    Result<TopLResult> expected = reference.Search(world_->queries[i]);
+    ASSERT_TRUE(expected.ok());
+    ExpectSameCommunities(batch[i]->communities, expected->communities);
+  }
+}
+
+TEST_F(EngineTest, SubmitResolvesFuturesToSameAnswers) {
+  std::vector<std::future<Result<TopLResult>>> futures;
+  for (const Query& query : world_->queries) {
+    futures.push_back(world_->engine->Submit(query));
+  }
+  std::future<Result<DTopLResult>> diversified = world_->engine->SubmitDiversified(
+      world_->queries.front(), DiversifiedOptions());
+
+  TopLDetector reference(world_->graph, world_->index.pre(), world_->index.tree);
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    Result<TopLResult> actual = futures[i].get();
+    ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+    Result<TopLResult> expected = reference.Search(world_->queries[i]);
+    ASSERT_TRUE(expected.ok());
+    ExpectSameCommunities(actual->communities, expected->communities);
+  }
+  Result<DTopLResult> dtopl = diversified.get();
+  ASSERT_TRUE(dtopl.ok()) << dtopl.status().ToString();
+}
+
+TEST_F(EngineTest, StatsAggregateAcrossQueries) {
+  // A fresh engine so counters start from zero.
+  EngineOptions options;
+  options.num_threads = 2;
+  Result<std::unique_ptr<Engine>> engine = MakeEngineFromSharedIndex(options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  QueryStats expected_sum;
+  for (const Query& query : world_->queries) {
+    Result<TopLResult> r = (*engine)->Search(query);
+    ASSERT_TRUE(r.ok());
+    expected_sum += r->stats;
+  }
+  Result<DTopLResult> d =
+      (*engine)->SearchDiversified(world_->queries.front(), DiversifiedOptions());
+  ASSERT_TRUE(d.ok());
+  expected_sum += d->candidate_stats;
+
+  // One malformed query (radius beyond r_max) must count as failed.
+  Query bad = world_->queries.front();
+  bad.radius = 99;
+  Result<TopLResult> failed = (*engine)->Search(bad);
+  EXPECT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.status().IsInvalidArgument());
+
+  (*engine)->SearchBatch(world_->queries);
+
+  const EngineStats stats = (*engine)->Stats();
+  EXPECT_EQ(stats.topl_queries, 2 * world_->queries.size() + 1);
+  EXPECT_EQ(stats.dtopl_queries, 1u);
+  EXPECT_EQ(stats.queries_total, stats.topl_queries + stats.dtopl_queries);
+  EXPECT_EQ(stats.failed_queries, 1u);
+  EXPECT_EQ(stats.batches, 1u);
+  // The deterministic counters doubled exactly (batch reran the same list).
+  EXPECT_EQ(stats.query_stats.heap_pops,
+            2 * expected_sum.heap_pops - d->candidate_stats.heap_pops);
+  EXPECT_LE(stats.p50_latency_seconds, stats.p99_latency_seconds);
+  EXPECT_LE(stats.p99_latency_seconds, stats.max_latency_seconds);
+  EXPECT_GT(stats.query_stats.elapsed_seconds, 0.0);
+}
+
+TEST_F(EngineTest, QueryStatsMergeHelper) {
+  QueryStats a;
+  a.heap_pops = 3;
+  a.pruned_keyword = 1;
+  a.pruned_termination = 2;
+  a.candidates_refined = 4;
+  a.elapsed_seconds = 0.25;
+  QueryStats b;
+  b.heap_pops = 5;
+  b.pruned_support = 7;
+  b.communities_found = 1;
+  b.elapsed_seconds = 0.5;
+  a += b;
+  EXPECT_EQ(a.heap_pops, 8u);
+  EXPECT_EQ(a.pruned_keyword, 1u);
+  EXPECT_EQ(a.pruned_support, 7u);
+  EXPECT_EQ(a.pruned_termination, 2u);
+  EXPECT_EQ(a.TotalPruned(), 10u);
+  EXPECT_EQ(a.candidates_refined, 4u);
+  EXPECT_EQ(a.communities_found, 1u);
+  EXPECT_DOUBLE_EQ(a.elapsed_seconds, 0.75);
+}
+
+TEST_F(EngineTest, CreateRejectsMismatchedParts) {
+  // pre built over a different (smaller) graph.
+  Graph other = testing::MakeClique(6);
+  Result<PrecomputedData> other_pre =
+      PrecomputedData::Build(other, PrecomputeOptions());
+  ASSERT_TRUE(other_pre.ok());
+  auto other_owned = std::make_unique<PrecomputedData>(std::move(other_pre).value());
+  Result<TreeIndex> other_tree =
+      TreeIndex::Build(other, *other_owned, TreeIndexOptions());
+  ASSERT_TRUE(other_tree.ok());
+
+  Graph graph_copy = testing::MakeClique(6);
+  Result<std::unique_ptr<Engine>> null_pre = Engine::Create(
+      testing::MakeClique(6), nullptr, TreeIndex(), EngineOptions());
+  EXPECT_FALSE(null_pre.ok());
+
+  // Tree built over a different PrecomputedData instance than the one handed in.
+  auto second_pre = std::make_unique<PrecomputedData>(*other_owned);
+  Result<std::unique_ptr<Engine>> mismatched =
+      Engine::Create(std::move(graph_copy), std::move(second_pre),
+                     std::move(other_tree).value(), EngineOptions());
+  EXPECT_FALSE(mismatched.ok());
+  EXPECT_TRUE(mismatched.status().IsInvalidArgument());
+}
+
+TEST_F(EngineTest, OpenLoadsBuildsAndPersists) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "topl_engine_test";
+  std::filesystem::create_directories(dir);
+  const std::string graph_path = (dir / "graph.bin").string();
+  const std::string index_path = (dir / "index.bin").string();
+  std::filesystem::remove(index_path);
+  ASSERT_TRUE(WriteGraphBinary(world_->graph, graph_path).ok());
+
+  EngineOptions options;
+  options.graph_path = graph_path;
+  options.index_path = index_path;
+  options.precompute.r_max = 2;
+  options.num_threads = 2;
+
+  // First Open: no index file -> built in-process and persisted.
+  Result<std::unique_ptr<Engine>> built = Engine::Open(options);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  EXPECT_TRUE(std::filesystem::exists(index_path));
+
+  // Second Open: loads the persisted index; answers match the first engine.
+  Result<std::unique_ptr<Engine>> loaded = Engine::Open(options);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (const Query& query : world_->queries) {
+    Result<TopLResult> a = (*built)->Search(query);
+    Result<TopLResult> b = (*loaded)->Search(query);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ExpectSameCommunities(b->communities, a->communities);
+  }
+
+  // Refusing to build when asked not to.
+  std::filesystem::remove(index_path);
+  EngineOptions strict = options;
+  strict.build_index_if_missing = false;
+  Result<std::unique_ptr<Engine>> missing = Engine::Open(strict);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_TRUE(missing.status().IsNotFound());
+
+  // Missing graph path is an InvalidArgument, not a crash.
+  Result<std::unique_ptr<Engine>> no_graph = Engine::Open(EngineOptions());
+  EXPECT_FALSE(no_graph.ok());
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(EngineTest, SequentialQueriesReuseOneContext) {
+  Result<std::unique_ptr<Engine>> engine =
+      MakeEngineFromSharedIndex(EngineOptions());
+  ASSERT_TRUE(engine.ok());
+  for (int i = 0; i < 5; ++i) {
+    Result<TopLResult> r = (*engine)->Search(world_->queries.front());
+    ASSERT_TRUE(r.ok());
+  }
+  EXPECT_EQ((*engine)->pooled_contexts(), 1u);
+}
+
+}  // namespace
+}  // namespace topl

@@ -1,18 +1,33 @@
 // topl_cli — command-line front end for the library's full pipeline.
 //
+// Offline phase (artifact construction):
 //   topl_cli generate --kind=uni --vertices=10000 --out=graph.bin
 //   topl_cli convert  --in=com-dblp.ungraph.txt --out=graph.bin
 //   topl_cli index    --graph=graph.bin --out=index.bin [--rmax=3 --threads=0]
 //   topl_cli stats    --graph=graph.bin
+//
+// Online phase (all served through topl::Engine::Open; a missing index file
+// is built in-process, and persisted back when --save-index=1):
 //   topl_cli query    --graph=graph.bin --index=index.bin
 //                     --keywords=1,8,21 --k=4 --r=2 --theta=0.2 --L=5
 //   topl_cli dtopl    ... same flags ... [--n=5 --algorithm=wp|wop|optimal]
+//   topl_cli batch    --graph=graph.bin --index=index.bin --queries=queries.txt
+//                     [--threads=0 --repeat=1 --quiet=0]
+//
+// The batch query file holds one query per line:
+//   <keywords-csv> [k] [r] [theta] [L] [dtopl]
+// e.g. "1,8,21 4 2 0.2 5" or "3,14 4 2 0.2 5 dtopl"; omitted fields fall
+// back to the command-line flag defaults, '#' starts a comment. The batch is
+// fanned out across the engine's worker pool, and cumulative EngineStats
+// (throughput, p50/p99 latency, prune counters) are printed at the end.
 //
 // All subcommands exit non-zero with a Status message on failure.
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -80,7 +95,7 @@ int Fail(const Status& status) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: topl_cli <generate|convert|index|stats|query|dtopl> "
+               "usage: topl_cli <generate|convert|index|stats|query|dtopl|batch> "
                "[--flag=value ...]\n"
                "see the header comment of tools/topl_cli.cc for flags\n");
   return 2;
@@ -208,25 +223,20 @@ void PrintCommunities(const std::vector<CommunityResult>& communities) {
   }
 }
 
-int CmdQuery(const std::map<std::string, std::string>& flags, bool diversified) {
-  const std::string graph_path = FlagOr(flags, "graph", "graph.bin");
-  const std::string index_path = FlagOr(flags, "index", "index.bin");
-  Result<Graph> graph = ReadGraphBinary(graph_path);
-  if (!graph.ok()) return Fail(graph.status());
-  Result<IndexCodec::LoadedIndex> loaded = IndexCodec::Read(index_path, *graph);
-  if (!loaded.ok()) return Fail(loaded.status());
-  Result<Query> query = BuildQuery(flags);
-  if (!query.ok()) return Fail(query.status());
+// Shared Engine::Open wiring for the online subcommands.
+Result<std::unique_ptr<Engine>> OpenEngine(
+    const std::map<std::string, std::string>& flags) {
+  EngineOptions options;
+  options.graph_path = FlagOr(flags, "graph", "graph.bin");
+  options.index_path = FlagOr(flags, "index", "index.bin");
+  options.save_built_index = FlagOr(flags, "save-index", "0") == "1";
+  options.precompute.r_max = static_cast<std::uint32_t>(IntFlag(flags, "rmax", 3));
+  options.num_threads = IntFlag(flags, "threads", 0);
+  return Engine::Open(options);
+}
 
-  if (!diversified) {
-    TopLDetector detector(*graph, *loaded->data, loaded->tree);
-    Result<TopLResult> answer = detector.Search(*query);
-    if (!answer.ok()) return Fail(answer.status());
-    PrintCommunities(answer->communities);
-    std::printf("stats: %s\n", answer->stats.ToString().c_str());
-    return 0;
-  }
-
+Result<DTopLOptions> BuildDTopLOptions(
+    const std::map<std::string, std::string>& flags) {
   DTopLOptions options;
   options.n_factor = static_cast<std::uint32_t>(IntFlag(flags, "n", 5));
   const std::string algorithm = FlagOr(flags, "algorithm", "wp");
@@ -237,10 +247,28 @@ int CmdQuery(const std::map<std::string, std::string>& flags, bool diversified) 
   } else if (algorithm == "optimal") {
     options.algorithm = DTopLAlgorithm::kOptimal;
   } else {
-    return Fail(Status::InvalidArgument("unknown algorithm: " + algorithm));
+    return Status::InvalidArgument("unknown algorithm: " + algorithm);
   }
-  DTopLDetector detector(*graph, *loaded->data, loaded->tree);
-  Result<DTopLResult> answer = detector.Search(*query, options);
+  return options;
+}
+
+int CmdQuery(const std::map<std::string, std::string>& flags, bool diversified) {
+  Result<std::unique_ptr<Engine>> engine = OpenEngine(flags);
+  if (!engine.ok()) return Fail(engine.status());
+  Result<Query> query = BuildQuery(flags);
+  if (!query.ok()) return Fail(query.status());
+
+  if (!diversified) {
+    Result<TopLResult> answer = (*engine)->Search(*query);
+    if (!answer.ok()) return Fail(answer.status());
+    PrintCommunities(answer->communities);
+    std::printf("stats: %s\n", answer->stats.ToString().c_str());
+    return 0;
+  }
+
+  Result<DTopLOptions> options = BuildDTopLOptions(flags);
+  if (!options.ok()) return Fail(options.status());
+  Result<DTopLResult> answer = (*engine)->SearchDiversified(*query, *options);
   if (!answer.ok()) return Fail(answer.status());
   PrintCommunities(answer->communities);
   std::printf("diversity score D(S) = %.3f (candidates %.3fs, refine %.3fs, "
@@ -248,6 +276,163 @@ int CmdQuery(const std::map<std::string, std::string>& flags, bool diversified) 
               answer->diversity_score, answer->candidate_seconds,
               answer->refine_seconds,
               static_cast<unsigned long long>(answer->gain_evaluations));
+  return 0;
+}
+
+// One parsed line of a batch query file.
+struct BatchEntry {
+  Query query;
+  bool diversified = false;
+};
+
+Result<std::vector<BatchEntry>> ParseQueryFile(
+    const std::string& path, const Query& defaults) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open query file: " + path);
+  std::vector<BatchEntry> entries;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream tokens(line);
+    std::string keywords;
+    if (!(tokens >> keywords)) continue;  // blank / comment-only line
+
+    BatchEntry entry;
+    entry.query = defaults;
+    entry.query.keywords = ParseKeywordList(keywords);
+    std::string token;
+    int field = 0;
+    std::string bad;
+    const auto parse_u32 = [&](std::uint32_t* out) {
+      char* end = nullptr;
+      const unsigned long value = std::strtoul(token.c_str(), &end, 10);
+      if (end == token.c_str() || *end != '\0') bad = "malformed integer: " + token;
+      *out = static_cast<std::uint32_t>(value);
+    };
+    while (bad.empty() && tokens >> token) {
+      if (token == "dtopl") {
+        entry.diversified = true;
+        continue;
+      }
+      switch (field++) {
+        case 0: parse_u32(&entry.query.k); break;
+        case 1: parse_u32(&entry.query.radius); break;
+        case 2: {
+          char* end = nullptr;
+          entry.query.theta = std::strtod(token.c_str(), &end);
+          if (end == token.c_str() || *end != '\0') bad = "malformed number: " + token;
+          break;
+        }
+        case 3: parse_u32(&entry.query.top_l); break;
+        default: bad = "too many fields"; break;
+      }
+    }
+    if (!bad.empty()) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": " + bad);
+    }
+    const Status status = entry.query.Validate();
+    if (!status.ok()) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) + ": " +
+                                     status.message());
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+int CmdBatch(const std::map<std::string, std::string>& flags) {
+  const std::string queries_path = FlagOr(flags, "queries", "");
+  if (queries_path.empty()) {
+    return Fail(Status::InvalidArgument("batch needs --queries=FILE"));
+  }
+  // Per-line defaults reuse the query flags; keywords are always per line,
+  // so each parsed line (not the defaults) is what gets validated.
+  Query defaults;
+  defaults.k = static_cast<std::uint32_t>(IntFlag(flags, "k", 4));
+  defaults.radius = static_cast<std::uint32_t>(IntFlag(flags, "r", 2));
+  defaults.theta = DoubleFlag(flags, "theta", 0.2);
+  defaults.top_l = static_cast<std::uint32_t>(IntFlag(flags, "L", 5));
+  Result<std::vector<BatchEntry>> entries =
+      ParseQueryFile(queries_path, defaults);
+  if (!entries.ok()) return Fail(entries.status());
+  if (entries->empty()) {
+    return Fail(Status::InvalidArgument("query file has no queries: " + queries_path));
+  }
+
+  Result<std::unique_ptr<Engine>> engine = OpenEngine(flags);
+  if (!engine.ok()) return Fail(engine.status());
+  Result<DTopLOptions> dtopl_options = BuildDTopLOptions(flags);
+  if (!dtopl_options.ok()) return Fail(dtopl_options.status());
+  const std::uint64_t repeat = IntFlag(flags, "repeat", 1);
+  const bool quiet = FlagOr(flags, "quiet", "0") == "1";
+
+  // TopL lines go through SearchBatch (one engine fan-out per repeat);
+  // DTopL lines are submitted async and collected afterwards.
+  std::vector<Query> topl_queries;
+  std::vector<std::size_t> topl_lines;
+  std::vector<std::pair<std::size_t, const Query*>> dtopl_queries;
+  for (std::size_t i = 0; i < entries->size(); ++i) {
+    if ((*entries)[i].diversified) {
+      dtopl_queries.emplace_back(i, &(*entries)[i].query);
+    } else {
+      topl_queries.push_back((*entries)[i].query);
+      topl_lines.push_back(i);
+    }
+  }
+
+  Timer wall;
+  for (std::uint64_t round = 0; round < repeat; ++round) {
+    const bool report = !quiet && round == 0;
+    std::vector<std::future<Result<DTopLResult>>> dtopl_futures;
+    dtopl_futures.reserve(dtopl_queries.size());
+    for (const auto& [line, query] : dtopl_queries) {
+      dtopl_futures.push_back(
+          (*engine)->SubmitDiversified(*query, *dtopl_options));
+    }
+    std::vector<Result<TopLResult>> answers =
+        (*engine)->SearchBatch(topl_queries);
+    for (std::size_t i = 0; i < answers.size(); ++i) {
+      if (!answers[i].ok()) {
+        std::fprintf(stderr, "query %zu failed: %s\n", topl_lines[i] + 1,
+                     answers[i].status().ToString().c_str());
+        continue;
+      }
+      if (report) {
+        std::printf("query %zu: %zu communities, best sigma=%.3f\n",
+                    topl_lines[i] + 1, answers[i]->communities.size(),
+                    answers[i]->communities.empty()
+                        ? 0.0
+                        : answers[i]->communities.front().score());
+      }
+    }
+    for (std::size_t i = 0; i < dtopl_futures.size(); ++i) {
+      Result<DTopLResult> answer = dtopl_futures[i].get();
+      if (!answer.ok()) {
+        std::fprintf(stderr, "query %zu failed: %s\n",
+                     dtopl_queries[i].first + 1,
+                     answer.status().ToString().c_str());
+        continue;
+      }
+      if (report) {
+        std::printf("query %zu (dtopl): %zu communities, D(S)=%.3f\n",
+                    dtopl_queries[i].first + 1, answer->communities.size(),
+                    answer->diversity_score);
+      }
+    }
+  }
+  const double elapsed = wall.ElapsedSeconds();
+
+  const EngineStats stats = (*engine)->Stats();
+  std::printf("served %llu queries in %.3fs (%.1f queries/s, %zu workers, "
+              "%zu detector contexts)\n",
+              static_cast<unsigned long long>(stats.queries_total), elapsed,
+              elapsed > 0 ? static_cast<double>(stats.queries_total) / elapsed : 0.0,
+              (*engine)->num_threads(), (*engine)->pooled_contexts());
+  std::printf("engine stats: %s\n", stats.ToString().c_str());
   return 0;
 }
 
@@ -264,5 +449,6 @@ int main(int argc, char** argv) {
   if (command == "stats") return CmdStats(flags);
   if (command == "query") return CmdQuery(flags, /*diversified=*/false);
   if (command == "dtopl") return CmdQuery(flags, /*diversified=*/true);
+  if (command == "batch") return CmdBatch(flags);
   return Usage();
 }
