@@ -7,6 +7,7 @@
 #include "common/timer.h"
 #include "graph/binary_io.h"
 #include "index/index_io.h"
+#include "storage/artifact.h"
 
 namespace topl {
 
@@ -57,19 +58,60 @@ Result<std::unique_ptr<Engine>> Engine::FromGraph(Graph graph,
 }
 
 Result<std::unique_ptr<Engine>> Engine::Open(const EngineOptions& options) {
+  const bool have_index_file =
+      !options.index_path.empty() && std::filesystem::exists(options.index_path);
+
+  // Fast path: a TOPLIDX2 artifact embeds graph + precompute + tree, so the
+  // whole serving state is one mmap — no parse, no copy, cold start in a few
+  // page faults (plus one checksum scan unless disabled).
+  if (have_index_file && ArtifactReader::IsArtifact(options.index_path)) {
+    ArtifactReadOptions read_options;
+    read_options.verify_checksums = options.verify_artifact_checksums;
+    Result<MappedIndex> mapped =
+        ArtifactReader::Open(options.index_path, read_options);
+    if (!mapped.ok()) return mapped.status();
+    if (!options.graph_path.empty()) {
+      // Cheap header cross-check: serving an index against the wrong graph
+      // must fail loudly, not return silently wrong communities.
+      Result<GraphBinaryHeader> header =
+          ReadGraphBinaryHeader(options.graph_path);
+      if (!header.ok()) return header.status();
+      if (header->num_vertices != mapped->graph.NumVertices() ||
+          header->num_edges != mapped->graph.NumEdges()) {
+        return Status::InvalidArgument(
+            "graph/artifact mismatch: " + options.index_path +
+            " embeds a graph with " +
+            std::to_string(mapped->graph.NumVertices()) + " vertices / " +
+            std::to_string(mapped->graph.NumEdges()) + " edges, but " +
+            options.graph_path + " has " +
+            std::to_string(header->num_vertices) + " / " +
+            std::to_string(header->num_edges));
+      }
+    }
+    Result<std::unique_ptr<Engine>> engine =
+        Create(std::move(mapped->graph), std::move(mapped->pre),
+               std::move(mapped->tree), options);
+    if (engine.ok()) (*engine)->index_source_ = IndexSource::kMappedArtifact;
+    return engine;
+  }
+
   if (options.graph_path.empty()) {
-    return Status::InvalidArgument("EngineOptions::graph_path is required");
+    return Status::InvalidArgument(
+        "EngineOptions::graph_path is required (only a TOPLIDX2 index "
+        "artifact can supply the graph)");
   }
   Result<Graph> graph = ReadGraphBinary(options.graph_path);
   if (!graph.ok()) return graph.status();
 
-  if (!options.index_path.empty() &&
-      std::filesystem::exists(options.index_path)) {
+  if (have_index_file) {
     Result<IndexCodec::LoadedIndex> loaded =
         IndexCodec::Read(options.index_path, *graph);
     if (!loaded.ok()) return loaded.status();
-    return Create(std::move(graph).value(), std::move(loaded->data),
-                  std::move(loaded->tree), options);
+    Result<std::unique_ptr<Engine>> engine =
+        Create(std::move(graph).value(), std::move(loaded->data),
+               std::move(loaded->tree), options);
+    if (engine.ok()) (*engine)->index_source_ = IndexSource::kLegacyCopy;
+    return engine;
   }
 
   if (!options.build_index_if_missing) {
@@ -82,7 +124,8 @@ Result<std::unique_ptr<Engine>> Engine::Open(const EngineOptions& options) {
   Result<TreeIndex> tree = TreeIndex::Build(*graph, *owned, options.tree);
   if (!tree.ok()) return tree.status();
   if (options.save_built_index && !options.index_path.empty()) {
-    TOPL_RETURN_IF_ERROR(IndexCodec::Write(*owned, *tree, options.index_path));
+    TOPL_RETURN_IF_ERROR(
+        ArtifactWriter::Write(*graph, *owned, *tree, options.index_path));
   }
   return Create(std::move(graph).value(), std::move(owned),
                 std::move(tree).value(), options);

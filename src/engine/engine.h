@@ -44,6 +44,13 @@ namespace topl {
 ///  - Engine::FromGraph(graph): run the offline phase in-process.
 class Engine {
  public:
+  /// How the engine came to hold its offline-phase state.
+  enum class IndexSource {
+    kInMemory,        ///< built in-process or adopted via Create/FromGraph
+    kLegacyCopy,      ///< parsed+copied from a TOPLIDX1 file
+    kMappedArtifact,  ///< zero-copy views of a mmap-ed TOPLIDX2 artifact
+  };
+
   /// Adopts in-memory offline-phase output. `tree` must have been built over
   /// `*pre` (validated), and `pre` over `graph`.
   static Result<std::unique_ptr<Engine>> Create(Graph graph,
@@ -56,9 +63,12 @@ class Engine {
   static Result<std::unique_ptr<Engine>> FromGraph(Graph graph,
                                                    const EngineOptions& options = {});
 
-  /// Loads the graph from options.graph_path and the index from
-  /// options.index_path; a missing index file is built in-process (and
-  /// persisted back when options.save_built_index).
+  /// Loads serving state from files. A TOPLIDX2 artifact at
+  /// options.index_path is mmap-ed and served zero-copy (graph included;
+  /// options.graph_path is then only cross-checked); a legacy TOPLIDX1 index
+  /// is parsed alongside the graph file; a missing index file is built
+  /// in-process (and persisted back as a TOPLIDX2 artifact when
+  /// options.save_built_index).
   static Result<std::unique_ptr<Engine>> Open(const EngineOptions& options);
 
   ~Engine();
@@ -91,6 +101,9 @@ class Engine {
   const PrecomputedData& precomputed() const { return *pre_; }
   const TreeIndex& tree() const { return tree_; }
   std::size_t num_threads() const { return pool_.num_threads(); }
+
+  /// Which load path Open took (kInMemory for Create/FromGraph engines).
+  IndexSource index_source() const { return index_source_; }
 
   /// Detector contexts created so far (== peak number of concurrent
   /// queries); exposed for tests and capacity monitoring.
@@ -142,6 +155,7 @@ class Engine {
   Graph graph_;
   std::unique_ptr<PrecomputedData> pre_;
   TreeIndex tree_;
+  IndexSource index_source_ = IndexSource::kInMemory;
 
   std::atomic<std::uint64_t> batches_{0};
 

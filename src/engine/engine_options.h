@@ -14,12 +14,16 @@ namespace topl {
 /// The path fields drive Engine::Open; Engine::Create / Engine::FromGraph
 /// ignore them and use only the serving knobs.
 struct EngineOptions {
-  /// Binary graph file (graph/binary_io.h). Required by Engine::Open.
+  /// Binary graph file (graph/binary_io.h). Required by Engine::Open unless
+  /// `index_path` names a TOPLIDX2 artifact, which embeds the graph; when
+  /// both are given, the artifact's vertex/edge counts are cross-checked
+  /// against the graph file's header.
   std::string graph_path;
 
-  /// Index file (index/index_io.h). When the file exists it is loaded; when
-  /// it is missing (or the field is empty) the offline phase runs in-process,
-  /// subject to `build_index_if_missing`.
+  /// Index file. A TOPLIDX2 artifact (storage/artifact.h) is mmap-ed and
+  /// served zero-copy; a legacy TOPLIDX1 file (index/index_io.h) is parsed
+  /// into owned memory. When the file is missing (or the field is empty) the
+  /// offline phase runs in-process, subject to `build_index_if_missing`.
   std::string index_path;
 
   /// Open: build PrecomputedData + TreeIndex when no index file is found.
@@ -27,8 +31,13 @@ struct EngineOptions {
   bool build_index_if_missing = true;
 
   /// Open: after building in-process, persist the index to `index_path` (if
-  /// non-empty) so the next Open is load-only.
+  /// non-empty) as a TOPLIDX2 artifact so the next Open takes the mmap path.
   bool save_built_index = true;
+
+  /// Open: verify the artifact's per-section XXH64 checksums before serving
+  /// from it (one sequential scan of the file). Structural validation always
+  /// happens; disabling this only skips the hash pass.
+  bool verify_artifact_checksums = true;
 
   /// Offline-phase parameters used when the index is built in-process.
   PrecomputeOptions precompute;

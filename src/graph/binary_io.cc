@@ -77,6 +77,22 @@ Status WriteGraphBinary(const Graph& g, const std::string& path) {
   return Status::OK();
 }
 
+Result<GraphBinaryHeader> ReadGraphBinaryHeader(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open: " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption(path + ": bad magic");
+  }
+  GraphBinaryHeader header;
+  if (!GetRaw(in, &header.num_vertices) || !GetRaw(in, &header.num_edges) ||
+      !GetRaw(in, &header.total_keywords)) {
+    return Status::Corruption(path + ": truncated header");
+  }
+  return header;
+}
+
 Result<Graph> ReadGraphBinary(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open: " + path);

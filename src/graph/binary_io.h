@@ -25,6 +25,18 @@ Status WriteGraphBinary(const Graph& g, const std::string& path);
 /// Reads a graph written by WriteGraphBinary.
 Result<Graph> ReadGraphBinary(const std::string& path);
 
+/// The size header of a binary graph file.
+struct GraphBinaryHeader {
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  std::uint64_t total_keywords = 0;
+};
+
+/// Reads just the fixed-size header of a graph file — O(1), no graph
+/// construction. Used to cross-check a graph file against the graph embedded
+/// in a TOPLIDX2 index artifact without paying for a full parse.
+Result<GraphBinaryHeader> ReadGraphBinaryHeader(const std::string& path);
+
 }  // namespace topl
 
 #endif  // TOPL_GRAPH_BINARY_IO_H_

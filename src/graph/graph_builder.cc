@@ -63,8 +63,7 @@ Result<Graph> GraphBuilder::Build() && {
   Graph g;
   const std::size_t n = num_vertices_;
   const std::size_t m = edges_.size();
-  g.num_edges_ = m;
-  g.edge_endpoints_.reserve(m);
+  g.owned_edge_endpoints_.reserve(m);
 
   // Degree counting pass.
   std::vector<std::size_t> degree(n, 0);
@@ -72,25 +71,27 @@ Result<Graph> GraphBuilder::Build() && {
     ++degree[e.u];
     ++degree[e.v];
   }
-  g.offsets_.assign(n + 1, 0);
-  for (std::size_t v = 0; v < n; ++v) g.offsets_[v + 1] = g.offsets_[v] + degree[v];
-  g.arcs_.resize(2 * m);
+  auto& offsets = g.owned_offsets_;
+  auto& arcs = g.owned_arcs_;
+  offsets.assign(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) offsets[v + 1] = offsets[v] + degree[v];
+  arcs.resize(2 * m);
 
   // Fill pass: edges are sorted by (u, v) so per-vertex arc lists come out
   // sorted by construction (u's arcs get ascending v; v's arcs get ascending
   // u because edges are grouped by u ascending).
-  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
   for (EdgeId e = 0; e < m; ++e) {
     const PendingEdge& pe = edges_[e];
-    g.edge_endpoints_.emplace_back(pe.u, pe.v);
-    g.arcs_[cursor[pe.u]++] = {pe.v, pe.prob_uv, e};
-    g.arcs_[cursor[pe.v]++] = {pe.u, pe.prob_vu, e};
+    g.owned_edge_endpoints_.push_back({pe.u, pe.v});
+    arcs[cursor[pe.u]++] = {pe.v, pe.prob_uv, e};
+    arcs[cursor[pe.v]++] = {pe.u, pe.prob_vu, e};
   }
   // The v-side lists receive arcs in ascending u order, but interleaved with
   // the u-side fills they can end up locally unsorted; sort each list once.
   for (std::size_t v = 0; v < n; ++v) {
-    std::sort(g.arcs_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]),
-              g.arcs_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]),
+    std::sort(arcs.begin() + static_cast<std::ptrdiff_t>(offsets[v]),
+              arcs.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]),
               [](const Graph::Arc& a, const Graph::Arc& b) { return a.to < b.to; });
   }
 
@@ -98,17 +99,19 @@ Result<Graph> GraphBuilder::Build() && {
   std::sort(keyword_pairs_.begin(), keyword_pairs_.end());
   keyword_pairs_.erase(std::unique(keyword_pairs_.begin(), keyword_pairs_.end()),
                        keyword_pairs_.end());
-  g.keyword_offsets_.assign(n + 1, 0);
+  auto& keyword_offsets = g.owned_keyword_offsets_;
+  keyword_offsets.assign(n + 1, 0);
   for (const auto& [v, w] : keyword_pairs_) {
-    ++g.keyword_offsets_[v + 1];
+    ++keyword_offsets[v + 1];
     g.keyword_domain_bound_ = std::max(g.keyword_domain_bound_, w + 1);
   }
   for (std::size_t v = 0; v < n; ++v) {
-    g.keyword_offsets_[v + 1] += g.keyword_offsets_[v];
+    keyword_offsets[v + 1] += keyword_offsets[v];
   }
-  g.keywords_.reserve(keyword_pairs_.size());
-  for (const auto& [v, w] : keyword_pairs_) g.keywords_.push_back(w);
+  g.owned_keywords_.reserve(keyword_pairs_.size());
+  for (const auto& [v, w] : keyword_pairs_) g.owned_keywords_.push_back(w);
 
+  g.BindOwned();
   return g;
 }
 

@@ -2,6 +2,9 @@
 
 #include <cstring>
 #include <fstream>
+#include <span>
+
+#include "storage/artifact.h"
 
 namespace topl {
 
@@ -21,10 +24,10 @@ bool GetRaw(std::ifstream& in, T* value) {
 }
 
 template <typename T>
-void PutVector(std::ofstream& out, const std::vector<T>& v) {
+void PutSpan(std::ofstream& out, std::span<const T> v) {
   PutRaw<std::uint64_t>(out, v.size());
   out.write(reinterpret_cast<const char*>(v.data()),
-            static_cast<std::streamsize>(v.size() * sizeof(T)));
+            static_cast<std::streamsize>(v.size_bytes()));
 }
 
 template <typename T>
@@ -51,28 +54,28 @@ Status IndexCodec::Write(const PrecomputedData& pre, const TreeIndex& tree,
   PutRaw<std::uint32_t>(out, pre.signature_bits_);
   PutRaw<std::uint64_t>(out, pre.words_);
   PutRaw<std::uint64_t>(out, pre.n_);
-  PutVector(out, pre.thetas_);
-  PutVector(out, pre.signatures_);
-  PutVector(out, pre.support_bounds_);
-  PutVector(out, pre.center_truss_);
-  PutVector(out, pre.score_bounds_);
+  PutSpan(out, pre.thetas_);
+  PutSpan(out, pre.signatures_);
+  PutSpan(out, pre.support_bounds_);
+  PutSpan(out, pre.center_truss_);
+  PutSpan(out, pre.score_bounds_);
   // Tree.
   PutRaw<std::uint32_t>(out, tree.root_);
   PutRaw<std::uint32_t>(out, tree.height_);
   PutRaw<std::uint64_t>(out, tree.nodes_.size());
   for (const TreeIndex::Node& n : tree.nodes_) {
-    PutRaw<std::uint8_t>(out, n.is_leaf ? 1 : 0);
+    PutRaw<std::uint8_t>(out, n.is_leaf != 0 ? 1 : 0);
     PutRaw<std::uint32_t>(out, n.first_child);
     PutRaw<std::uint32_t>(out, n.num_children);
     PutRaw<std::uint32_t>(out, n.begin);
     PutRaw<std::uint32_t>(out, n.end);
     PutRaw<std::uint32_t>(out, n.num_vertices);
   }
-  PutVector(out, tree.sorted_vertices_);
-  PutVector(out, tree.signatures_);
-  PutVector(out, tree.support_bounds_);
-  PutVector(out, tree.center_truss_bounds_);
-  PutVector(out, tree.score_bounds_);
+  PutSpan(out, tree.sorted_vertices_);
+  PutSpan(out, tree.signatures_);
+  PutSpan(out, tree.support_bounds_);
+  PutSpan(out, tree.center_truss_bounds_);
+  PutSpan(out, tree.score_bounds_);
 
   out.flush();
   if (!out) return Status::IOError("write error on " + path);
@@ -81,6 +84,27 @@ Status IndexCodec::Write(const PrecomputedData& pre, const TreeIndex& tree,
 
 Result<IndexCodec::LoadedIndex> IndexCodec::Read(const std::string& path,
                                                  const Graph& g) {
+  // Newer artifacts come back through the zero-copy path so callers of the
+  // legacy API transparently benefit from the mmap-able format.
+  if (ArtifactReader::IsArtifact(path)) {
+    Result<MappedIndex> mapped = ArtifactReader::Open(path);
+    if (!mapped.ok()) return mapped.status();
+    if (mapped->graph.NumVertices() != g.NumVertices()) {
+      return Status::InvalidArgument(
+          path + ": index was built for a graph with " +
+          std::to_string(mapped->graph.NumVertices()) + " vertices");
+    }
+    if (mapped->graph.NumEdges() != g.NumEdges()) {
+      return Status::InvalidArgument(
+          path + ": index was built for a graph with " +
+          std::to_string(mapped->graph.NumEdges()) + " edges");
+    }
+    LoadedIndex loaded;
+    loaded.data = std::move(mapped->pre);
+    loaded.tree = std::move(mapped->tree);
+    return loaded;
+  }
+
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open: " + path);
   in.seekg(0, std::ios::end);
@@ -113,13 +137,14 @@ Result<IndexCodec::LoadedIndex> IndexCodec::Read(const std::string& path,
       pre.words_ != (pre.signature_bits_ + 63) / 64) {
     return Status::Corruption(path + ": inconsistent precompute header");
   }
-  if (!GetVector(in, &pre.thetas_, cap64) ||
-      !GetVector(in, &pre.signatures_, cap64) ||
-      !GetVector(in, &pre.support_bounds_, cap32) ||
-      !GetVector(in, &pre.center_truss_, cap32) ||
-      !GetVector(in, &pre.score_bounds_, cap64)) {
+  if (!GetVector(in, &pre.owned_thetas_, cap64) ||
+      !GetVector(in, &pre.owned_signatures_, cap64) ||
+      !GetVector(in, &pre.owned_support_bounds_, cap32) ||
+      !GetVector(in, &pre.owned_center_truss_, cap32) ||
+      !GetVector(in, &pre.owned_score_bounds_, cap64)) {
     return Status::Corruption(path + ": truncated precompute arrays");
   }
+  pre.BindOwned();
   const std::size_t m = pre.thetas_.size();
   if (m == 0 || pre.signatures_.size() != pre.n_ * pre.r_max_ * pre.words_ ||
       pre.support_bounds_.size() != pre.n_ * pre.r_max_ ||
@@ -142,34 +167,35 @@ Result<IndexCodec::LoadedIndex> IndexCodec::Read(const std::string& path,
     // 21 bytes per serialized node.
     return Status::Corruption(path + ": bad node count");
   }
-  tree.nodes_.resize(num_nodes);
-  for (TreeIndex::Node& n : tree.nodes_) {
+  tree.owned_nodes_.resize(num_nodes);
+  for (TreeIndex::Node& n : tree.owned_nodes_) {
     std::uint8_t is_leaf = 0;
     if (!GetRaw(in, &is_leaf) || !GetRaw(in, &n.first_child) ||
         !GetRaw(in, &n.num_children) || !GetRaw(in, &n.begin) ||
         !GetRaw(in, &n.end) || !GetRaw(in, &n.num_vertices)) {
       return Status::Corruption(path + ": truncated node section");
     }
-    n.is_leaf = is_leaf != 0;
-    if (!n.is_leaf &&
+    n.is_leaf = is_leaf != 0 ? 1 : 0;
+    if (n.is_leaf == 0 &&
         (n.first_child >= num_nodes ||
          n.num_children > num_nodes - n.first_child)) {
       return Status::Corruption(path + ": node child range out of bounds");
     }
-    if (n.is_leaf && (n.begin > n.end || n.end > pre.n_)) {
+    if (n.is_leaf == 1 && (n.begin > n.end || n.end > pre.n_)) {
       return Status::Corruption(path + ": leaf vertex range out of bounds");
     }
   }
   if (tree.root_ >= num_nodes) {
     return Status::Corruption(path + ": root out of bounds");
   }
-  if (!GetVector(in, &tree.sorted_vertices_, cap32) ||
-      !GetVector(in, &tree.signatures_, cap64) ||
-      !GetVector(in, &tree.support_bounds_, cap32) ||
-      !GetVector(in, &tree.center_truss_bounds_, cap32) ||
-      !GetVector(in, &tree.score_bounds_, cap64)) {
+  if (!GetVector(in, &tree.owned_sorted_vertices_, cap32) ||
+      !GetVector(in, &tree.owned_signatures_, cap64) ||
+      !GetVector(in, &tree.owned_support_bounds_, cap32) ||
+      !GetVector(in, &tree.owned_center_truss_bounds_, cap32) ||
+      !GetVector(in, &tree.owned_score_bounds_, cap64)) {
     return Status::Corruption(path + ": truncated tree arrays");
   }
+  tree.BindOwned();
   if (tree.sorted_vertices_.size() != pre.n_ ||
       tree.signatures_.size() != num_nodes * tree.r_max_ * tree.words_ ||
       tree.support_bounds_.size() != num_nodes * tree.r_max_ ||
@@ -179,6 +205,11 @@ Result<IndexCodec::LoadedIndex> IndexCodec::Read(const std::string& path,
   }
   for (VertexId v : tree.sorted_vertices_) {
     if (v >= pre.n_) return Status::Corruption(path + ": sorted vertex out of range");
+  }
+  // A well-formed stream ends exactly here; trailing bytes mean the fields
+  // above were not what the writer produced.
+  if (in.peek() != std::ifstream::traits_type::eof()) {
+    return Status::Corruption(path + ": trailing garbage after index data");
   }
   return loaded;
 }

@@ -13,8 +13,18 @@
 namespace topl {
 
 /// \brief Binary persistence for the offline phase's output, so a graph's
-/// index is built once and reloaded across sessions (magic "TOPLIDX1";
-/// little-endian, fixed-width fields; everything re-validated on load).
+/// index is built once and reloaded across sessions.
+///
+/// Write produces the legacy TOPLIDX1 stream (magic "TOPLIDX1";
+/// little-endian, fixed-width fields; everything re-validated on load) and
+/// is kept for compatibility and migration tests. New artifacts should be
+/// written as TOPLIDX2 via ArtifactWriter (storage/artifact.h), which packs
+/// graph + precompute + tree into one mmap-able file; `topl_cli index
+/// migrate` converts old files.
+///
+/// Read accepts both formats: TOPLIDX1 is parsed field-by-field into owned
+/// memory, TOPLIDX2 is delegated to ArtifactReader and comes back as
+/// zero-copy views of the mapping.
 class IndexCodec {
  public:
   /// A deserialized index. PrecomputedData sits behind a unique_ptr so its
@@ -25,11 +35,12 @@ class IndexCodec {
     TreeIndex tree;
   };
 
-  /// Writes `pre` and the `tree` built over it.
+  /// Writes `pre` and the `tree` built over it (legacy TOPLIDX1 format).
   static Status Write(const PrecomputedData& pre, const TreeIndex& tree,
                       const std::string& path);
 
-  /// Reads an index previously written for `g` (vertex count is verified).
+  /// Reads an index previously written for `g` (vertex count is verified;
+  /// for TOPLIDX2 artifacts the edge count as well).
   static Result<LoadedIndex> Read(const std::string& path, const Graph& g);
 };
 

@@ -62,16 +62,19 @@ Result<PrecomputedData> PrecomputedData::Build(const Graph& g,
 
   PrecomputedData data;
   data.r_max_ = options.r_max;
-  data.thetas_ = options.thetas;
+  data.owned_thetas_ = options.thetas;
   data.signature_bits_ = options.signature_bits;
   data.words_ = (options.signature_bits + 63) / 64;
   data.n_ = g.NumVertices();
   const std::uint32_t r_max = data.r_max_;
-  const std::size_t m_thetas = data.thetas_.size();
-  data.signatures_.assign(data.n_ * r_max * data.words_, 0);
-  data.support_bounds_.assign(data.n_ * r_max, 0);
-  data.center_truss_.assign(data.n_, 2);
-  data.score_bounds_.assign(data.n_ * r_max * m_thetas, 0.0);
+  const std::size_t m_thetas = data.owned_thetas_.size();
+  data.owned_signatures_.assign(data.n_ * r_max * data.words_, 0);
+  data.owned_support_bounds_.assign(data.n_ * r_max, 0);
+  data.owned_center_truss_.assign(data.n_, 2);
+  data.owned_score_bounds_.assign(data.n_ * r_max * m_thetas, 0.0);
+  // All arrays are fully sized: bind the views now, and let the parallel
+  // build below write through the owned vectors.
+  data.BindOwned();
 
   ThreadPool pool(options.num_threads);
 
@@ -124,7 +127,7 @@ Result<PrecomputedData> PrecomputedData::Build(const Graph& g,
               ++idx;
             }
             std::copy(acc.words().begin(), acc.words().end(),
-                      data.signatures_.begin() +
+                      data.owned_signatures_.begin() +
                           static_cast<std::ptrdiff_t>(data.SigOffset(v, r)));
           }
         }
@@ -135,7 +138,7 @@ Result<PrecomputedData> PrecomputedData::Build(const Graph& g,
         std::vector<std::uint32_t> ball_support;
         const std::vector<std::uint32_t> ball_trussness =
             LocalTrussDecomposition(lg, &ball_support);
-        data.center_truss_[v] = LocalCenterTrussness(lg, ball_trussness);
+        data.owned_center_truss_[v] = LocalCenterTrussness(lg, ball_trussness);
         // Max ball-support among edges appearing at each radius, then
         // prefix-max across radii.
         ws.max_sup_by_radius.assign(r_max + 1, 0);
@@ -148,7 +151,7 @@ Result<PrecomputedData> PrecomputedData::Build(const Graph& g,
         std::uint32_t running = 0;
         for (std::uint32_t r = 1; r <= r_max; ++r) {
           running = std::max(running, ws.max_sup_by_radius[r]);
-          data.support_bounds_[data.Index2(v, r)] = running;
+          data.owned_support_bounds_[data.Index2(v, r)] = running;
         }
 
         // Influential-score bounds: one propagation per radius at θ_min,
@@ -157,9 +160,9 @@ Result<PrecomputedData> PrecomputedData::Build(const Graph& g,
           const std::size_t count = members_at_radius[r];
           const std::span<const VertexId> seeds(lg.global_ids.data(), count);
           const InfluencedCommunity inf = ws.engine.Compute(seeds, theta_min);
-          const std::vector<double> scores = ScoresAtThresholds(inf, data.thetas_);
+          const std::vector<double> scores = ScoresAtThresholds(inf, data.owned_thetas_);
           for (std::uint32_t z = 0; z < m_thetas; ++z) {
-            data.score_bounds_[data.Index3(v, r, z)] = scores[z];
+            data.owned_score_bounds_[data.Index3(v, r, z)] = scores[z];
           }
         }
       },

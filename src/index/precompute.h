@@ -2,6 +2,7 @@
 #define TOPL_INDEX_PRECOMPUTE_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -46,13 +47,27 @@ struct PrecomputeOptions {
 ///    this strengthening; the paper's max-support form is kept alongside).
 ///
 /// Layout is flat (vertex-major) for cache-friendly index construction and
-/// trivial serialization.
+/// trivial serialization. Like Graph, every flat array is accessed through a
+/// std::span view whose backing is either owned heap memory (Build, the
+/// legacy codec) or a read-only mmap of a TOPLIDX2 artifact. Copying
+/// materializes the views into fresh owned memory, so a copy of a mapped
+/// instance is an ordinary heap-backed one.
 class PrecomputedData {
  public:
   /// Runs Algorithm 2 over the graph. Vertices are processed independently
   /// in parallel: each worker owns a HopExtractor and a PropagationEngine.
   static Result<PrecomputedData> Build(const Graph& g,
                                        const PrecomputeOptions& options);
+
+  PrecomputedData(const PrecomputedData& other) { CopyFrom(other); }
+  PrecomputedData& operator=(const PrecomputedData& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  // Owned vectors keep their heap buffers across moves, so the spans stay
+  // valid under the default member-wise move.
+  PrecomputedData(PrecomputedData&&) = default;
+  PrecomputedData& operator=(PrecomputedData&&) = default;
 
   std::uint32_t r_max() const { return r_max_; }
   std::span<const double> thetas() const { return thetas_; }
@@ -92,10 +107,43 @@ class PrecomputedData {
   /// (ub_sup_r and σ_z over every r, z), per the paper's index construction.
   double SortKey(VertexId v) const;
 
+  /// True when the data is a zero-copy view of a mapped artifact.
+  bool IsMapped() const { return backing_ != nullptr; }
+
  private:
-  friend class IndexCodec;  // serialization (index/index_io.h)
+  friend class IndexCodec;      // legacy TOPLIDX1 serialization
+  friend class ArtifactWriter;  // TOPLIDX2 (storage/artifact.h)
+  friend class ArtifactReader;
 
   PrecomputedData() = default;
+
+  /// Points the view spans at the owned vectors (build / legacy-read path).
+  void BindOwned() {
+    thetas_ = owned_thetas_;
+    signatures_ = owned_signatures_;
+    support_bounds_ = owned_support_bounds_;
+    center_truss_ = owned_center_truss_;
+    score_bounds_ = owned_score_bounds_;
+  }
+
+  /// Deep copy: materializes `other`'s views into this object's owned
+  /// vectors (used by the copy operations above).
+  void CopyFrom(const PrecomputedData& other) {
+    r_max_ = other.r_max_;
+    signature_bits_ = other.signature_bits_;
+    words_ = other.words_;
+    n_ = other.n_;
+    owned_thetas_.assign(other.thetas_.begin(), other.thetas_.end());
+    owned_signatures_.assign(other.signatures_.begin(), other.signatures_.end());
+    owned_support_bounds_.assign(other.support_bounds_.begin(),
+                                 other.support_bounds_.end());
+    owned_center_truss_.assign(other.center_truss_.begin(),
+                               other.center_truss_.end());
+    owned_score_bounds_.assign(other.score_bounds_.begin(),
+                               other.score_bounds_.end());
+    backing_.reset();
+    BindOwned();
+  }
 
   std::size_t SigOffset(VertexId v, std::uint32_t r) const {
     return ((static_cast<std::size_t>(v) * r_max_) + (r - 1)) * words_;
@@ -108,15 +156,26 @@ class PrecomputedData {
   }
 
   std::uint32_t r_max_ = 0;
-  std::vector<double> thetas_;
   std::uint32_t signature_bits_ = 0;
   std::size_t words_ = 0;
   std::size_t n_ = 0;
 
-  std::vector<std::uint64_t> signatures_;      // n * r_max * words_
-  std::vector<std::uint32_t> support_bounds_;  // n * r_max
-  std::vector<std::uint32_t> center_truss_;    // n
-  std::vector<double> score_bounds_;           // n * r_max * m
+  // Views over the active backing.
+  std::span<const double> thetas_;
+  std::span<const std::uint64_t> signatures_;      // n * r_max * words_
+  std::span<const std::uint32_t> support_bounds_;  // n * r_max
+  std::span<const std::uint32_t> center_truss_;    // n
+  std::span<const double> score_bounds_;           // n * r_max * m
+
+  // Owned backing; empty when the data is a view over `backing_`.
+  std::vector<double> owned_thetas_;
+  std::vector<std::uint64_t> owned_signatures_;
+  std::vector<std::uint32_t> owned_support_bounds_;
+  std::vector<std::uint32_t> owned_center_truss_;
+  std::vector<double> owned_score_bounds_;
+
+  // Keeps the mmap alive for artifact-backed instances.
+  std::shared_ptr<const MappedFile> backing_;
 };
 
 }  // namespace topl

@@ -37,55 +37,64 @@ Result<TreeIndex> TreeIndex::Build(const Graph& g, const PrecomputedData& pre,
   index.num_thetas_ = pre.num_thetas();
   index.words_ = pre.words_per_signature();
 
+  // Construction writes through the owned vectors; the view spans are bound
+  // once the arena and aggregate arrays have reached their final size.
+  auto& nodes = index.owned_nodes_;
+  auto& sorted = index.owned_sorted_vertices_;
+  auto& signatures = index.owned_signatures_;
+  auto& support_bounds = index.owned_support_bounds_;
+  auto& center_truss_bounds = index.owned_center_truss_bounds_;
+  auto& score_bounds = index.owned_score_bounds_;
+
   // Sort vertices by the average of their pre-computed bounds, descending,
   // so that the best-first traversal reaches strong candidates early and the
   // per-node score bounds are tight.
   const std::size_t n = g.NumVertices();
-  index.sorted_vertices_.resize(n);
-  std::iota(index.sorted_vertices_.begin(), index.sorted_vertices_.end(), 0);
+  sorted.resize(n);
+  std::iota(sorted.begin(), sorted.end(), 0);
   std::vector<double> key(n);
   for (VertexId v = 0; v < n; ++v) key[v] = pre.SortKey(v);
-  std::stable_sort(index.sorted_vertices_.begin(), index.sorted_vertices_.end(),
+  std::stable_sort(sorted.begin(), sorted.end(),
                    [&key](VertexId a, VertexId b) { return key[a] > key[b]; });
 
   // Leaf level.
   std::vector<std::uint32_t> level;  // node ids of the level under construction
-  auto alloc_aggregates = [&index](std::uint32_t node_id) {
+  auto alloc_aggregates = [&](std::uint32_t node_id) {
     // Aggregate arrays grow in lock-step with the arena.
     const std::size_t want_nodes = node_id + 1;
-    index.signatures_.resize(want_nodes * index.r_max_ * index.words_, 0);
-    index.support_bounds_.resize(want_nodes * index.r_max_, 0);
-    index.center_truss_bounds_.resize(want_nodes, 0);
-    index.score_bounds_.resize(want_nodes * index.r_max_ * index.num_thetas_, 0.0);
+    signatures.resize(want_nodes * index.r_max_ * index.words_, 0);
+    support_bounds.resize(want_nodes * index.r_max_, 0);
+    center_truss_bounds.resize(want_nodes, 0);
+    score_bounds.resize(want_nodes * index.r_max_ * index.num_thetas_, 0.0);
   };
 
   for (std::uint32_t begin = 0; begin < n; begin += options.leaf_capacity) {
     const std::uint32_t end =
         std::min<std::uint32_t>(static_cast<std::uint32_t>(n),
                                 begin + options.leaf_capacity);
-    const std::uint32_t id = static_cast<std::uint32_t>(index.nodes_.size());
+    const std::uint32_t id = static_cast<std::uint32_t>(nodes.size());
     Node leaf;
-    leaf.is_leaf = true;
+    leaf.is_leaf = 1;
     leaf.begin = begin;
     leaf.end = end;
     leaf.num_vertices = end - begin;
-    index.nodes_.push_back(leaf);
+    nodes.push_back(leaf);
     alloc_aggregates(id);
     for (std::uint32_t i = begin; i < end; ++i) {
-      index.center_truss_bounds_[id] =
-          std::max(index.center_truss_bounds_[id],
-                   pre.CenterTrussBound(index.sorted_vertices_[i]));
+      center_truss_bounds[id] =
+          std::max(center_truss_bounds[id],
+                   pre.CenterTrussBound(sorted[i]));
     }
     for (std::uint32_t r = 1; r <= index.r_max_; ++r) {
-      std::uint64_t* sig = index.signatures_.data() + index.SigOffset(id, r);
-      std::uint32_t& sup = index.support_bounds_[index.Index2(id, r)];
+      std::uint64_t* sig = signatures.data() + index.SigOffset(id, r);
+      std::uint32_t& sup = support_bounds[index.Index2(id, r)];
       for (std::uint32_t i = begin; i < end; ++i) {
-        const VertexId v = index.sorted_vertices_[i];
+        const VertexId v = sorted[i];
         const auto vsig = pre.SignatureWords(v, r);
         for (std::size_t w = 0; w < index.words_; ++w) sig[w] |= vsig[w];
         sup = std::max(sup, pre.SupportBound(v, r));
         for (std::uint32_t z = 0; z < index.num_thetas_; ++z) {
-          double& score = index.score_bounds_[index.Index3(id, r, z)];
+          double& score = score_bounds[index.Index3(id, r, z)];
           score = std::max(score, pre.ScoreBound(v, r, z));
         }
       }
@@ -99,30 +108,30 @@ Result<TreeIndex> TreeIndex::Build(const Graph& g, const PrecomputedData& pre,
     std::vector<std::uint32_t> parents;
     for (std::size_t i = 0; i < level.size(); i += options.fanout) {
       const std::size_t child_end = std::min(level.size(), i + options.fanout);
-      const std::uint32_t id = static_cast<std::uint32_t>(index.nodes_.size());
+      const std::uint32_t id = static_cast<std::uint32_t>(nodes.size());
       Node parent;
-      parent.is_leaf = false;
+      parent.is_leaf = 0;
       parent.first_child = level[i];
       parent.num_children = static_cast<std::uint32_t>(child_end - i);
       parent.num_vertices = 0;
-      index.nodes_.push_back(parent);
+      nodes.push_back(parent);
       alloc_aggregates(id);
       for (std::size_t c = i; c < child_end; ++c) {
         const std::uint32_t child = level[c];
-        index.nodes_[id].num_vertices += index.nodes_[child].num_vertices;
-        index.center_truss_bounds_[id] = std::max(
-            index.center_truss_bounds_[id], index.center_truss_bounds_[child]);
+        nodes[id].num_vertices += nodes[child].num_vertices;
+        center_truss_bounds[id] = std::max(
+            center_truss_bounds[id], center_truss_bounds[child]);
         for (std::uint32_t r = 1; r <= index.r_max_; ++r) {
-          std::uint64_t* sig = index.signatures_.data() + index.SigOffset(id, r);
+          std::uint64_t* sig = signatures.data() + index.SigOffset(id, r);
           const std::uint64_t* csig =
-              index.signatures_.data() + index.SigOffset(child, r);
+              signatures.data() + index.SigOffset(child, r);
           for (std::size_t w = 0; w < index.words_; ++w) sig[w] |= csig[w];
-          index.support_bounds_[index.Index2(id, r)] =
-              std::max(index.support_bounds_[index.Index2(id, r)],
-                       index.support_bounds_[index.Index2(child, r)]);
+          support_bounds[index.Index2(id, r)] =
+              std::max(support_bounds[index.Index2(id, r)],
+                       support_bounds[index.Index2(child, r)]);
           for (std::uint32_t z = 0; z < index.num_thetas_; ++z) {
-            double& score = index.score_bounds_[index.Index3(id, r, z)];
-            score = std::max(score, index.score_bounds_[index.Index3(child, r, z)]);
+            double& score = score_bounds[index.Index3(id, r, z)];
+            score = std::max(score, score_bounds[index.Index3(child, r, z)]);
           }
         }
       }
@@ -132,6 +141,7 @@ Result<TreeIndex> TreeIndex::Build(const Graph& g, const PrecomputedData& pre,
     ++index.height_;
   }
   index.root_ = level.front();
+  index.BindOwned();
   return index;
 }
 

@@ -2,7 +2,9 @@
 #define TOPL_INDEX_TREE_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "common/result.h"
@@ -31,13 +33,20 @@ struct TreeIndexOptions {
 ///  - the max σ_z underneath for every θ_z (index-level Lemma 7 and the
 ///    best-first traversal key of Algorithm 3).
 ///
-/// Nodes live in one arena vector; children of a node are contiguous, so a
-/// node stores only (first_child, num_children). The index references the
+/// Nodes live in one arena; children of a node are contiguous, so a node
+/// stores only (first_child, num_children). The index references the
 /// PrecomputedData it was built from but does not own it.
+///
+/// Like Graph and PrecomputedData, the node arena and every aggregate array
+/// are std::span views whose backing is either owned heap memory (Build, the
+/// legacy codec) or a read-only mmap of a TOPLIDX2 artifact.
 class TreeIndex {
  public:
+  /// All-uint32 POD so the node arena is mapped verbatim off disk (a bool
+  /// field would leave padding bytes and trap representations in the
+  /// artifact).
   struct Node {
-    bool is_leaf = false;
+    std::uint32_t is_leaf = 0;       // 0 or 1
     std::uint32_t first_child = 0;   // arena index (non-leaf)
     std::uint32_t num_children = 0;  // non-leaf
     std::uint32_t begin = 0;         // range in sorted_vertices() (leaf)
@@ -47,6 +56,13 @@ class TreeIndex {
 
   /// Creates an empty index; assign from Build before use.
   TreeIndex() = default;
+
+  TreeIndex(const TreeIndex&) = delete;
+  TreeIndex& operator=(const TreeIndex&) = delete;
+  // Owned vectors keep their heap buffers across moves, so the spans stay
+  // valid under the default member-wise move.
+  TreeIndex(TreeIndex&&) = default;
+  TreeIndex& operator=(TreeIndex&&) = default;
 
   /// Builds the index. `pre` must outlive the returned TreeIndex.
   static Result<TreeIndex> Build(const Graph& g, const PrecomputedData& pre,
@@ -59,7 +75,7 @@ class TreeIndex {
 
   /// Vertices of a leaf node, in index order.
   std::span<const VertexId> LeafVertices(const Node& n) const {
-    return {sorted_vertices_.data() + n.begin, sorted_vertices_.data() + n.end};
+    return sorted_vertices_.subspan(n.begin, n.end - n.begin);
   }
 
   std::span<const VertexId> sorted_vertices() const { return sorted_vertices_; }
@@ -85,8 +101,23 @@ class TreeIndex {
 
   const PrecomputedData& precomputed() const { return *pre_; }
 
+  /// True when the index is a zero-copy view of a mapped artifact.
+  bool IsMapped() const { return backing_ != nullptr; }
+
  private:
-  friend class IndexCodec;  // serialization (index/index_io.h)
+  friend class IndexCodec;      // legacy TOPLIDX1 serialization
+  friend class ArtifactWriter;  // TOPLIDX2 (storage/artifact.h)
+  friend class ArtifactReader;
+
+  /// Points the view spans at the owned vectors (build / legacy-read path).
+  void BindOwned() {
+    nodes_ = owned_nodes_;
+    sorted_vertices_ = owned_sorted_vertices_;
+    signatures_ = owned_signatures_;
+    support_bounds_ = owned_support_bounds_;
+    center_truss_bounds_ = owned_center_truss_bounds_;
+    score_bounds_ = owned_score_bounds_;
+  }
 
   std::size_t SigOffset(std::uint32_t node_id, std::uint32_t r) const {
     return ((static_cast<std::size_t>(node_id) * r_max_) + (r - 1)) * words_;
@@ -105,13 +136,30 @@ class TreeIndex {
   std::uint32_t root_ = 0;
   std::uint32_t height_ = 0;
 
-  std::vector<Node> nodes_;
-  std::vector<VertexId> sorted_vertices_;
-  std::vector<std::uint64_t> signatures_;           // per node × r
-  std::vector<std::uint32_t> support_bounds_;       // per node × r
-  std::vector<std::uint32_t> center_truss_bounds_;  // per node
-  std::vector<double> score_bounds_;                // per node × r × z
+  // Views over the active backing.
+  std::span<const Node> nodes_;
+  std::span<const VertexId> sorted_vertices_;
+  std::span<const std::uint64_t> signatures_;           // per node × r
+  std::span<const std::uint32_t> support_bounds_;       // per node × r
+  std::span<const std::uint32_t> center_truss_bounds_;  // per node
+  std::span<const double> score_bounds_;                // per node × r × z
+
+  // Owned backing; empty when the index is a view over `backing_`.
+  std::vector<Node> owned_nodes_;
+  std::vector<VertexId> owned_sorted_vertices_;
+  std::vector<std::uint64_t> owned_signatures_;
+  std::vector<std::uint32_t> owned_support_bounds_;
+  std::vector<std::uint32_t> owned_center_truss_bounds_;
+  std::vector<double> owned_score_bounds_;
+
+  // Keeps the mmap alive for artifact-backed instances.
+  std::shared_ptr<const MappedFile> backing_;
 };
+
+// The node arena is stored verbatim in the TOPLIDX2 artifact.
+static_assert(std::is_trivially_copyable_v<TreeIndex::Node> &&
+                  sizeof(TreeIndex::Node) == 24,
+              "TreeIndex::Node is part of the on-disk artifact format");
 
 }  // namespace topl
 

@@ -1,0 +1,568 @@
+#include "storage/artifact.h"
+
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "storage/checksum.h"
+#include "storage/mapped_file.h"
+
+namespace topl {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'O', 'P', 'L', 'I', 'D', 'X', '2'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint64_t kSectionAlignment = 64;
+
+// ---------------------------------------------------------------------------
+// On-disk structures. All little-endian, fixed width, no implicit padding.
+// ---------------------------------------------------------------------------
+
+struct DiskHeader {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t section_count;
+  std::uint64_t file_size;
+  std::uint64_t table_checksum;  // XXH64 over the section table
+  char reserved[32];
+};
+static_assert(sizeof(DiskHeader) == 64, "TOPLIDX2 header is 64 bytes");
+
+struct DiskSection {
+  char name[16];  // NUL-padded
+  std::uint64_t offset;
+  std::uint64_t size;       // payload bytes
+  std::uint32_t elem_size;  // bytes per element
+  std::uint32_t reserved;
+  std::uint64_t checksum;  // XXH64 over the payload
+};
+static_assert(sizeof(DiskSection) == 48, "TOPLIDX2 section entry is 48 bytes");
+
+// Scalar state of all three structures, packed into the "meta" section.
+struct MetaBlock {
+  std::uint64_t num_vertices;
+  std::uint64_t num_edges;
+  std::uint64_t total_keywords;
+  std::uint32_t keyword_domain_bound;
+  std::uint32_t r_max;
+  std::uint32_t signature_bits;
+  std::uint32_t num_thetas;
+  std::uint64_t words_per_signature;
+  std::uint32_t tree_root;
+  std::uint32_t tree_height;
+  std::uint64_t tree_num_nodes;
+};
+static_assert(sizeof(MetaBlock) == 64, "TOPLIDX2 meta block is 64 bytes");
+
+// Canonical section order; the reader requires exactly this table.
+enum SectionId : std::size_t {
+  kMeta = 0,
+  kGraphOffsets,
+  kGraphArcs,
+  kGraphEndpoints,
+  kGraphKwOffsets,
+  kGraphKeywords,
+  kPreThetas,
+  kPreSignatures,
+  kPreSupports,
+  kPreTruss,
+  kPreScores,
+  kTreeNodes,
+  kTreeSorted,
+  kTreeSignatures,
+  kTreeSupports,
+  kTreeTruss,
+  kTreeScores,
+  kNumSections,
+};
+
+constexpr const char* kSectionNames[kNumSections] = {
+    "meta",         "g.offsets",    "g.arcs",     "g.endpoints",
+    "g.kw_offsets", "g.keywords",   "p.thetas",   "p.signatures",
+    "p.supports",   "p.truss",      "p.scores",   "t.nodes",
+    "t.sorted",     "t.signatures", "t.supports", "t.truss",
+    "t.scores"};
+
+constexpr std::uint32_t kSectionElemSizes[kNumSections] = {
+    sizeof(MetaBlock),
+    sizeof(std::uint64_t),           // g.offsets
+    sizeof(Graph::Arc),              // g.arcs
+    sizeof(Graph::EdgeEndpoints),    // g.endpoints
+    sizeof(std::uint64_t),           // g.kw_offsets
+    sizeof(KeywordId),               // g.keywords
+    sizeof(double),                  // p.thetas
+    sizeof(std::uint64_t),           // p.signatures
+    sizeof(std::uint32_t),           // p.supports
+    sizeof(std::uint32_t),           // p.truss
+    sizeof(double),                  // p.scores
+    sizeof(TreeIndex::Node),         // t.nodes
+    sizeof(VertexId),                // t.sorted
+    sizeof(std::uint64_t),           // t.signatures
+    sizeof(std::uint32_t),           // t.supports
+    sizeof(std::uint32_t),           // t.truss
+    sizeof(double),                  // t.scores
+};
+
+std::uint64_t AlignUp(std::uint64_t value, std::uint64_t alignment) {
+  return (value + alignment - 1) / alignment * alignment;
+}
+
+std::uint64_t ChecksumBytes(const void* data, std::uint64_t size) {
+  // Guard the data pointer: empty spans may carry nullptr.
+  static const char kEmpty = 0;
+  return XXH64(size == 0 ? &kEmpty : data, size);
+}
+
+// ---------------------------------------------------------------------------
+// Shared read-side parsing/validation.
+// ---------------------------------------------------------------------------
+
+struct ParsedArtifact {
+  DiskHeader header;
+  DiskSection table[kNumSections];
+  MetaBlock meta;
+  bool checksums_ok = true;
+};
+
+Status Corrupt(const std::string& path, const std::string& what) {
+  return Status::Corruption(path + ": " + what);
+}
+
+/// Validates header, table geometry and the meta block. When
+/// `verify_checksums` is set, also hashes every section payload; a mismatch
+/// is recorded in `checksums_ok` (Open turns it into a Status, Inspect
+/// reports it).
+Result<ParsedArtifact> ParseTable(const MappedFile& f, bool verify_checksums) {
+  const std::string& path = f.path();
+  if (f.size() < sizeof(DiskHeader)) {
+    return Corrupt(path, "file too small for a TOPLIDX2 header");
+  }
+  ParsedArtifact parsed;
+  std::memcpy(&parsed.header, f.data(), sizeof(DiskHeader));
+  const DiskHeader& header = parsed.header;
+  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    return Corrupt(path, "bad magic (not a TOPLIDX2 artifact)");
+  }
+  if (header.version != kVersion) {
+    return Corrupt(path, "unsupported artifact version " +
+                             std::to_string(header.version));
+  }
+  if (header.section_count != kNumSections) {
+    return Corrupt(path, "unexpected section count " +
+                             std::to_string(header.section_count));
+  }
+  if (header.file_size != f.size()) {
+    return Corrupt(path, "file size mismatch (header advertises " +
+                             std::to_string(header.file_size) +
+                             " bytes, file has " + std::to_string(f.size()) +
+                             ")");
+  }
+  const std::uint64_t table_bytes = kNumSections * sizeof(DiskSection);
+  const std::uint64_t payload_start = sizeof(DiskHeader) + table_bytes;
+  if (f.size() < payload_start) {
+    return Corrupt(path, "file too small for the section table");
+  }
+  std::memcpy(parsed.table, f.data() + sizeof(DiskHeader), table_bytes);
+  if (XXH64(parsed.table, table_bytes) != header.table_checksum) {
+    return Corrupt(path, "section table checksum mismatch");
+  }
+
+  std::uint64_t prev_end = payload_start;
+  for (std::size_t i = 0; i < kNumSections; ++i) {
+    const DiskSection& s = parsed.table[i];
+    char expected[16] = {};
+    std::strncpy(expected, kSectionNames[i], sizeof(expected) - 1);
+    if (std::memcmp(s.name, expected, sizeof(expected)) != 0) {
+      return Corrupt(path, "section " + std::to_string(i) + " is not \"" +
+                               kSectionNames[i] + "\"");
+    }
+    if (s.elem_size != kSectionElemSizes[i]) {
+      return Corrupt(path, std::string("section ") + kSectionNames[i] +
+                               " has wrong element size");
+    }
+    if (s.offset % kSectionAlignment != 0) {
+      return Corrupt(path, std::string("section ") + kSectionNames[i] +
+                               " is misaligned");
+    }
+    if (s.offset < prev_end || s.size > f.size() ||
+        s.offset > f.size() - s.size) {
+      return Corrupt(path, std::string("section ") + kSectionNames[i] +
+                               " lies outside the file or overlaps");
+    }
+    if (s.size % s.elem_size != 0) {
+      return Corrupt(path, std::string("section ") + kSectionNames[i] +
+                               " has a partial trailing element");
+    }
+    prev_end = s.offset + s.size;
+    if (verify_checksums &&
+        ChecksumBytes(f.data() + s.offset, s.size) != s.checksum) {
+      parsed.checksums_ok = false;
+    }
+  }
+
+  const DiskSection& meta_section = parsed.table[kMeta];
+  if (meta_section.size != sizeof(MetaBlock)) {
+    return Corrupt(path, "meta section has wrong size");
+  }
+  std::memcpy(&parsed.meta, f.data() + meta_section.offset, sizeof(MetaBlock));
+  return parsed;
+}
+
+std::uint64_t SectionCount(const ParsedArtifact& parsed, SectionId id) {
+  return parsed.table[id].size / parsed.table[id].elem_size;
+}
+
+template <typename T>
+std::span<const T> SectionView(const MappedFile& f, const ParsedArtifact& parsed,
+                               SectionId id) {
+  return f.ViewAt<T>(parsed.table[id].offset, SectionCount(parsed, id));
+}
+
+/// Everything beyond table geometry: the meta block's cross-structure size
+/// equations and the structural invariants the detectors index by. Linear in
+/// the file but allocation- and copy-free.
+Status ValidateStructure(const MappedFile& f, const ParsedArtifact& parsed) {
+  const std::string& path = f.path();
+  const MetaBlock& meta = parsed.meta;
+  const std::uint64_t n = meta.num_vertices;
+  const std::uint64_t m = meta.num_edges;
+  const std::uint64_t r_max = meta.r_max;
+  const std::uint64_t words = meta.words_per_signature;
+  const std::uint64_t z = meta.num_thetas;
+  const std::uint64_t nodes = meta.tree_num_nodes;
+
+  if (n == 0 || n > (1ULL << 32) || m > (1ULL << 32)) {
+    return Corrupt(path, "implausible graph size in meta block");
+  }
+  if (r_max == 0 || z == 0 || words == 0 ||
+      words != (meta.signature_bits + 63) / 64) {
+    return Corrupt(path, "inconsistent precompute parameters in meta block");
+  }
+  if (nodes == 0 || meta.tree_root >= nodes) {
+    return Corrupt(path, "inconsistent tree shape in meta block");
+  }
+
+  const bool sizes_ok =
+      SectionCount(parsed, kGraphOffsets) == n + 1 &&
+      SectionCount(parsed, kGraphArcs) == 2 * m &&
+      SectionCount(parsed, kGraphEndpoints) == m &&
+      SectionCount(parsed, kGraphKwOffsets) == n + 1 &&
+      SectionCount(parsed, kGraphKeywords) == meta.total_keywords &&
+      SectionCount(parsed, kPreThetas) == z &&
+      SectionCount(parsed, kPreSignatures) == n * r_max * words &&
+      SectionCount(parsed, kPreSupports) == n * r_max &&
+      SectionCount(parsed, kPreTruss) == n &&
+      SectionCount(parsed, kPreScores) == n * r_max * z &&
+      SectionCount(parsed, kTreeNodes) == nodes &&
+      SectionCount(parsed, kTreeSorted) == n &&
+      SectionCount(parsed, kTreeSignatures) == nodes * r_max * words &&
+      SectionCount(parsed, kTreeSupports) == nodes * r_max &&
+      SectionCount(parsed, kTreeTruss) == nodes &&
+      SectionCount(parsed, kTreeScores) == nodes * r_max * z;
+  if (!sizes_ok) {
+    return Corrupt(path, "section sizes disagree with the meta block");
+  }
+
+  // Graph CSR invariants, including the per-vertex orderings the binary
+  // searches in Graph::HasEdge/FindEdge/HasKeyword depend on — a corrupt
+  // file must fail the open even when the checksum pass is disabled.
+  // Validate each offsets array completely before dereferencing through it:
+  // monotone with the final entry equal to the array length bounds every
+  // intermediate offset, so the element loops below cannot leave their
+  // sections.
+  const auto offsets = SectionView<std::uint64_t>(f, parsed, kGraphOffsets);
+  if (offsets[0] != 0 || offsets[n] != 2 * m) {
+    return Corrupt(path, "arc offsets do not cover the arc array");
+  }
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if (offsets[v] > offsets[v + 1]) {
+      return Corrupt(path, "non-monotonic arc offsets");
+    }
+  }
+  const auto arcs = SectionView<Graph::Arc>(f, parsed, kGraphArcs);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    for (std::uint64_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      const Graph::Arc& arc = arcs[i];
+      if (arc.to >= n || arc.edge >= m) {
+        return Corrupt(path, "arc target or edge id out of range");
+      }
+      if (arc.to == v) return Corrupt(path, "self-loop arc");
+      // NaN probabilities fail this comparison too.
+      if (!(arc.prob > 0.0f && arc.prob <= 1.0f)) {
+        return Corrupt(path, "arc probability outside (0, 1]");
+      }
+      if (i > offsets[v] && arcs[i - 1].to >= arc.to) {
+        return Corrupt(path, "neighbor list not sorted");
+      }
+    }
+  }
+  const auto endpoints =
+      SectionView<Graph::EdgeEndpoints>(f, parsed, kGraphEndpoints);
+  for (const Graph::EdgeEndpoints& e : endpoints) {
+    if (e.v >= n || e.u >= e.v) {
+      return Corrupt(path, "edge endpoints out of range or unordered");
+    }
+  }
+  const auto kw_offsets = SectionView<std::uint64_t>(f, parsed, kGraphKwOffsets);
+  if (kw_offsets[0] != 0 || kw_offsets[n] != meta.total_keywords) {
+    return Corrupt(path, "keyword offsets do not cover the keyword array");
+  }
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if (kw_offsets[v] > kw_offsets[v + 1]) {
+      return Corrupt(path, "non-monotonic keyword offsets");
+    }
+  }
+  const auto keywords = SectionView<KeywordId>(f, parsed, kGraphKeywords);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    for (std::uint64_t i = kw_offsets[v] + 1; i < kw_offsets[v + 1]; ++i) {
+      if (keywords[i - 1] >= keywords[i]) {
+        return Corrupt(path, "keyword set not sorted");
+      }
+    }
+  }
+
+  // Precompute invariants.
+  const auto thetas = SectionView<double>(f, parsed, kPreThetas);
+  for (std::size_t i = 0; i < thetas.size(); ++i) {
+    if (!(thetas[i] >= 0.0 && thetas[i] < 1.0) ||
+        (i > 0 && thetas[i] <= thetas[i - 1])) {
+      return Corrupt(path, "thresholds not strictly ascending in [0, 1)");
+    }
+  }
+
+  // Tree invariants (same checks as the legacy codec).
+  const auto tree_nodes = SectionView<TreeIndex::Node>(f, parsed, kTreeNodes);
+  for (const TreeIndex::Node& node : tree_nodes) {
+    if (node.is_leaf > 1) return Corrupt(path, "node leaf flag out of range");
+    if (node.is_leaf == 0 && (node.first_child >= nodes ||
+                              node.num_children > nodes - node.first_child)) {
+      return Corrupt(path, "node child range out of bounds");
+    }
+    if (node.is_leaf == 1 && (node.begin > node.end || node.end > n)) {
+      return Corrupt(path, "leaf vertex range out of bounds");
+    }
+  }
+  const auto sorted = SectionView<VertexId>(f, parsed, kTreeSorted);
+  for (VertexId v : sorted) {
+    if (v >= n) return Corrupt(path, "sorted vertex out of range");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+Status ArtifactWriter::Write(const Graph& g, const PrecomputedData& pre,
+                             const TreeIndex& tree, const std::string& path) {
+  if (pre.n_ != g.NumVertices()) {
+    return Status::InvalidArgument(
+        "precomputed data was built over a different graph (vertex count "
+        "mismatch)");
+  }
+  if (tree.pre_ != &pre || tree.nodes_.empty()) {
+    return Status::InvalidArgument(
+        "tree index is empty or references different precomputed data");
+  }
+
+  MetaBlock meta{};
+  meta.num_vertices = g.NumVertices();
+  meta.num_edges = g.NumEdges();
+  meta.total_keywords = g.keywords_.size();
+  meta.keyword_domain_bound = g.keyword_domain_bound_;
+  meta.r_max = pre.r_max_;
+  meta.signature_bits = pre.signature_bits_;
+  meta.num_thetas = static_cast<std::uint32_t>(pre.thetas_.size());
+  meta.words_per_signature = pre.words_;
+  meta.tree_root = tree.root_;
+  meta.tree_height = tree.height_;
+  meta.tree_num_nodes = tree.nodes_.size();
+
+  struct Payload {
+    const void* data;
+    std::uint64_t size;
+  };
+  auto bytes_of = [](const auto& span) {
+    return Payload{span.data(), span.size_bytes()};
+  };
+  const Payload payloads[kNumSections] = {
+      {&meta, sizeof(meta)},
+      bytes_of(g.offsets_),
+      bytes_of(g.arcs_),
+      bytes_of(g.edge_endpoints_),
+      bytes_of(g.keyword_offsets_),
+      bytes_of(g.keywords_),
+      bytes_of(pre.thetas_),
+      bytes_of(pre.signatures_),
+      bytes_of(pre.support_bounds_),
+      bytes_of(pre.center_truss_),
+      bytes_of(pre.score_bounds_),
+      bytes_of(tree.nodes_),
+      bytes_of(tree.sorted_vertices_),
+      bytes_of(tree.signatures_),
+      bytes_of(tree.support_bounds_),
+      bytes_of(tree.center_truss_bounds_),
+      bytes_of(tree.score_bounds_),
+  };
+
+  DiskSection table[kNumSections] = {};
+  std::uint64_t cursor = sizeof(DiskHeader) + sizeof(table);
+  for (std::size_t i = 0; i < kNumSections; ++i) {
+    DiskSection& s = table[i];
+    std::strncpy(s.name, kSectionNames[i], sizeof(s.name) - 1);
+    s.offset = AlignUp(cursor, kSectionAlignment);
+    s.size = payloads[i].size;
+    s.elem_size = kSectionElemSizes[i];
+    s.checksum = ChecksumBytes(payloads[i].data, payloads[i].size);
+    cursor = s.offset + s.size;
+  }
+
+  DiskHeader header{};
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = kVersion;
+  header.section_count = kNumSections;
+  header.file_size = cursor;
+  header.table_checksum = XXH64(table, sizeof(table));
+
+  // Write to a temp file and rename: `path` may be the very artifact the
+  // payload spans are mapped from (in-place migrate), and a mid-write
+  // failure (e.g. ENOSPC) must never leave a previously valid artifact
+  // truncated.
+  const std::string tmp_path =
+      path + ".tmp." + std::to_string(::getpid());
+  auto fail = [&tmp_path](const std::string& message) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp_path, ignored);
+    return Status::IOError(message);
+  };
+  std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + tmp_path);
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  out.write(reinterpret_cast<const char*>(table), sizeof(table));
+  std::uint64_t written = sizeof(header) + sizeof(table);
+  static constexpr char kZeros[kSectionAlignment] = {};
+  for (std::size_t i = 0; i < kNumSections; ++i) {
+    out.write(kZeros, static_cast<std::streamsize>(table[i].offset - written));
+    if (payloads[i].size > 0) {
+      out.write(static_cast<const char*>(payloads[i].data),
+                static_cast<std::streamsize>(payloads[i].size));
+    }
+    written = table[i].offset + table[i].size;
+  }
+  out.flush();
+  if (!out) return fail("write error on " + tmp_path);
+  out.close();
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, path, ec);
+  if (ec) {
+    return fail("cannot rename " + tmp_path + " to " + path + ": " +
+                ec.message());
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+bool ArtifactReader::IsArtifact(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  char magic[8] = {};
+  in.read(magic, sizeof(magic));
+  return in && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0;
+}
+
+Result<MappedIndex> ArtifactReader::Open(const std::string& path,
+                                         const ArtifactReadOptions& options) {
+  Result<std::shared_ptr<MappedFile>> mapped_r = MappedFile::Open(path);
+  if (!mapped_r.ok()) return mapped_r.status();
+  std::shared_ptr<MappedFile> mapped = std::move(mapped_r).value();
+  const MappedFile& f = *mapped;
+
+  Result<ParsedArtifact> parsed_r = ParseTable(f, options.verify_checksums);
+  if (!parsed_r.ok()) return parsed_r.status();
+  const ParsedArtifact& parsed = *parsed_r;
+  if (!parsed.checksums_ok) {
+    return Corrupt(path, "section checksum mismatch");
+  }
+  TOPL_RETURN_IF_ERROR(ValidateStructure(f, parsed));
+  const MetaBlock& meta = parsed.meta;
+
+  MappedIndex out;
+
+  Graph& g = out.graph;
+  g.offsets_ = SectionView<std::uint64_t>(f, parsed, kGraphOffsets);
+  g.arcs_ = SectionView<Graph::Arc>(f, parsed, kGraphArcs);
+  g.edge_endpoints_ = SectionView<Graph::EdgeEndpoints>(f, parsed, kGraphEndpoints);
+  g.keyword_offsets_ = SectionView<std::uint64_t>(f, parsed, kGraphKwOffsets);
+  g.keywords_ = SectionView<KeywordId>(f, parsed, kGraphKeywords);
+  g.keyword_domain_bound_ = meta.keyword_domain_bound;
+  g.backing_ = mapped;
+
+  out.pre = std::unique_ptr<PrecomputedData>(new PrecomputedData());
+  PrecomputedData& pre = *out.pre;
+  pre.r_max_ = meta.r_max;
+  pre.signature_bits_ = meta.signature_bits;
+  pre.words_ = meta.words_per_signature;
+  pre.n_ = meta.num_vertices;
+  pre.thetas_ = SectionView<double>(f, parsed, kPreThetas);
+  pre.signatures_ = SectionView<std::uint64_t>(f, parsed, kPreSignatures);
+  pre.support_bounds_ = SectionView<std::uint32_t>(f, parsed, kPreSupports);
+  pre.center_truss_ = SectionView<std::uint32_t>(f, parsed, kPreTruss);
+  pre.score_bounds_ = SectionView<double>(f, parsed, kPreScores);
+  pre.backing_ = mapped;
+
+  TreeIndex& tree = out.tree;
+  tree.pre_ = out.pre.get();
+  tree.r_max_ = meta.r_max;
+  tree.num_thetas_ = meta.num_thetas;
+  tree.words_ = meta.words_per_signature;
+  tree.root_ = meta.tree_root;
+  tree.height_ = meta.tree_height;
+  tree.nodes_ = SectionView<TreeIndex::Node>(f, parsed, kTreeNodes);
+  tree.sorted_vertices_ = SectionView<VertexId>(f, parsed, kTreeSorted);
+  tree.signatures_ = SectionView<std::uint64_t>(f, parsed, kTreeSignatures);
+  tree.support_bounds_ = SectionView<std::uint32_t>(f, parsed, kTreeSupports);
+  tree.center_truss_bounds_ = SectionView<std::uint32_t>(f, parsed, kTreeTruss);
+  tree.score_bounds_ = SectionView<double>(f, parsed, kTreeScores);
+  tree.backing_ = mapped;
+
+  return out;
+}
+
+Result<ArtifactInfo> ArtifactReader::Inspect(const std::string& path) {
+  Result<std::shared_ptr<MappedFile>> mapped_r = MappedFile::Open(path);
+  if (!mapped_r.ok()) return mapped_r.status();
+  const MappedFile& f = **mapped_r;
+
+  Result<ParsedArtifact> parsed_r = ParseTable(f, /*verify_checksums=*/true);
+  if (!parsed_r.ok()) return parsed_r.status();
+  const ParsedArtifact& parsed = *parsed_r;
+
+  ArtifactInfo info;
+  info.version = parsed.header.version;
+  info.file_size = parsed.header.file_size;
+  info.num_vertices = parsed.meta.num_vertices;
+  info.num_edges = parsed.meta.num_edges;
+  info.total_keywords = parsed.meta.total_keywords;
+  info.r_max = parsed.meta.r_max;
+  info.signature_bits = parsed.meta.signature_bits;
+  info.num_thetas = parsed.meta.num_thetas;
+  info.tree_height = parsed.meta.tree_height;
+  info.tree_num_nodes = parsed.meta.tree_num_nodes;
+  info.checksums_ok = parsed.checksums_ok;
+  info.sections.reserve(kNumSections);
+  for (std::size_t i = 0; i < kNumSections; ++i) {
+    const DiskSection& s = parsed.table[i];
+    info.sections.push_back({kSectionNames[i], s.offset, s.size, s.elem_size,
+                             s.checksum});
+  }
+  return info;
+}
+
+}  // namespace topl

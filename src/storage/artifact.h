@@ -1,0 +1,116 @@
+#ifndef TOPL_STORAGE_ARTIFACT_H_
+#define TOPL_STORAGE_ARTIFACT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "index/precompute.h"
+#include "index/tree_index.h"
+
+namespace topl {
+
+/// \brief The TOPLIDX2 index artifact: one self-contained, mmap-able file
+/// holding the graph, the Algorithm-2 precomputed data and the §V-B tree
+/// index together.
+///
+/// Layout (all integers little-endian, fixed width):
+///
+///   ArtifactHeader   (64 bytes)  magic "TOPLIDX2", version, section count,
+///                                file size, XXH64 of the section table
+///   SectionEntry[k]  (48 B each) name, byte offset, byte size, element
+///                                size, XXH64 of the section payload
+///   payload sections              each starting on a 64-byte boundary,
+///                                 zero-padded in between
+///
+/// Every flat array of the three structures is one section, stored exactly
+/// as it lives in memory; opening the artifact is a single mmap plus O(1)
+/// header/table validation, linear-scan structural checks, and (by default)
+/// one checksum pass — no allocation, no deserialization, no copy. All
+/// serving processes on a host share one page-cache copy of the file.
+///
+/// The legacy TOPLIDX1 format (index/index_io.h) remains readable;
+/// `topl_cli index migrate` rewrites old files as TOPLIDX2.
+
+/// One row of the section table, decoded (see ArtifactReader::Inspect).
+struct ArtifactSectionInfo {
+  std::string name;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;       // payload bytes
+  std::uint32_t elem_size = 0;  // bytes per element
+  std::uint64_t checksum = 0;   // XXH64 of the payload
+};
+
+/// Decoded header + meta block of an artifact (see ArtifactReader::Inspect).
+struct ArtifactInfo {
+  std::uint32_t version = 0;
+  std::uint64_t file_size = 0;
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  std::uint64_t total_keywords = 0;
+  std::uint32_t r_max = 0;
+  std::uint32_t signature_bits = 0;
+  std::uint32_t num_thetas = 0;
+  std::uint32_t tree_height = 0;
+  std::uint64_t tree_num_nodes = 0;
+  bool checksums_ok = false;
+  std::vector<ArtifactSectionInfo> sections;
+};
+
+/// Writes a TOPLIDX2 artifact from an in-memory graph + offline phase.
+class ArtifactWriter {
+ public:
+  /// `tree` must have been built over `pre`, and `pre` over `g`.
+  static Status Write(const Graph& g, const PrecomputedData& pre,
+                      const TreeIndex& tree, const std::string& path);
+};
+
+struct ArtifactReadOptions {
+  /// Verify the XXH64 of every section payload on open. Costs one sequential
+  /// scan of the file (memory-bandwidth speed); disable only for trusted
+  /// local artifacts where open latency matters more than corruption
+  /// detection. Header, section table and structural invariants are always
+  /// validated regardless.
+  bool verify_checksums = true;
+};
+
+/// The three structures served straight out of one mapping. Each keeps the
+/// mapping alive independently, so the pieces may outlive the MappedIndex
+/// itself — but `tree` holds a raw pointer to `*pre` (see
+/// TreeIndex::precomputed()), so `pre` must outlive `tree`, exactly as with
+/// an in-process-built index.
+struct MappedIndex {
+  Graph graph;
+  std::unique_ptr<PrecomputedData> pre;
+  TreeIndex tree;
+};
+
+class ArtifactReader {
+ public:
+  /// True when the file starts with the TOPLIDX2 magic (cheap 8-byte sniff;
+  /// false for unreadable files).
+  static bool IsArtifact(const std::string& path);
+
+  /// Maps and validates an artifact. All section geometry, the meta block's
+  /// cross-structure size equations, and the structural invariants the
+  /// detectors rely on (CSR monotonicity, arc targets / edge ids /
+  /// probabilities in range, per-vertex neighbor and keyword sortedness,
+  /// tree child/leaf ranges) are checked before any structure is returned, so
+  /// a corrupt file yields Status::Corruption — never out-of-bounds serving
+  /// or silently wrong binary-search answers, even with checksums disabled.
+  static Result<MappedIndex> Open(const std::string& path,
+                                  const ArtifactReadOptions& options = {});
+
+  /// Decodes the header, section table and meta block without constructing
+  /// the structures (used by `topl_cli index inspect`). Verifies checksums
+  /// and reports the outcome in ArtifactInfo::checksums_ok.
+  static Result<ArtifactInfo> Inspect(const std::string& path);
+};
+
+}  // namespace topl
+
+#endif  // TOPL_STORAGE_ARTIFACT_H_

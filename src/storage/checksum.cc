@@ -1,0 +1,99 @@
+#include "storage/checksum.h"
+
+#include <cstring>
+
+namespace topl {
+
+namespace {
+
+constexpr std::uint64_t kPrime1 = 11400714785074694791ULL;
+constexpr std::uint64_t kPrime2 = 14029467366897019727ULL;
+constexpr std::uint64_t kPrime3 = 1609587929392839161ULL;
+constexpr std::uint64_t kPrime4 = 9650029242287828579ULL;
+constexpr std::uint64_t kPrime5 = 2870177450012600261ULL;
+
+inline std::uint64_t RotL(std::uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+// Unaligned little-endian loads (the library targets little-endian hosts;
+// see the byte-order note in graph/binary_io.cc).
+inline std::uint64_t Read64(const unsigned char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline std::uint32_t Read32(const unsigned char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline std::uint64_t Round(std::uint64_t acc, std::uint64_t input) {
+  acc += input * kPrime2;
+  acc = RotL(acc, 31);
+  return acc * kPrime1;
+}
+
+inline std::uint64_t MergeRound(std::uint64_t h, std::uint64_t v) {
+  h ^= Round(0, v);
+  return h * kPrime1 + kPrime4;
+}
+
+}  // namespace
+
+std::uint64_t XXH64(const void* data, std::size_t len, std::uint64_t seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  const unsigned char* const end = p + len;
+  std::uint64_t h;
+
+  if (len >= 32) {
+    std::uint64_t v1 = seed + kPrime1 + kPrime2;
+    std::uint64_t v2 = seed + kPrime2;
+    std::uint64_t v3 = seed;
+    std::uint64_t v4 = seed - kPrime1;
+    const unsigned char* const limit = end - 32;
+    do {
+      v1 = Round(v1, Read64(p));
+      v2 = Round(v2, Read64(p + 8));
+      v3 = Round(v3, Read64(p + 16));
+      v4 = Round(v4, Read64(p + 24));
+      p += 32;
+    } while (p <= limit);
+    h = RotL(v1, 1) + RotL(v2, 7) + RotL(v3, 12) + RotL(v4, 18);
+    h = MergeRound(h, v1);
+    h = MergeRound(h, v2);
+    h = MergeRound(h, v3);
+    h = MergeRound(h, v4);
+  } else {
+    h = seed + kPrime5;
+  }
+
+  h += static_cast<std::uint64_t>(len);
+
+  while (p + 8 <= end) {
+    h ^= Round(0, Read64(p));
+    h = RotL(h, 27) * kPrime1 + kPrime4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<std::uint64_t>(Read32(p)) * kPrime1;
+    h = RotL(h, 23) * kPrime2 + kPrime3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= static_cast<std::uint64_t>(*p) * kPrime5;
+    h = RotL(h, 11) * kPrime1;
+    ++p;
+  }
+
+  h ^= h >> 33;
+  h *= kPrime2;
+  h ^= h >> 29;
+  h *= kPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+}  // namespace topl

@@ -52,6 +52,9 @@
 #include "influence/propagation.h"
 #include "keywords/bit_vector.h"
 #include "keywords/keyword_dictionary.h"
+#include "storage/artifact.h"
+#include "storage/checksum.h"
+#include "storage/mapped_file.h"
 #include "truss/kcore.h"
 #include "truss/support.h"
 #include "truss/truss_decomposition.h"

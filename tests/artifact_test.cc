@@ -1,0 +1,465 @@
+// The TOPLIDX2 storage layer: an owned-memory offline phase and its
+// mmap-loaded twin must be indistinguishable to the detectors, the artifact
+// must reject corruption via per-section checksums, and Engine::Open must
+// take the zero-copy path (reusing engine_test's exact-match bar: same
+// communities, same member lists, bit-identical scores).
+
+#include "storage/artifact.h"
+
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "core/dtopl_detector.h"
+#include "core/topl_detector.h"
+#include "engine/engine.h"
+#include "graph/binary_io.h"
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "index/index_io.h"
+#include "storage/mapped_file.h"
+#include "tests/test_util.h"
+
+namespace topl {
+namespace {
+
+using testing::BuildIndexFor;
+using testing::BuiltIndex;
+
+class ArtifactTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("topl_artifact_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    graph_ = std::make_unique<Graph>(MakeTestGraph(120, /*seed=*/81));
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static Graph MakeTestGraph(std::size_t n, std::uint64_t seed) {
+    SmallWorldOptions gen;
+    gen.num_vertices = n;
+    gen.seed = seed;
+    gen.keywords.domain_size = 10;
+    Result<Graph> g = MakeSmallWorld(gen);
+    EXPECT_TRUE(g.ok()) << g.status().ToString();
+    return std::move(g).value();
+  }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  /// A handful of queries that actually match vertices of the 10-keyword
+  /// domain, mixing radii and truss levels.
+  static std::vector<Query> TestQueries() {
+    std::vector<Query> queries;
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      Query q;
+      q.keywords = {static_cast<KeywordId>(i), static_cast<KeywordId>(i + 2),
+                    static_cast<KeywordId>(i + 5)};
+      q.k = 3;
+      q.radius = 1 + i % 2;
+      q.theta = 0.2;
+      q.top_l = 4;
+      queries.push_back(std::move(q));
+    }
+    return queries;
+  }
+
+  static void ExpectSameCommunities(const std::vector<CommunityResult>& actual,
+                                    const std::vector<CommunityResult>& expected) {
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+      EXPECT_EQ(actual[i].community.center, expected[i].community.center) << i;
+      EXPECT_EQ(actual[i].community.vertices, expected[i].community.vertices) << i;
+      EXPECT_EQ(actual[i].influence.vertices, expected[i].influence.vertices) << i;
+      EXPECT_EQ(actual[i].score(), expected[i].score()) << i;
+    }
+  }
+
+  static std::vector<char> ReadAll(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<char>(std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>());
+  }
+
+  static void WriteAll(const std::string& path, const std::vector<char>& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::filesystem::path dir_;
+  std::unique_ptr<Graph> graph_;
+};
+
+TEST_F(ArtifactTest, MappedTwinAnswersIdenticalTopLAndDTopLQueries) {
+  const BuiltIndex built = BuildIndexFor(*graph_);
+  const std::string path = Path("index.idx");
+  ASSERT_TRUE(ArtifactWriter::Write(*graph_, built.pre(), built.tree, path).ok());
+
+  Result<MappedIndex> mapped = ArtifactReader::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_TRUE(mapped->graph.IsMapped());
+  EXPECT_TRUE(mapped->pre->IsMapped());
+  EXPECT_TRUE(mapped->tree.IsMapped());
+  EXPECT_FALSE(graph_->IsMapped());
+  ASSERT_EQ(mapped->graph.NumVertices(), graph_->NumVertices());
+  ASSERT_EQ(mapped->graph.NumEdges(), graph_->NumEdges());
+
+  TopLDetector owned_topl(*graph_, built.pre(), built.tree);
+  TopLDetector mapped_topl(mapped->graph, *mapped->pre, mapped->tree);
+  DTopLDetector owned_dtopl(*graph_, built.pre(), built.tree);
+  DTopLDetector mapped_dtopl(mapped->graph, *mapped->pre, mapped->tree);
+  DTopLOptions dtopl_options;
+  dtopl_options.n_factor = 3;
+
+  for (const Query& q : TestQueries()) {
+    Result<TopLResult> a = owned_topl.Search(q);
+    Result<TopLResult> b = mapped_topl.Search(q);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    ExpectSameCommunities(b->communities, a->communities);
+    EXPECT_EQ(a->stats.heap_pops, b->stats.heap_pops);
+    EXPECT_EQ(a->stats.candidates_refined, b->stats.candidates_refined);
+    EXPECT_EQ(a->stats.TotalPruned(), b->stats.TotalPruned());
+
+    Result<DTopLResult> da = owned_dtopl.Search(q, dtopl_options);
+    Result<DTopLResult> db = mapped_dtopl.Search(q, dtopl_options);
+    ASSERT_TRUE(da.ok()) << da.status().ToString();
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    ExpectSameCommunities(db->communities, da->communities);
+    EXPECT_EQ(da->diversity_score, db->diversity_score);
+  }
+}
+
+TEST_F(ArtifactTest, MappedStructuresOutliveTheMappedIndex) {
+  const BuiltIndex built = BuildIndexFor(*graph_);
+  const std::string path = Path("index.idx");
+  ASSERT_TRUE(ArtifactWriter::Write(*graph_, built.pre(), built.tree, path).ok());
+
+  // Move the pieces out and drop the MappedIndex (and even delete the file:
+  // the mapping holds the pages).
+  Result<MappedIndex> opened = ArtifactReader::Open(path);
+  ASSERT_TRUE(opened.ok());
+  Graph graph = std::move(opened->graph);
+  std::unique_ptr<PrecomputedData> pre = std::move(opened->pre);
+  TreeIndex tree = std::move(opened->tree);
+  opened = Status::Internal("dropped");
+  std::filesystem::remove(path);
+
+  TopLDetector detector(graph, *pre, tree);
+  Result<TopLResult> answer = detector.Search(TestQueries()[0]);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_FALSE(answer->communities.empty());
+}
+
+TEST_F(ArtifactTest, CopyOfMappedPrecomputeIsOwnedAndEqual) {
+  const BuiltIndex built = BuildIndexFor(*graph_);
+  const std::string path = Path("index.idx");
+  ASSERT_TRUE(ArtifactWriter::Write(*graph_, built.pre(), built.tree, path).ok());
+  Result<MappedIndex> mapped = ArtifactReader::Open(path);
+  ASSERT_TRUE(mapped.ok());
+
+  PrecomputedData copy = *mapped->pre;  // deep copy materializes the views
+  EXPECT_FALSE(copy.IsMapped());
+  for (VertexId v = 0; v < graph_->NumVertices(); ++v) {
+    EXPECT_EQ(copy.CenterTrussBound(v), built.pre().CenterTrussBound(v));
+    for (std::uint32_t r = 1; r <= copy.r_max(); ++r) {
+      EXPECT_EQ(copy.SupportBound(v, r), built.pre().SupportBound(v, r));
+      for (std::uint32_t z = 0; z < copy.num_thetas(); ++z) {
+        EXPECT_EQ(copy.ScoreBound(v, r, z), built.pre().ScoreBound(v, r, z));
+      }
+    }
+  }
+}
+
+TEST_F(ArtifactTest, EngineOpensArtifactThroughMmapPathWithIdenticalResults) {
+  const std::string graph_path = Path("graph.bin");
+  const std::string index_path = Path("index.idx");
+  ASSERT_TRUE(WriteGraphBinary(*graph_, graph_path).ok());
+  const BuiltIndex built = BuildIndexFor(*graph_);
+  ASSERT_TRUE(ArtifactWriter::Write(*graph_, built.pre(), built.tree, index_path).ok());
+
+  EngineOptions options;
+  options.graph_path = graph_path;
+  options.index_path = index_path;
+  options.build_index_if_missing = false;
+  Result<std::unique_ptr<Engine>> mmap_engine = Engine::Open(options);
+  ASSERT_TRUE(mmap_engine.ok()) << mmap_engine.status().ToString();
+  EXPECT_EQ((*mmap_engine)->index_source(), Engine::IndexSource::kMappedArtifact);
+  EXPECT_TRUE((*mmap_engine)->graph().IsMapped());
+  EXPECT_TRUE((*mmap_engine)->precomputed().IsMapped());
+  EXPECT_TRUE((*mmap_engine)->tree().IsMapped());
+
+  // The same offline phase built in-process must answer identically.
+  Result<std::unique_ptr<Engine>> built_engine =
+      Engine::FromGraph(MakeTestGraph(120, /*seed=*/81));
+  ASSERT_TRUE(built_engine.ok()) << built_engine.status().ToString();
+  EXPECT_EQ((*built_engine)->index_source(), Engine::IndexSource::kInMemory);
+
+  for (const Query& q : TestQueries()) {
+    Result<TopLResult> a = (*built_engine)->Search(q);
+    Result<TopLResult> b = (*mmap_engine)->Search(q);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ExpectSameCommunities(b->communities, a->communities);
+  }
+}
+
+TEST_F(ArtifactTest, EngineOpensArtifactWithoutGraphFile) {
+  const std::string index_path = Path("index.idx");
+  const BuiltIndex built = BuildIndexFor(*graph_);
+  ASSERT_TRUE(ArtifactWriter::Write(*graph_, built.pre(), built.tree, index_path).ok());
+
+  EngineOptions options;
+  options.index_path = index_path;  // no graph_path: embedded graph serves
+  options.build_index_if_missing = false;
+  Result<std::unique_ptr<Engine>> engine = Engine::Open(options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_EQ((*engine)->graph().NumVertices(), graph_->NumVertices());
+  Result<TopLResult> answer = (*engine)->Search(TestQueries()[0]);
+  EXPECT_TRUE(answer.ok());
+}
+
+TEST_F(ArtifactTest, EngineRejectsGraphArtifactMismatchDistinctly) {
+  // Artifact built over a 120-vertex graph; graph file has 80 vertices.
+  const std::string graph_path = Path("other_graph.bin");
+  const std::string index_path = Path("index.idx");
+  const Graph other = MakeTestGraph(80, /*seed=*/7);
+  ASSERT_TRUE(WriteGraphBinary(other, graph_path).ok());
+  const BuiltIndex built = BuildIndexFor(*graph_);
+  ASSERT_TRUE(ArtifactWriter::Write(*graph_, built.pre(), built.tree, index_path).ok());
+
+  EngineOptions options;
+  options.graph_path = graph_path;
+  options.index_path = index_path;
+  options.build_index_if_missing = false;
+  Result<std::unique_ptr<Engine>> engine = Engine::Open(options);
+  ASSERT_FALSE(engine.ok());
+  EXPECT_TRUE(engine.status().IsInvalidArgument());
+  EXPECT_NE(engine.status().message().find("graph/artifact mismatch"),
+            std::string::npos)
+      << engine.status().ToString();
+}
+
+TEST_F(ArtifactTest, EngineSavesBuiltIndexAsArtifact) {
+  const std::string graph_path = Path("graph.bin");
+  const std::string index_path = Path("saved.idx");
+  ASSERT_TRUE(WriteGraphBinary(*graph_, graph_path).ok());
+
+  EngineOptions options;
+  options.graph_path = graph_path;
+  options.index_path = index_path;
+  options.precompute.r_max = 2;
+  Result<std::unique_ptr<Engine>> first = Engine::Open(options);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ((*first)->index_source(), Engine::IndexSource::kInMemory);
+  ASSERT_TRUE(ArtifactReader::IsArtifact(index_path));
+
+  Result<std::unique_ptr<Engine>> second = Engine::Open(options);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ((*second)->index_source(), Engine::IndexSource::kMappedArtifact);
+  for (const Query& q : TestQueries()) {
+    Result<TopLResult> a = (*first)->Search(q);
+    Result<TopLResult> b = (*second)->Search(q);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ExpectSameCommunities(b->communities, a->communities);
+  }
+}
+
+TEST_F(ArtifactTest, MigratedLegacyIndexHasEqualBounds) {
+  const BuiltIndex built = BuildIndexFor(*graph_);
+  const std::string legacy_path = Path("legacy.bin");
+  const std::string artifact_path = Path("migrated.idx");
+  ASSERT_TRUE(IndexCodec::Write(built.pre(), built.tree, legacy_path).ok());
+
+  // Migrate: legacy read -> artifact write -> mmap open (what
+  // `topl_cli index migrate` does).
+  Result<IndexCodec::LoadedIndex> loaded = IndexCodec::Read(legacy_path, *graph_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(
+      ArtifactWriter::Write(*graph_, *loaded->data, loaded->tree, artifact_path)
+          .ok());
+  Result<MappedIndex> mapped = ArtifactReader::Open(artifact_path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+
+  const PrecomputedData& pre = built.pre();
+  const PrecomputedData& back = *mapped->pre;
+  ASSERT_EQ(back.r_max(), pre.r_max());
+  ASSERT_EQ(back.num_thetas(), pre.num_thetas());
+  for (VertexId v = 0; v < graph_->NumVertices(); ++v) {
+    EXPECT_EQ(back.CenterTrussBound(v), pre.CenterTrussBound(v));
+    for (std::uint32_t r = 1; r <= pre.r_max(); ++r) {
+      EXPECT_EQ(back.SupportBound(v, r), pre.SupportBound(v, r));
+      ASSERT_EQ(back.SignatureWords(v, r).size(), pre.SignatureWords(v, r).size());
+      for (std::size_t w = 0; w < pre.words_per_signature(); ++w) {
+        EXPECT_EQ(back.SignatureWords(v, r)[w], pre.SignatureWords(v, r)[w]);
+      }
+      for (std::uint32_t z = 0; z < pre.num_thetas(); ++z) {
+        EXPECT_EQ(back.ScoreBound(v, r, z), pre.ScoreBound(v, r, z));
+      }
+    }
+  }
+  const TreeIndex& tree = mapped->tree;
+  ASSERT_EQ(tree.NumNodes(), built.tree.NumNodes());
+  EXPECT_EQ(tree.root(), built.tree.root());
+  EXPECT_EQ(tree.height(), built.tree.height());
+  for (std::uint32_t id = 0; id < tree.NumNodes(); ++id) {
+    EXPECT_EQ(tree.CenterTrussBound(id), built.tree.CenterTrussBound(id));
+    for (std::uint32_t r = 1; r <= pre.r_max(); ++r) {
+      EXPECT_EQ(tree.SupportBound(id, r), built.tree.SupportBound(id, r));
+      for (std::uint32_t z = 0; z < pre.num_thetas(); ++z) {
+        EXPECT_EQ(tree.ScoreBound(id, r, z), built.tree.ScoreBound(id, r, z));
+      }
+    }
+  }
+}
+
+TEST_F(ArtifactTest, InPlaceRewritePreservesTheArtifact) {
+  const BuiltIndex built = BuildIndexFor(*graph_);
+  const std::string path = Path("index.idx");
+  ASSERT_TRUE(ArtifactWriter::Write(*graph_, built.pre(), built.tree, path).ok());
+  const std::vector<char> original = ReadAll(path);
+
+  // Migrate with --in == --out: the payload spans are views into the very
+  // mapping being rewritten, so Write must not truncate in place.
+  Result<IndexCodec::LoadedIndex> loaded = IndexCodec::Read(path, *graph_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(loaded->data->IsMapped());
+  ASSERT_TRUE(
+      ArtifactWriter::Write(*graph_, *loaded->data, loaded->tree, path).ok());
+  EXPECT_EQ(ReadAll(path), original);
+  EXPECT_TRUE(ArtifactReader::Open(path).ok());
+}
+
+TEST_F(ArtifactTest, InspectReportsSectionsAndChecksums) {
+  const BuiltIndex built = BuildIndexFor(*graph_);
+  const std::string path = Path("index.idx");
+  ASSERT_TRUE(ArtifactWriter::Write(*graph_, built.pre(), built.tree, path).ok());
+
+  Result<ArtifactInfo> info = ArtifactReader::Inspect(path);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->version, 1u);
+  EXPECT_TRUE(info->checksums_ok);
+  EXPECT_EQ(info->num_vertices, graph_->NumVertices());
+  EXPECT_EQ(info->num_edges, graph_->NumEdges());
+  EXPECT_EQ(info->sections.size(), 17u);
+  EXPECT_EQ(info->sections.front().name, "meta");
+  for (const ArtifactSectionInfo& s : info->sections) {
+    EXPECT_EQ(s.offset % 64, 0u) << s.name;
+  }
+}
+
+TEST_F(ArtifactTest, FlippedBytesInEverySectionAreRejected) {
+  const BuiltIndex built = BuildIndexFor(*graph_);
+  const std::string path = Path("index.idx");
+  ASSERT_TRUE(ArtifactWriter::Write(*graph_, built.pre(), built.tree, path).ok());
+  Result<ArtifactInfo> info = ArtifactReader::Inspect(path);
+  ASSERT_TRUE(info.ok());
+  const std::vector<char> original = ReadAll(path);
+
+  // One flip in the magic, one in the section table, and one in the middle
+  // of every non-empty section payload: each must surface as Corruption.
+  std::vector<std::size_t> positions = {0, 64 + 17};
+  for (const ArtifactSectionInfo& s : info->sections) {
+    if (s.size > 0) positions.push_back(s.offset + s.size / 2);
+  }
+  for (const std::size_t pos : positions) {
+    ASSERT_LT(pos, original.size());
+    std::vector<char> mutated = original;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x20);
+    WriteAll(path, mutated);
+    Result<MappedIndex> opened = ArtifactReader::Open(path);
+    ASSERT_FALSE(opened.ok()) << "flip at " << pos << " was accepted";
+    EXPECT_TRUE(opened.status().IsCorruption()) << opened.status().ToString();
+  }
+  // The pristine file still opens.
+  WriteAll(path, original);
+  EXPECT_TRUE(ArtifactReader::Open(path).ok());
+}
+
+TEST_F(ArtifactTest, TruncationsAreRejected) {
+  const BuiltIndex built = BuildIndexFor(*graph_);
+  const std::string path = Path("index.idx");
+  ASSERT_TRUE(ArtifactWriter::Write(*graph_, built.pre(), built.tree, path).ok());
+  const std::vector<char> original = ReadAll(path);
+
+  for (const double fraction : {0.0, 0.1, 0.5, 0.9, 0.999}) {
+    const std::size_t len = static_cast<std::size_t>(
+        static_cast<double>(original.size()) * fraction);
+    WriteAll(path, std::vector<char>(original.begin(), original.begin() + len));
+    Result<MappedIndex> opened = ArtifactReader::Open(path);
+    ASSERT_FALSE(opened.ok()) << "truncation to " << len << " was accepted";
+    EXPECT_TRUE(opened.status().IsCorruption());
+  }
+}
+
+TEST_F(ArtifactTest, ChecksumVerificationCanBeSkippedButStructureIsStillChecked) {
+  const BuiltIndex built = BuildIndexFor(*graph_);
+  const std::string path = Path("index.idx");
+  ASSERT_TRUE(ArtifactWriter::Write(*graph_, built.pre(), built.tree, path).ok());
+
+  ArtifactReadOptions no_verify;
+  no_verify.verify_checksums = false;
+  EXPECT_TRUE(ArtifactReader::Open(path, no_verify).ok());
+
+  // Structural damage (out-of-range root) is caught even without checksums:
+  // corrupt the meta block's tree_root field directly.
+  Result<ArtifactInfo> info = ArtifactReader::Inspect(path);
+  ASSERT_TRUE(info.ok());
+  std::vector<char> mutated = ReadAll(path);
+  const std::size_t meta_offset = info->sections.front().offset;
+  const std::size_t root_offset = meta_offset + 48;  // MetaBlock::tree_root
+  std::uint32_t bogus_root = 0xFFFFFFFF;
+  std::memcpy(mutated.data() + root_offset, &bogus_root, sizeof(bogus_root));
+  WriteAll(path, mutated);
+  Result<MappedIndex> opened = ArtifactReader::Open(path, no_verify);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_TRUE(opened.status().IsCorruption());
+}
+
+TEST_F(ArtifactTest, HugeIntermediateOffsetIsRejectedWithoutChecksums) {
+  const BuiltIndex built = BuildIndexFor(*graph_);
+  const std::string path = Path("index.idx");
+  ASSERT_TRUE(ArtifactWriter::Write(*graph_, built.pre(), built.tree, path).ok());
+  Result<ArtifactInfo> info = ArtifactReader::Inspect(path);
+  ASSERT_TRUE(info.ok());
+
+  // offsets[1] = 2^60: monotone w.r.t. offsets[0], wildly past the arcs
+  // section. Validation must bound the whole offsets array before
+  // dereferencing arcs through it — even with the checksum pass disabled.
+  std::vector<char> mutated = ReadAll(path);
+  const ArtifactSectionInfo& offsets_section = info->sections[1];
+  ASSERT_EQ(offsets_section.name, "g.offsets");
+  const std::uint64_t huge = 1ULL << 60;
+  std::memcpy(mutated.data() + offsets_section.offset + 8, &huge, sizeof(huge));
+  WriteAll(path, mutated);
+
+  ArtifactReadOptions no_verify;
+  no_verify.verify_checksums = false;
+  Result<MappedIndex> opened = ArtifactReader::Open(path, no_verify);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_TRUE(opened.status().IsCorruption());
+  EXPECT_NE(opened.status().message().find("non-monotonic arc offsets"),
+            std::string::npos)
+      << opened.status().ToString();
+}
+
+TEST_F(ArtifactTest, MissingFileIsIOError) {
+  EXPECT_TRUE(ArtifactReader::Open(Path("absent.idx")).status().IsIOError());
+  EXPECT_FALSE(ArtifactReader::IsArtifact(Path("absent.idx")));
+}
+
+TEST_F(ArtifactTest, LegacyFileIsNotAnArtifact) {
+  const BuiltIndex built = BuildIndexFor(*graph_);
+  const std::string path = Path("legacy.bin");
+  ASSERT_TRUE(IndexCodec::Write(built.pre(), built.tree, path).ok());
+  EXPECT_FALSE(ArtifactReader::IsArtifact(path));
+  EXPECT_TRUE(ArtifactReader::Open(path).status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace topl

@@ -8,6 +8,7 @@
 #include "core/topl_detector.h"
 #include "graph/generators.h"
 #include "gtest/gtest.h"
+#include "storage/artifact.h"
 #include "tests/test_util.h"
 
 namespace topl {
@@ -113,6 +114,31 @@ TEST_F(IndexIoTest, RejectsBadMagicAndTruncation) {
   ASSERT_TRUE(IndexCodec::Write(built.pre(), built.tree, path).ok());
   std::filesystem::resize_file(path, std::filesystem::file_size(path) / 3);
   EXPECT_TRUE(IndexCodec::Read(path, *graph_).status().IsCorruption());
+}
+
+TEST_F(IndexIoTest, RejectsTrailingGarbage) {
+  const BuiltIndex built = BuildIndexFor(*graph_);
+  const std::string path = Path("index.bin");
+  ASSERT_TRUE(IndexCodec::Write(built.pre(), built.tree, path).ok());
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "extra";
+  }
+  Result<IndexCodec::LoadedIndex> loaded = IndexCodec::Read(path, *graph_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption());
+}
+
+TEST_F(IndexIoTest, ReadsArtifactsThroughTheLegacyApi) {
+  // IndexCodec::Read sniffs TOPLIDX2 and returns zero-copy views.
+  const BuiltIndex built = BuildIndexFor(*graph_);
+  const std::string path = Path("index.idx");
+  ASSERT_TRUE(ArtifactWriter::Write(*graph_, built.pre(), built.tree, path).ok());
+  Result<IndexCodec::LoadedIndex> loaded = IndexCodec::Read(path, *graph_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->data->IsMapped());
+  EXPECT_TRUE(loaded->tree.IsMapped());
+  EXPECT_EQ(loaded->tree.NumNodes(), built.tree.NumNodes());
 }
 
 TEST_F(IndexIoTest, MissingFileIsIOError) {

@@ -14,6 +14,7 @@
 #include "graph/generators.h"
 #include "gtest/gtest.h"
 #include "index/index_io.h"
+#include "storage/artifact.h"
 #include "tests/test_util.h"
 
 namespace topl {
@@ -157,6 +158,81 @@ TEST_F(SerializationFuzzTest, IndexBitFlipsSurfaceAsStatusOrSaneIndex) {
       }
     }
   }
+}
+
+TEST_F(SerializationFuzzTest, ArtifactTruncationSweepNeverCrashes) {
+  SmallWorldOptions gen;
+  gen.num_vertices = 60;
+  gen.seed = 23;
+  Result<Graph> g = MakeSmallWorld(gen);
+  ASSERT_TRUE(g.ok());
+  const BuiltIndex built = BuildIndexFor(*g);
+  const std::string path = Path("a.idx");
+  ASSERT_TRUE(ArtifactWriter::Write(*g, built.pre(), built.tree, path).ok());
+  const std::vector<char> bytes = ReadAll(path);
+
+  for (std::size_t len = 0; len < bytes.size(); len += 101) {
+    WriteAll(path, std::vector<char>(bytes.begin(), bytes.begin() + len));
+    Result<MappedIndex> loaded = ArtifactReader::Open(path);
+    EXPECT_FALSE(loaded.ok()) << "truncation at " << len << " parsed";
+  }
+  WriteAll(path, bytes);
+  EXPECT_TRUE(ArtifactReader::Open(path).ok());
+}
+
+TEST_F(SerializationFuzzTest, ArtifactBitFlipsAreRejectedOrHarmless) {
+  SmallWorldOptions gen;
+  gen.num_vertices = 50;
+  gen.seed = 24;
+  Result<Graph> g = MakeSmallWorld(gen);
+  ASSERT_TRUE(g.ok());
+  const BuiltIndex built = BuildIndexFor(*g);
+  const std::string path = Path("a.idx");
+  ASSERT_TRUE(ArtifactWriter::Write(*g, built.pre(), built.tree, path).ok());
+  const std::vector<char> original = ReadAll(path);
+
+  // Reference answer from the pristine artifact.
+  Query q;
+  q.keywords = {0, 1, 2, 3, 4};
+  q.k = 3;
+  q.radius = 2;
+  q.theta = 0.2;
+  q.top_l = 5;
+  std::vector<double> reference;
+  {
+    Result<MappedIndex> pristine = ArtifactReader::Open(path);
+    ASSERT_TRUE(pristine.ok());
+    TopLDetector detector(pristine->graph, *pristine->pre, pristine->tree);
+    Result<TopLResult> answer = detector.Search(q);
+    ASSERT_TRUE(answer.ok());
+    reference = testing::Scores(answer->communities);
+  }
+
+  // Header, table and every section payload are checksummed, so the only
+  // acceptable mutants are flips in dead bytes (header reserved area,
+  // inter-section padding) — and those must serve the exact same answers.
+  Rng rng(25);
+  int accepted = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<char> mutated = original;
+    const std::size_t pos = rng.NextBounded(mutated.size());
+    mutated[pos] = static_cast<char>(mutated[pos] ^ (1 << rng.NextBounded(8)));
+    WriteAll(path, mutated);
+    Result<MappedIndex> loaded = ArtifactReader::Open(path);
+    if (!loaded.ok()) {
+      EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status().ToString();
+      continue;
+    }
+    ++accepted;
+    TopLDetector detector(loaded->graph, *loaded->pre, loaded->tree);
+    Result<TopLResult> answer = detector.Search(q);
+    ASSERT_TRUE(answer.ok());
+    EXPECT_EQ(testing::Scores(answer->communities), reference)
+        << "flip at " << pos << " changed query results";
+  }
+  // The dead-byte fraction of an artifact is small; the vast majority of
+  // flips must have been rejected.
+  EXPECT_LT(accepted, 60);
 }
 
 }  // namespace

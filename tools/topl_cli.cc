@@ -3,8 +3,17 @@
 // Offline phase (artifact construction):
 //   topl_cli generate --kind=uni --vertices=10000 --out=graph.bin
 //   topl_cli convert  --in=com-dblp.ungraph.txt --out=graph.bin
-//   topl_cli index    --graph=graph.bin --out=index.bin [--rmax=3 --threads=0]
+//   topl_cli index build   --graph=graph.bin --out=index.idx
+//                          [--rmax=3 --threads=0 --format=v2|legacy]
+//   topl_cli index inspect --artifact=index.idx
+//   topl_cli index migrate --in=old.bin --graph=graph.bin --out=index.idx
 //   topl_cli stats    --graph=graph.bin
+//
+// `index build` writes the mmap-able TOPLIDX2 artifact (graph + precompute +
+// tree in one file) unless --format=legacy asks for the old TOPLIDX1 stream;
+// `index inspect` dumps an artifact's section table and checksums;
+// `index migrate` rewrites a TOPLIDX1 file as TOPLIDX2. Bare
+// `topl_cli index --graph=... --out=...` remains an alias for `index build`.
 //
 // Online phase (all served through topl::Engine::Open; a missing index file
 // is built in-process, and persisted back when --save-index=1):
@@ -97,6 +106,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: topl_cli <generate|convert|index|stats|query|dtopl|batch> "
                "[--flag=value ...]\n"
+               "       topl_cli index <build|inspect|migrate> [--flag=value ...]\n"
                "see the header comment of tools/topl_cli.cc for flags\n");
   return 2;
 }
@@ -155,9 +165,14 @@ int CmdConvert(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-int CmdIndex(const std::map<std::string, std::string>& flags) {
+int CmdIndexBuild(const std::map<std::string, std::string>& flags) {
   const std::string graph_path = FlagOr(flags, "graph", "graph.bin");
   const std::string out = FlagOr(flags, "out", "index.bin");
+  const std::string format = FlagOr(flags, "format", "v2");
+  if (format != "v2" && format != "legacy") {
+    return Fail(Status::InvalidArgument("unknown --format: " + format +
+                                        " (expected v2 or legacy)"));
+  }
   Result<Graph> graph = ReadGraphBinary(graph_path);
   if (!graph.ok()) return Fail(graph.status());
   PrecomputeOptions options;
@@ -168,11 +183,71 @@ int CmdIndex(const std::map<std::string, std::string>& flags) {
   if (!pre.ok()) return Fail(pre.status());
   Result<TreeIndex> tree = TreeIndex::Build(*graph, *pre);
   if (!tree.ok()) return Fail(tree.status());
-  const Status status = IndexCodec::Write(*pre, *tree, out);
+  const Status status = format == "legacy"
+                            ? IndexCodec::Write(*pre, *tree, out)
+                            : ArtifactWriter::Write(*graph, *pre, *tree, out);
   if (!status.ok()) return Fail(status);
-  std::printf("indexed %s in %.2fs -> %s (%zu tree nodes, height %u)\n",
+  std::printf("indexed %s in %.2fs -> %s (%s, %zu tree nodes, height %u)\n",
               graph_path.c_str(), timer.ElapsedSeconds(), out.c_str(),
-              tree->NumNodes(), tree->height());
+              format == "legacy" ? "TOPLIDX1" : "TOPLIDX2", tree->NumNodes(),
+              tree->height());
+  return 0;
+}
+
+int CmdIndexInspect(const std::map<std::string, std::string>& flags) {
+  const std::string path =
+      FlagOr(flags, "artifact", FlagOr(flags, "in", "index.bin"));
+  Result<ArtifactInfo> info = ArtifactReader::Inspect(path);
+  if (!info.ok()) {
+    // A bad magic usually means a legacy TOPLIDX1 file; an unreadable file
+    // keeps its IO error.
+    if (info.status().IsCorruption()) {
+      std::fprintf(stderr,
+                   "hint: convert legacy TOPLIDX1 indexes with "
+                   "`topl_cli index migrate`\n");
+    }
+    return Fail(info.status());
+  }
+  std::printf("%s: TOPLIDX2 v%u, %llu bytes, checksums %s\n", path.c_str(),
+              info->version, static_cast<unsigned long long>(info->file_size),
+              info->checksums_ok ? "OK" : "MISMATCH");
+  std::printf("graph: %llu vertices, %llu edges, %llu keyword entries\n",
+              static_cast<unsigned long long>(info->num_vertices),
+              static_cast<unsigned long long>(info->num_edges),
+              static_cast<unsigned long long>(info->total_keywords));
+  std::printf("index: r_max=%u, %u thetas, %u signature bits, "
+              "%llu tree nodes, height %u\n",
+              info->r_max, info->num_thetas, info->signature_bits,
+              static_cast<unsigned long long>(info->tree_num_nodes),
+              info->tree_height);
+  std::printf("%-14s %12s %14s %6s  %s\n", "section", "offset", "bytes",
+              "elem", "xxh64");
+  for (const ArtifactSectionInfo& s : info->sections) {
+    std::printf("%-14s %12llu %14llu %6u  %016llx\n", s.name.c_str(),
+                static_cast<unsigned long long>(s.offset),
+                static_cast<unsigned long long>(s.size), s.elem_size,
+                static_cast<unsigned long long>(s.checksum));
+  }
+  return info->checksums_ok ? 0 : 1;
+}
+
+int CmdIndexMigrate(const std::map<std::string, std::string>& flags) {
+  const std::string in = FlagOr(flags, "in", "");
+  const std::string graph_path = FlagOr(flags, "graph", "graph.bin");
+  const std::string out = FlagOr(flags, "out", "");
+  if (in.empty() || out.empty()) {
+    return Fail(Status::InvalidArgument(
+        "index migrate needs --in=OLD_INDEX and --out=NEW_ARTIFACT"));
+  }
+  Result<Graph> graph = ReadGraphBinary(graph_path);
+  if (!graph.ok()) return Fail(graph.status());
+  Result<IndexCodec::LoadedIndex> loaded = IndexCodec::Read(in, *graph);
+  if (!loaded.ok()) return Fail(loaded.status());
+  const Status status =
+      ArtifactWriter::Write(*graph, *loaded->data, loaded->tree, out);
+  if (!status.ok()) return Fail(status);
+  std::printf("migrated %s -> %s (TOPLIDX2, %zu tree nodes)\n", in.c_str(),
+              out.c_str(), loaded->tree.NumNodes());
   return 0;
 }
 
@@ -441,11 +516,26 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
+  // `index` takes an optional subcommand; a bare flag list keeps the
+  // historical behavior (build).
+  if (command == "index") {
+    std::string sub = "build";
+    int first_flag = 2;
+    if (argc >= 3 && std::string(argv[2]).rfind("--", 0) != 0) {
+      sub = argv[2];
+      first_flag = 3;
+    }
+    std::map<std::string, std::string> flags;
+    if (!ParseFlags(argc, argv, first_flag, &flags)) return Usage();
+    if (sub == "build") return CmdIndexBuild(flags);
+    if (sub == "inspect") return CmdIndexInspect(flags);
+    if (sub == "migrate") return CmdIndexMigrate(flags);
+    return Usage();
+  }
   std::map<std::string, std::string> flags;
   if (!ParseFlags(argc, argv, 2, &flags)) return Usage();
   if (command == "generate") return CmdGenerate(flags);
   if (command == "convert") return CmdConvert(flags);
-  if (command == "index") return CmdIndex(flags);
   if (command == "stats") return CmdStats(flags);
   if (command == "query") return CmdQuery(flags, /*diversified=*/false);
   if (command == "dtopl") return CmdQuery(flags, /*diversified=*/true);
