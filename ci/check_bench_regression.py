@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Compares a freshly produced benchmark JSON against a committed baseline and
+fails (exit 1) when any gated throughput metric regressed by more than the
+allowed fraction. Two input shapes are understood:
+
+  - bench_parallel_query / bench_cold_start style: a single JSON object; the
+    gated metrics are every "queries_per_s" value found recursively, keyed by
+    the path to it (e.g. runs[threads=8].queries_per_s).
+  - google-benchmark --benchmark_format=json: gated metrics are each
+    benchmark's "queries_per_s" counter keyed by the benchmark name.
+
+Usage:
+  check_bench_regression.py --current=NEW.json --baseline=OLD.json
+      [--tolerance=0.25]            # max allowed fractional regression
+      [--require=PATH:MIN] ...      # absolute floor on a metric, e.g.
+                                    #   --require='runs[threads=8].speedup:2.0'
+Baselines are refreshed by committing a newly generated JSON over the old
+one; the gate compares whatever metrics the two files share (a metric
+missing from either side is reported but not fatal, so adding benchmarks
+does not require lockstep baseline updates).
+"""
+
+import argparse
+import json
+import sys
+
+
+def collect_metrics(node, prefix, out):
+    """Recursively collects gated metrics from a plain benchmark JSON."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else key
+            if key in ("queries_per_s", "speedup") and isinstance(value, (int, float)):
+                out[path] = float(value)
+            else:
+                collect_metrics(value, path, out)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            label = f"{prefix}[{i}]"
+            if isinstance(value, dict) and "threads" in value:
+                label = f"{prefix}[threads={value['threads']}]"
+            collect_metrics(value, label, out)
+
+
+def collect_google_benchmark(doc, out):
+    for bench in doc.get("benchmarks", []):
+        name = bench.get("name", "?")
+        if "queries_per_s" in bench:
+            out[name + ".queries_per_s"] = float(bench["queries_per_s"])
+
+
+def load_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+    metrics = {}
+    if isinstance(doc, dict) and "benchmarks" in doc and "context" in doc:
+        collect_google_benchmark(doc, metrics)
+    else:
+        collect_metrics(doc, "", metrics)
+    return metrics
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.25)
+    parser.add_argument("--require", action="append", default=[],
+                        help="PATH:MIN absolute floor, checked on --current")
+    args = parser.parse_args()
+
+    current = load_metrics(args.current)
+    baseline = load_metrics(args.baseline)
+
+    failures = []
+    compared = 0
+    for path, base_value in sorted(baseline.items()):
+        if path.endswith(".speedup"):
+            continue  # speedups are gated via --require, not vs baseline
+        if path not in current:
+            print(f"note: {path} missing from current run (skipped)")
+            continue
+        cur_value = current[path]
+        compared += 1
+        if base_value <= 0:
+            continue
+        change = (cur_value - base_value) / base_value
+        status = "ok"
+        if change < -args.tolerance:
+            status = "REGRESSION"
+            failures.append(
+                f"{path}: {base_value:.2f} -> {cur_value:.2f} "
+                f"({change * 100:+.1f}% < -{args.tolerance * 100:.0f}%)")
+        print(f"{status:>10}  {path}: {base_value:.2f} -> {cur_value:.2f} "
+              f"({change * 100:+.1f}%)")
+
+    for requirement in args.require:
+        path, _, minimum = requirement.rpartition(":")
+        minimum = float(minimum)
+        if path not in current:
+            failures.append(f"required metric {path} missing from current run")
+            continue
+        value = current[path]
+        ok = value >= minimum
+        print(f"{'ok' if ok else 'BELOW FLOOR':>10}  {path}: {value:.2f} "
+              f"(floor {minimum:.2f})")
+        if not ok:
+            failures.append(f"{path}: {value:.2f} below required {minimum:.2f}")
+
+    if compared == 0 and not args.require:
+        print("error: no shared metrics between current and baseline")
+        return 1
+    if failures:
+        print("\nbenchmark gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nbenchmark gate passed ({compared} metrics compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

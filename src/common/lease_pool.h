@@ -1,0 +1,84 @@
+#ifndef TOPL_COMMON_LEASE_POOL_H_
+#define TOPL_COMMON_LEASE_POOL_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace topl {
+
+/// \brief Lazily-growing free-list pool of per-worker objects handed out
+/// under an RAII lease.
+///
+/// For state that is expensive to build (O(n) scratch arrays) and
+/// deliberately single-threaded: the pool creates instances on demand up to
+/// peak concurrency and recycles them across leases, so steady-state use
+/// allocates nothing. Acquire/Release are a short mutex hold (free-list
+/// push/pop) per lease; construction runs outside the lock so concurrent
+/// growth does not serialize. Instances are destroyed with the pool, which
+/// must outlive its leases.
+template <typename T>
+class LeasePool {
+ public:
+  explicit LeasePool(std::function<std::unique_ptr<T>()> factory)
+      : factory_(std::move(factory)) {}
+
+  LeasePool(const LeasePool&) = delete;
+  LeasePool& operator=(const LeasePool&) = delete;
+
+  /// RAII lease; the instance returns to the free list on destruction (also
+  /// on exception unwind).
+  class Lease {
+   public:
+    explicit Lease(LeasePool* pool) : pool_(pool), object_(pool->Acquire()) {}
+    ~Lease() { pool_->Release(object_); }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    T& operator*() const { return *object_; }
+    T* operator->() const { return object_; }
+
+   private:
+    LeasePool* pool_;
+    T* object_;
+  };
+
+  /// Instances created so far (== peak concurrent leases).
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return all_.size();
+  }
+
+ private:
+  T* Acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!free_.empty()) {
+        T* object = free_.back();
+        free_.pop_back();
+        return object;
+      }
+    }
+    std::unique_ptr<T> created = factory_();
+    T* object = created.get();
+    std::lock_guard<std::mutex> lock(mu_);
+    all_.push_back(std::move(created));
+    return object;
+  }
+
+  void Release(T* object) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(object);
+  }
+
+  std::function<std::unique_ptr<T>()> factory_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<T>> all_;  // all ever created
+  std::vector<T*> free_;
+};
+
+}  // namespace topl
+
+#endif  // TOPL_COMMON_LEASE_POOL_H_

@@ -1,7 +1,10 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <exception>
 #include <utility>
+
+#include "common/check.h"
 
 namespace topl {
 
@@ -87,6 +90,82 @@ void ThreadPool::QueueWorkerLoop() {
 
 std::size_t ThreadPool::PendingTasks() const {
   return in_flight_.load(std::memory_order_relaxed);
+}
+
+// Shared between the group handle and the claim tokens it enqueues. The
+// tokens only hold the State (not the TaskGroup), so a token drained by a
+// queue worker after the group's Wait() already ran everything is harmless.
+struct ThreadPool::TaskGroup::State {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::function<void()>> pending;  // spawned, not yet claimed
+  std::size_t running = 0;                    // claimed, not yet finished
+  std::exception_ptr error;
+
+  // Pops one pending subtask (nullptr when none) and marks it running.
+  std::function<void()> Claim() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (pending.empty()) return nullptr;
+    std::function<void()> fn = std::move(pending.front());
+    pending.pop_front();
+    ++running;
+    return fn;
+  }
+
+  void Finish(std::exception_ptr e) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (e && !error) error = std::move(e);
+    if (--running == 0 && pending.empty()) cv.notify_all();
+  }
+
+  void Run(std::function<void()> fn) {
+    std::exception_ptr e;
+    try {
+      fn();
+    } catch (...) {
+      e = std::current_exception();
+    }
+    Finish(std::move(e));
+  }
+};
+
+ThreadPool::TaskGroup::TaskGroup(ThreadPool* pool)
+    : pool_(pool), state_(std::make_shared<State>()) {}
+
+ThreadPool::TaskGroup::~TaskGroup() {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  TOPL_CHECK(state_->pending.empty() && state_->running == 0,
+             "TaskGroup destroyed with outstanding subtasks; call Wait()");
+}
+
+void ThreadPool::TaskGroup::Spawn(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->pending.push_back(std::move(fn));
+  }
+  // Offer the unit of work to the queue workers via a claim token. A
+  // single-threaded pool skips the offer: Wait() will run everything inline,
+  // and not spinning up a queue worker keeps the pool truly one thread.
+  if (pool_->num_threads_ > 1) {
+    pool_->Enqueue([state = state_] {
+      if (std::function<void()> fn = state->Claim()) state->Run(std::move(fn));
+    });
+  }
+}
+
+void ThreadPool::TaskGroup::Wait() {
+  // Help-first: drain our own pending subtasks on this thread. Queue workers
+  // racing us just find an empty pending list.
+  while (std::function<void()> fn = state_->Claim()) state_->Run(std::move(fn));
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [this] {
+      return state_->running == 0 && state_->pending.empty();
+    });
+    error = std::exchange(state_->error, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace topl

@@ -30,6 +30,13 @@ namespace topl {
 ///    FIFO and never on the calling thread; a task must not block on another
 ///    task submitted to the same pool, or all queue workers can end up
 ///    waiting on queued work.
+///
+///  - TaskGroup: structured nested fan-out. Unlike Submit, a TaskGroup may
+///    be used *from inside* a pool task (or ParallelFor body): Wait() never
+///    parks the caller while group work is runnable — it executes unclaimed
+///    subtasks itself — so fanning out sub-tasks from a worker cannot
+///    deadlock even when every queue worker is busy. This is what gives one
+///    query intra-query parallelism while the same pool serves other queries.
 class ThreadPool {
  public:
   /// \param num_threads worker count; 0 means std::thread::hardware_concurrency().
@@ -75,7 +82,41 @@ class ThreadPool {
   /// intended for tests and monitoring).
   std::size_t PendingTasks() const;
 
+  /// \brief A set of subtasks whose completion the spawning thread joins.
+  ///
+  /// Spawned subtasks are offered to the pool's queue workers, but ownership
+  /// of each unit of work stays with the group: Wait() keeps popping
+  /// unclaimed subtasks and running them on the calling thread, then blocks
+  /// only for subtasks already *running* elsewhere. Safe to use from any
+  /// thread, including pool workers (nested fan-out) — the help-first join
+  /// means progress never depends on a free worker.
+  ///
+  /// Not reusable across Wait() rounds concurrently: one thread spawns and
+  /// waits; after Wait() returns the group may spawn again.
+  class TaskGroup {
+   public:
+    explicit TaskGroup(ThreadPool* pool);
+    ~TaskGroup();  // aborts if outstanding subtasks were never waited for
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+
+    /// Adds one subtask. With a single-threaded pool the subtask simply runs
+    /// during Wait() on the calling thread.
+    void Spawn(std::function<void()> fn);
+
+    /// Runs/joins every spawned subtask; on return all have finished.
+    /// Exceptions thrown by subtasks are rethrown here (first one wins).
+    void Wait();
+
+   private:
+    struct State;
+    ThreadPool* pool_;
+    std::shared_ptr<State> state_;
+  };
+
  private:
+  friend class TaskGroup;
+
   void Enqueue(std::function<void()> task);
   void QueueWorkerLoop();
 

@@ -2,6 +2,7 @@
 #define TOPL_CORE_COMMUNITY_RESULT_H_
 
 #include <algorithm>
+#include <limits>
 #include <vector>
 
 #include "core/query.h"
@@ -19,20 +20,37 @@ struct CommunityResult {
   double score() const { return influence.score; }
 };
 
+/// Canonical strict ordering of answer communities: σ desc, center asc.
+/// Centers are unique per candidate, so this is a *total* order — which is
+/// what makes the parallel scoring path deterministic: the top-L of any
+/// candidate set under a total order is one specific set of communities, no
+/// matter in which order the candidates were refined and merged.
+inline bool BetterCommunity(const CommunityResult& a, const CommunityResult& b) {
+  if (a.score() != b.score()) return a.score() > b.score();
+  return a.community.center < b.community.center;
+}
+
 /// \brief A TopL-ICDE answer: up to L communities sorted by σ descending
 /// (ties broken by center id for determinism), plus execution counters.
 struct TopLResult {
   std::vector<CommunityResult> communities;
   QueryStats stats;
+
+  /// True when the search stopped before exhausting the candidate space —
+  /// deadline expiry, cancellation, or a progressive callback returning
+  /// false. `communities` then holds the best answers found so far.
+  bool truncated = false;
+
+  /// Largest influential score any community *not* in `communities` could
+  /// still have. −∞ once the candidate space is exhausted (the answer is
+  /// exact); for truncated answers this bounds how much better a missed
+  /// community could be — the anytime quality gap.
+  double score_upper_bound = -std::numeric_limits<double>::infinity();
 };
 
-/// Sorts `communities` into canonical answer order (σ desc, center asc).
+/// Sorts `communities` into canonical answer order (see BetterCommunity).
 inline void SortCommunityResults(std::vector<CommunityResult>* communities) {
-  std::sort(communities->begin(), communities->end(),
-            [](const CommunityResult& a, const CommunityResult& b) {
-              if (a.score() != b.score()) return a.score() > b.score();
-              return a.community.center < b.community.center;
-            });
+  std::sort(communities->begin(), communities->end(), BetterCommunity);
 }
 
 }  // namespace topl

@@ -152,18 +152,58 @@ DTopLDetector::DTopLDetector(const Graph& g, const PrecomputedData& pre,
 
 Result<DTopLResult> DTopLDetector::Search(const Query& query,
                                           const DTopLOptions& options) {
+  return Search(query, options, SearchControl{});
+}
+
+Result<DTopLResult> DTopLDetector::Search(const Query& query,
+                                          const DTopLOptions& options,
+                                          const SearchControl& control) {
   if (options.n_factor < 1) {
     return Status::InvalidArgument("n_factor must be >= 1");
   }
 
-  // Phase 1: top-(nL) most influential candidates via Algorithm 3.
+  // Phase 1: top-(nL) most influential candidates via Algorithm 3, run
+  // under the caller's controls (parallel scoring, deadline, cancellation).
   Timer candidate_timer;
   Query pool_query = query;
   pool_query.top_l = query.top_l * options.n_factor;
-  Result<TopLResult> pool = topl_.Search(pool_query, options.topl_options);
+
+  SearchControl phase1 = control;
+  if (control.on_progress) {
+    // Progressive DTopL: after every candidate wave, re-run the (cheap)
+    // greedy selection over the pool so far, so the caller watches the
+    // *diversified* answer converge, not the raw candidate pool. The
+    // selection is L out of ≤ nL communities via the configured greedy
+    // variant — negligible next to the wave's extraction + propagation
+    // cost. For kOptimal the stream is a Greedy_WP *preview* (exhaustive
+    // enumeration per wave would dwarf the search itself); only the final
+    // returned answer is the optimal selection.
+    phase1.on_progress = [&query, &options,
+                          &control](const ProgressiveUpdate& update) {
+      std::vector<std::size_t> selection =
+          options.algorithm == DTopLAlgorithm::kGreedyWithoutPruning
+              ? SelectDiversifiedGreedyWoP(update.communities, query.top_l,
+                                           nullptr)
+              : SelectDiversifiedGreedyWP(update.communities, query.top_l,
+                                          nullptr);
+      std::vector<CommunityResult> selected;
+      selected.reserve(selection.size());
+      for (std::size_t idx : selection) {
+        selected.push_back(update.communities[idx]);
+      }
+      SortCommunityResults(&selected);
+      ProgressiveUpdate diversified = update;
+      diversified.communities = selected;
+      return control.on_progress(diversified);
+    };
+  }
+
+  Result<TopLResult> pool = topl_.Search(pool_query, options.topl_options, phase1);
   if (!pool.ok()) return pool.status();
 
   DTopLResult result;
+  result.truncated = pool.value().truncated;
+  result.score_upper_bound = pool.value().score_upper_bound;
   result.candidate_stats = pool.value().stats;
   result.candidate_seconds = candidate_timer.ElapsedSeconds();
 

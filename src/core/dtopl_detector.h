@@ -2,12 +2,14 @@
 #define TOPL_CORE_DTOPL_DETECTOR_H_
 
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
 #include "common/result.h"
 #include "core/community_result.h"
 #include "core/query.h"
+#include "core/search_control.h"
 #include "core/topl_detector.h"
 #include "graph/graph.h"
 #include "index/precompute.h"
@@ -45,6 +47,15 @@ struct DTopLResult {
   std::vector<CommunityResult> communities;  // in selection order
   double diversity_score = 0.0;
 
+  /// True when candidate generation stopped early (deadline, cancellation,
+  /// progressive stop): the selection is then greedy over the best candidate
+  /// pool found so far rather than the full top-(nL).
+  bool truncated = false;
+  /// Anytime gap inherited from the candidate phase: the largest influential
+  /// score any unexplored candidate could still contribute to the pool. −∞
+  /// when the pool is exact.
+  double score_upper_bound = -std::numeric_limits<double>::infinity();
+
   QueryStats candidate_stats;     // the embedded TopL call
   double candidate_seconds = 0.0;
   double refine_seconds = 0.0;
@@ -61,6 +72,16 @@ class DTopLDetector {
   DTopLDetector(const Graph& g, const PrecomputedData& pre, const TreeIndex& tree);
 
   Result<DTopLResult> Search(const Query& query, const DTopLOptions& options = {});
+
+  /// Controlled variant: the candidate phase (which dominates cost) runs
+  /// under `control` — intra-query parallelism, deadline, cancellation. A
+  /// progressive callback receives *diversified* updates: after each
+  /// candidate wave, the greedy selection is re-run over the pool so far and
+  /// streamed in canonical order, making DTopL anytime too. Returning false
+  /// from the callback, expiry, or cancellation yields a truncated result
+  /// selected from the best pool found so far.
+  Result<DTopLResult> Search(const Query& query, const DTopLOptions& options,
+                             const SearchControl& control);
 
  private:
   TopLDetector topl_;

@@ -75,6 +75,11 @@ struct QueryStats {
   std::uint64_t candidates_refined = 0;   // extractions attempted
   std::uint64_t communities_found = 0;    // non-empty seed communities
 
+  /// Staged-pipeline counters: plan/score/merge waves executed, and scoring
+  /// chunks that ran on a worker pool (0 for a fully sequential search).
+  std::uint64_t waves = 0;
+  std::uint64_t parallel_chunks = 0;
+
   double elapsed_seconds = 0.0;
 
   std::uint64_t TotalPruned() const {
@@ -92,6 +97,8 @@ struct QueryStats {
     pruned_termination += other.pruned_termination;
     candidates_refined += other.candidates_refined;
     communities_found += other.communities_found;
+    waves += other.waves;
+    parallel_chunks += other.parallel_chunks;
     elapsed_seconds += other.elapsed_seconds;
     return *this;
   }
@@ -104,6 +111,8 @@ struct QueryStats {
            " pruned_termination=" + std::to_string(pruned_termination) +
            " refined=" + std::to_string(candidates_refined) +
            " found=" + std::to_string(communities_found) +
+           " waves=" + std::to_string(waves) +
+           " parallel_chunks=" + std::to_string(parallel_chunks) +
            " elapsed=" + std::to_string(elapsed_seconds) + "s";
   }
 };

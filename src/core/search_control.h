@@ -1,0 +1,127 @@
+#ifndef TOPL_CORE_SEARCH_CONTROL_H_
+#define TOPL_CORE_SEARCH_CONTROL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "common/thread_pool.h"
+
+namespace topl {
+
+struct CommunityResult;
+
+/// \brief Shared cooperative-cancellation flag for in-flight queries.
+///
+/// Copyable handle over one atomic flag: the submitter keeps a copy, hands
+/// another to the query, and may Cancel() from any thread at any time. A
+/// default-constructed token is empty (never cancelled) and costs nothing to
+/// check, so the non-cancellable fast path stays branch-only.
+class CancelToken {
+ public:
+  /// Creates a token that can actually be cancelled.
+  static CancelToken Create() {
+    CancelToken token;
+    token.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return token;
+  }
+
+  /// Requests cancellation; the query stops at its next checkpoint (wave
+  /// boundary) and returns its best-so-far answer with truncated=true.
+  void Cancel() const {
+    if (flag_) flag_->store(true, std::memory_order_relaxed);
+  }
+
+  bool cancelled() const {
+    return flag_ && flag_->load(std::memory_order_relaxed);
+  }
+
+  /// False for default-constructed tokens (nothing will ever cancel them).
+  bool cancellable() const { return flag_ != nullptr; }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// \brief One intermediate answer of a progressive search.
+///
+/// `communities` is the current best-L set in canonical order (σ desc,
+/// center asc); `upper_bound` is the largest influential score any community
+/// *not yet refined* could still have, so the caller can stop as soon as the
+/// gap between communities[L-1].score() and `upper_bound` is small enough.
+/// −∞ once the search space is exhausted.
+struct ProgressiveUpdate {
+  std::span<const CommunityResult> communities;
+  double upper_bound = 0.0;
+  /// Wave number (1-based) that produced this update.
+  std::uint64_t wave = 0;
+  /// Candidate refinements performed so far.
+  std::uint64_t candidates_refined = 0;
+};
+
+/// Invoked after every completed wave of a progressive search. Return false
+/// to stop the search early (the query then returns best-so-far with
+/// truncated=true). The spans inside the update are only valid during the
+/// call. Invoked from the query's driving thread, never concurrently.
+using ProgressiveCallback = std::function<bool(const ProgressiveUpdate&)>;
+
+/// \brief Runtime execution controls of one TopL/DTopL search: intra-query
+/// parallelism, deadline/budget, cooperative cancellation, and progressive
+/// result streaming. Distinct from QueryOptions, which selects *algorithmic*
+/// toggles (pruning rules) — a SearchControl never changes final answers,
+/// only how (and whether to completion) they are computed.
+struct SearchControl {
+  /// Worker pool for intra-query parallelism. nullptr = fully sequential.
+  /// Candidate refinement (seed-community extraction + influence
+  /// propagation, the dominant cost) is fanned out over the pool in chunks;
+  /// planning and merging stay on the calling thread. Final results are
+  /// byte-identical to the sequential path.
+  ThreadPool* pool = nullptr;
+
+  /// Candidates per scoring chunk when `pool` is set. Small chunks
+  /// load-balance better; large chunks amortize task overhead.
+  std::uint32_t chunk_size = 8;
+
+  /// Per-query wall-clock budget in seconds; 0 = unlimited. When the budget
+  /// expires mid-search the query returns its best-so-far communities with
+  /// truncated=true instead of failing.
+  double deadline_seconds = 0.0;
+
+  /// Cooperative cancellation; checked at every wave boundary.
+  CancelToken cancel;
+
+  /// Progressive streaming (may be empty). See ProgressiveCallback.
+  ProgressiveCallback on_progress;
+
+  /// True when any control is active that requires wave-boundary checks.
+  bool NeedsCheckpoints() const {
+    return deadline_seconds > 0.0 || cancel.cancellable() ||
+           static_cast<bool>(on_progress);
+  }
+};
+
+/// \brief Deadline tracker: captures the start time at construction so every
+/// stage measures against the same clock.
+class DeadlineClock {
+ public:
+  explicit DeadlineClock(double budget_seconds)
+      : start_(std::chrono::steady_clock::now()), budget_(budget_seconds) {}
+
+  bool Expired() const {
+    if (budget_ <= 0.0) return false;
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start_;
+    return elapsed.count() >= budget_;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  double budget_;
+};
+
+}  // namespace topl
+
+#endif  // TOPL_CORE_SEARCH_CONTROL_H_

@@ -1,8 +1,10 @@
 #include "core/topl_detector.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <queue>
+#include <span>
 #include <utility>
 
 #include "common/timer.h"
@@ -13,57 +15,245 @@ namespace topl {
 
 namespace {
 
-// Result-set accumulator: keeps the best L communities seen so far and the
-// running threshold σ_L (−∞ until L communities are collected). L is small
-// (paper sweeps 2–10), so linear eviction is cheaper than heap bookkeeping.
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// Merge stage: keeps the best L communities seen so far under the canonical
+// total order (σ desc, center asc) and the running threshold σ_L (−∞ until L
+// communities are collected). L is small (paper sweeps 2–10), so linear
+// eviction is cheaper than heap bookkeeping.
+//
+// The total order (rather than score alone) is what makes merging
+// commutative: the top-L of any refined candidate set is one specific set of
+// communities, so sequential refinement, chunked parallel refinement, and
+// any interleaving of the two converge to identical contents.
 class TopLCollector {
  public:
   explicit TopLCollector(std::uint32_t capacity) : capacity_(capacity) {}
 
   bool Full() const { return entries_.size() >= capacity_; }
 
-  double threshold() const {
-    return Full() ? min_score_ : -std::numeric_limits<double>::infinity();
-  }
+  double threshold() const { return Full() ? entries_[worst_].score() : kNegInf; }
 
-  void Offer(CommunityResult&& result) {
+  /// Returns true when the offer changed the collector's contents.
+  bool Offer(CommunityResult&& result) {
     if (!Full()) {
       entries_.push_back(std::move(result));
-      if (Full()) RecomputeMin();
-      return;
+      if (Full()) RecomputeWorst();
+      return true;
     }
-    if (result.score() <= min_score_) return;
-    std::size_t evict = 0;
-    for (std::size_t i = 1; i < entries_.size(); ++i) {
-      if (entries_[i].score() < entries_[evict].score()) evict = i;
-    }
-    entries_[evict] = std::move(result);
-    RecomputeMin();
+    if (!BetterCommunity(result, entries_[worst_])) return false;
+    entries_[worst_] = std::move(result);
+    RecomputeWorst();
+    return true;
   }
+
+  /// Current contents, unordered (snapshot callers sort a copy).
+  const std::vector<CommunityResult>& entries() const { return entries_; }
 
   std::vector<CommunityResult> Take() { return std::move(entries_); }
 
  private:
-  void RecomputeMin() {
-    min_score_ = std::numeric_limits<double>::infinity();
-    for (const CommunityResult& r : entries_) {
-      min_score_ = std::min(min_score_, r.score());
+  void RecomputeWorst() {
+    worst_ = 0;
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+      if (BetterCommunity(entries_[worst_], entries_[i])) worst_ = i;
     }
   }
 
   std::uint32_t capacity_;
   std::vector<CommunityResult> entries_;
-  double min_score_ = -std::numeric_limits<double>::infinity();
+  std::size_t worst_ = 0;
 };
+
+// Plan stage: best-first cursor over the tree index. Gather() pops heap
+// entries, applies the index-level pruning rules to children and the
+// candidate-level rules to leaf vertices, and appends surviving centers to
+// the wave. With no usable score bound (θ < θ_1) every key is +∞ and the
+// traversal degrades to an exhaustive filtered scan, which is still correct.
+//
+// Every threshold comparison is *strict* (< rather than ≤): a candidate
+// whose upper bound ties the current σ_L could still displace the collector's
+// worst entry through the center-id tie-break, so it must be refined. This
+// keeps the answer canonical — identical for sequential, parallel, and
+// brute-force evaluation — at the cost of refining the (measure-zero) exact
+// ties that the ≤ rule would have skipped.
+class PlanCursor {
+ public:
+  PlanCursor(const Graph& g, const PrecomputedData& pre, const TreeIndex& tree,
+             const Query& query, const QueryOptions& options, int z,
+             const BitVector& query_bv)
+      : graph_(&g),
+        pre_(&pre),
+        tree_(&tree),
+        query_(&query),
+        options_(&options),
+        z_(z),
+        score_pruning_(options.use_score_pruning && z >= 0),
+        required_support_(query.k >= 2 ? query.k - 2 : 0),
+        query_bv_(&query_bv) {
+    heap_.emplace(NodeKey(tree.root()), tree.root());
+  }
+
+  bool Done() const { return heap_.empty(); }
+
+  /// Upper bound on the influential score of every candidate not yet
+  /// gathered. +∞ when score bounds are unusable, −∞ once exhausted.
+  double FrontierBound() const {
+    return heap_.empty() ? kNegInf : heap_.top().first;
+  }
+
+  /// Appends surviving candidate centers to *out until at least
+  /// `min_candidates` have been gathered this call (the final leaf may
+  /// overshoot) or the traversal finishes. `threshold` is the collector's
+  /// current σ_L (only meaningful when `threshold_valid`); popping an entry
+  /// strictly below it terminates the whole search (Algorithm 3, lines 7–8:
+  /// every remaining entry's key is ≤ the popped key).
+  void Gather(bool threshold_valid, double threshold, std::size_t min_candidates,
+              std::vector<VertexId>* out, QueryStats* stats) {
+    const std::uint32_t r = query_->radius;
+    std::size_t gathered = 0;
+    while (!heap_.empty() && gathered < min_candidates) {
+      const auto [key, node_id] = heap_.top();
+      heap_.pop();
+      ++stats->heap_pops;
+
+      if (score_pruning_ && threshold_valid && key < threshold) {
+        stats->pruned_termination += tree_->node(node_id).num_vertices;
+        while (!heap_.empty()) {
+          stats->pruned_termination += tree_->node(heap_.top().second).num_vertices;
+          heap_.pop();
+        }
+        return;
+      }
+
+      const TreeIndex::Node& node = tree_->node(node_id);
+      ++stats->index_nodes_visited;
+
+      if (node.is_leaf) {
+        for (VertexId v : tree_->LeafVertices(node)) {
+          // Candidate-level pruning (Lemmas 1, 2, 4) on hop(v, r).
+          if (options_->use_keyword_pruning &&
+              (!pre_->SignatureIntersects(v, r, *query_bv_) ||
+               !HopExtractor::HasAnyKeyword(*graph_, v, query_->keywords))) {
+            // Either no vertex of hop(v, r) can hold a query keyword, or the
+            // center itself does not (and the center is in every g).
+            ++stats->pruned_keyword;
+            continue;
+          }
+          if (options_->use_support_pruning &&
+              (pre_->SupportBound(v, r) < required_support_ ||
+               (options_->use_center_truss_bound &&
+                pre_->CenterTrussBound(v) < query_->k))) {
+            // Lemma 2 on the ball's max edge support, plus the sharper
+            // center-trussness form (no k-truss through v exists in the ball).
+            ++stats->pruned_support;
+            continue;
+          }
+          if (score_pruning_ && threshold_valid &&
+              pre_->ScoreBound(v, r, static_cast<std::uint32_t>(z_)) < threshold) {
+            ++stats->pruned_score;
+            continue;
+          }
+          out->push_back(v);
+          ++gathered;
+        }
+      } else {
+        for (std::uint32_t c = 0; c < node.num_children; ++c) {
+          const std::uint32_t child = node.first_child + c;
+          // Index-level pruning (Lemmas 5–7).
+          if (options_->use_keyword_pruning &&
+              !tree_->SignatureIntersects(child, r, *query_bv_)) {
+            stats->pruned_keyword += tree_->node(child).num_vertices;
+            continue;
+          }
+          if (options_->use_support_pruning &&
+              (tree_->SupportBound(child, r) < required_support_ ||
+               (options_->use_center_truss_bound &&
+                tree_->CenterTrussBound(child) < query_->k))) {
+            stats->pruned_support += tree_->node(child).num_vertices;
+            continue;
+          }
+          const double child_key = NodeKey(child);
+          if (score_pruning_ && threshold_valid && child_key < threshold) {
+            stats->pruned_score += tree_->node(child).num_vertices;
+            continue;
+          }
+          heap_.emplace(child_key, child);
+        }
+      }
+    }
+  }
+
+ private:
+  double NodeKey(std::uint32_t id) const {
+    return z_ >= 0
+               ? tree_->ScoreBound(id, query_->radius, static_cast<std::uint32_t>(z_))
+               : std::numeric_limits<double>::infinity();
+  }
+
+  const Graph* graph_;
+  const PrecomputedData* pre_;
+  const TreeIndex* tree_;
+  const Query* query_;
+  const QueryOptions* options_;
+  const int z_;
+  const bool score_pruning_;
+  const std::uint32_t required_support_;
+  const BitVector* query_bv_;
+
+  // Max-heap over index entries, keyed by the aggregated score bound.
+  using HeapEntry = std::pair<double, std::uint32_t>;  // (key, node id)
+  std::priority_queue<HeapEntry> heap_;
+};
+
+// Score stage: refines one chunk of candidate centers with the given
+// share-nothing scratch. Results and counters land in chunk-local state, so
+// concurrent chunks never touch shared memory.
+struct ChunkOutput {
+  std::vector<CommunityResult> found;
+  std::uint64_t refined = 0;
+  std::uint64_t skipped = 0;  // deadline/cancel hit before these candidates
+};
+
+void RefineChunk(std::span<const VertexId> candidates, const Query& query,
+                 SeedCommunityExtractor& extractor, PropagationEngine& engine,
+                 const CancelToken& cancel, const DeadlineClock& deadline,
+                 ChunkOutput* out) {
+  if (cancel.cancelled() || deadline.Expired()) {
+    out->skipped += candidates.size();
+    return;
+  }
+  for (VertexId v : candidates) {
+    ++out->refined;
+    CommunityResult candidate;
+    if (!extractor.Extract(v, query, &candidate.community)) continue;
+    candidate.influence = engine.Compute(candidate.community.vertices, query.theta);
+    out->found.push_back(std::move(candidate));
+  }
+}
 
 }  // namespace
 
 TopLDetector::TopLDetector(const Graph& g, const PrecomputedData& pre,
                            const TreeIndex& tree)
-    : graph_(&g), pre_(&pre), tree_(&tree), extractor_(g), engine_(g) {}
+    : graph_(&g),
+      pre_(&pre),
+      tree_(&tree),
+      extractor_(g),
+      engine_(g),
+      extractor_pool_([graph = &g] {
+        return std::make_unique<SeedCommunityExtractor>(*graph);
+      }),
+      engine_pool_(g) {}
 
 Result<TopLResult> TopLDetector::Search(const Query& query,
                                         const QueryOptions& options) {
+  return Search(query, options, SearchControl{});
+}
+
+Result<TopLResult> TopLDetector::Search(const Query& query,
+                                        const QueryOptions& options,
+                                        const SearchControl& control) {
   TOPL_RETURN_IF_ERROR(query.Validate());
   if (query.radius > pre_->r_max()) {
     return Status::InvalidArgument(
@@ -75,109 +265,157 @@ Result<TopLResult> TopLDetector::Search(const Query& query,
   TopLResult result;
   QueryStats& stats = result.stats;
 
-  const std::uint32_t r = query.radius;
-  // Required in-community edge support for a k-truss.
-  const std::uint32_t required_support = query.k >= 2 ? query.k - 2 : 0;
   // Score bounds are valid only for the largest pre-selected θ_z ≤ θ.
   const int z = pre_->ThresholdIndex(query.theta);
-  const bool score_pruning = options.use_score_pruning && z >= 0;
   const BitVector query_bv =
       BitVector::FromKeywords(query.keywords, pre_->signature_bits());
 
   TopLCollector collector(query.top_l);
+  PlanCursor plan(*graph_, *pre_, *tree_, query, options, z, query_bv);
+  const DeadlineClock deadline(control.deadline_seconds);
+  const bool checkpoints = control.NeedsCheckpoints();
 
-  // Max-heap over index entries, keyed by the aggregated score bound. With
-  // no usable bound (θ < θ_1) every key is +∞ and the traversal degrades to
-  // an exhaustive filtered scan, which is still correct.
-  using HeapEntry = std::pair<double, std::uint32_t>;  // (key, node id)
-  std::priority_queue<HeapEntry> heap;
-  auto node_key = [&](std::uint32_t id) {
-    return z >= 0 ? tree_->ScoreBound(id, r, static_cast<std::uint32_t>(z))
-                  : std::numeric_limits<double>::infinity();
-  };
-  heap.emplace(node_key(tree_->root()), tree_->root());
+  const bool parallel =
+      control.pool != nullptr && control.pool->num_threads() > 1;
+  const std::size_t chunk_size = std::max<std::size_t>(1, control.chunk_size);
+  // Wave sizing. Sequential waves are a single candidate, reproducing the
+  // classic loop's refine-then-reprune cadence (maximal pruning). Parallel
+  // waves start just large enough to seed the σ_L threshold from the
+  // highest-upper-bound candidates, then grow geometrically so the
+  // per-wave fan-out/join cost amortizes while the stale-threshold window
+  // (candidates a sequential run would have pruned) stays a bounded
+  // fraction of total work — best-first order makes the first waves the
+  // likely winners, so the threshold is near-final almost immediately.
+  std::size_t max_wave =
+      parallel ? std::max<std::size_t>(chunk_size * control.pool->num_threads() * 8,
+                                       512)
+               : 1;
+  // Streaming callers trade a little join overhead for update granularity.
+  if (parallel && control.on_progress) {
+    max_wave = std::min<std::size_t>(max_wave, 128);
+  }
+  std::size_t wave_target =
+      parallel ? std::max<std::size_t>(query.top_l, chunk_size) : 1;
 
-  while (!heap.empty()) {
-    const auto [key, node_id] = heap.top();
-    heap.pop();
-    ++stats.heap_pops;
+  std::vector<VertexId> wave;
+  std::vector<CommunityResult> progressive_snapshot;
+  bool stopped = false;
 
-    // Early termination (Algorithm 3, lines 7–8): every remaining entry has
-    // key ≤ this key.
-    if (score_pruning && collector.Full() && key <= collector.threshold()) {
-      stats.pruned_termination += tree_->node(node_id).num_vertices;
-      while (!heap.empty()) {
-        stats.pruned_termination += tree_->node(heap.top().second).num_vertices;
-        heap.pop();
-      }
+  while (!plan.Done() && !stopped) {
+    // Checkpoint: deadline / cancellation, before planning the next wave.
+    if (checkpoints && (control.cancel.cancelled() || deadline.Expired())) {
+      result.truncated = true;
+      result.score_upper_bound = plan.FrontierBound();
       break;
     }
 
-    const TreeIndex::Node& node = tree_->node(node_id);
-    ++stats.index_nodes_visited;
+    // Bounds every candidate this wave will gather (child keys never exceed
+    // their parent's): the anytime gap if the wave is cut short mid-scoring.
+    const double wave_bound = plan.FrontierBound();
+    wave.clear();
+    plan.Gather(collector.Full(), collector.threshold(), wave_target, &wave,
+                &stats);
+    if (wave.empty()) continue;  // everything pruned; heap may be done now
+    ++stats.waves;
 
-    if (node.is_leaf) {
-      for (VertexId v : tree_->LeafVertices(node)) {
-        // Candidate-level pruning (Lemmas 1, 2, 4) on hop(v, r).
-        if (options.use_keyword_pruning &&
-            (!pre_->SignatureIntersects(v, r, query_bv) ||
-             !HopExtractor::HasAnyKeyword(*graph_, v, query.keywords))) {
-          // Either no vertex of hop(v, r) can hold a query keyword, or the
-          // center itself does not (and the center is in every g).
-          ++stats.pruned_keyword;
-          continue;
+    bool merged_any = false;
+    std::uint64_t skipped = 0;
+    if (!parallel || wave.size() <= chunk_size) {
+      // Score + merge inline on the calling thread, one candidate at a time
+      // with the *live* threshold: merging each refined community before
+      // looking at the next candidate lets σ_L improvements earned inside
+      // this very wave (e.g. within one gathered leaf) prune its remaining
+      // candidates — the classic loop's refine-then-reprune cadence.
+      const bool live_pruning = options.use_score_pruning && z >= 0;
+      for (std::size_t i = 0; i < wave.size(); ++i) {
+        if (control.cancel.cancelled() || deadline.Expired()) {
+          skipped = wave.size() - i;
+          break;
         }
-        if (options.use_support_pruning &&
-            (pre_->SupportBound(v, r) < required_support ||
-             (options.use_center_truss_bound &&
-              pre_->CenterTrussBound(v) < query.k))) {
-          // Lemma 2 on the ball's max edge support, plus the sharper
-          // center-trussness form (no k-truss through v exists in the ball).
-          ++stats.pruned_support;
-          continue;
-        }
-        if (score_pruning && collector.Full() &&
-            pre_->ScoreBound(v, r, static_cast<std::uint32_t>(z)) <=
+        const VertexId v = wave[i];
+        if (live_pruning && collector.Full() &&
+            pre_->ScoreBound(v, query.radius, static_cast<std::uint32_t>(z)) <
                 collector.threshold()) {
           ++stats.pruned_score;
           continue;
         }
-
-        // Refinement: extract the maximal seed community and compute the
-        // exact influential score.
         ++stats.candidates_refined;
         CommunityResult candidate;
         if (!extractor_.Extract(v, query, &candidate.community)) continue;
         ++stats.communities_found;
         candidate.influence =
             engine_.Compute(candidate.community.vertices, query.theta);
-        collector.Offer(std::move(candidate));
+        merged_any |= collector.Offer(std::move(candidate));
       }
     } else {
-      for (std::uint32_t c = 0; c < node.num_children; ++c) {
-        const std::uint32_t child = node.first_child + c;
-        // Index-level pruning (Lemmas 5–7).
-        if (options.use_keyword_pruning &&
-            !tree_->SignatureIntersects(child, r, query_bv)) {
-          stats.pruned_keyword += tree_->node(child).num_vertices;
-          continue;
+      // Score: fan the wave out over the pool. Chunks are claimed from a
+      // shared atomic cursor (fine-grained load balancing at one fetch_add
+      // per chunk) by at most one task per pool worker, so task-spawn cost
+      // and scratch leasing are per worker per wave, not per chunk — the
+      // chunks themselves are only microseconds of work. Each worker owns
+      // share-nothing scratch; results land in per-chunk slots and merge
+      // afterwards in wave order. TaskGroup's help-first join keeps this
+      // legal even when the calling thread is itself a pool worker.
+      const std::size_t num_chunks = (wave.size() + chunk_size - 1) / chunk_size;
+      std::vector<ChunkOutput> outputs(num_chunks);
+      std::atomic<std::size_t> next_chunk{0};
+      const std::span<const VertexId> wave_span(wave);
+      auto score_worker = [&, this] {
+        const LeasePool<SeedCommunityExtractor>::Lease extractor(&extractor_pool_);
+        const PropagationEnginePool::Lease engine(&engine_pool_);
+        for (;;) {
+          const std::size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+          if (c >= num_chunks) break;
+          const std::size_t begin = c * chunk_size;
+          const std::size_t end = std::min(wave_span.size(), begin + chunk_size);
+          RefineChunk(wave_span.subspan(begin, end - begin), query, *extractor,
+                      *engine, control.cancel, deadline, &outputs[c]);
         }
-        if (options.use_support_pruning &&
-            (tree_->SupportBound(child, r) < required_support ||
-             (options.use_center_truss_bound &&
-              tree_->CenterTrussBound(child) < query.k))) {
-          stats.pruned_support += tree_->node(child).num_vertices;
-          continue;
+      };
+      const std::size_t num_workers =
+          std::min(control.pool->num_threads(), num_chunks);
+      ThreadPool::TaskGroup group(control.pool);
+      for (std::size_t w = 0; w < num_workers; ++w) group.Spawn(score_worker);
+      group.Wait();
+      stats.parallel_chunks += num_chunks;
+      for (ChunkOutput& out : outputs) {
+        stats.candidates_refined += out.refined;
+        stats.communities_found += out.found.size();
+        skipped += out.skipped;
+        for (CommunityResult& found : out.found) {
+          merged_any |= collector.Offer(std::move(found));
         }
-        const double child_key = node_key(child);
-        if (score_pruning && collector.Full() &&
-            child_key <= collector.threshold()) {
-          stats.pruned_score += tree_->node(child).num_vertices;
-          continue;
-        }
-        heap.emplace(child_key, child);
       }
     }
+
+    if (skipped > 0) {
+      // A chunk observed the deadline/cancel mid-wave and left candidates
+      // unscored; those candidates are no longer on the heap, so the gap is
+      // bounded by the wave's planning-time frontier, not the current one.
+      result.truncated = true;
+      result.score_upper_bound = wave_bound;
+      stopped = true;
+    }
+
+    if (checkpoints && control.on_progress && merged_any && !stopped) {
+      progressive_snapshot.assign(collector.entries().begin(),
+                                  collector.entries().end());
+      SortCommunityResults(&progressive_snapshot);
+      ProgressiveUpdate update;
+      update.communities = progressive_snapshot;
+      update.upper_bound = plan.FrontierBound();
+      update.wave = stats.waves;
+      update.candidates_refined = stats.candidates_refined;
+      if (!control.on_progress(update)) {
+        // The caller is satisfied; the wave itself merged completely, so the
+        // remaining frontier is the exact anytime gap (−∞ when exhausted).
+        result.truncated = true;
+        result.score_upper_bound = plan.FrontierBound();
+        stopped = true;
+      }
+    }
+
+    if (parallel) wave_target = std::min(max_wave, wave_target * 4);
   }
 
   result.communities = collector.Take();

@@ -3,9 +3,11 @@
 
 #include <vector>
 
+#include "common/lease_pool.h"
 #include "common/result.h"
 #include "core/community_result.h"
 #include "core/query.h"
+#include "core/search_control.h"
 #include "core/seed_community.h"
 #include "graph/graph.h"
 #include "index/precompute.h"
@@ -14,34 +16,73 @@
 
 namespace topl {
 
-/// \brief Online TopL-ICDE processing (Algorithm 3).
+/// \brief Online TopL-ICDE processing (Algorithm 3) as a staged
+/// plan → score → merge pipeline.
 ///
-/// Traverses the tree index best-first with a max-heap keyed by the nodes'
-/// influential-score upper bounds, applying the index-level pruning rules
-/// (Lemmas 5–7) at non-leaf entries and the candidate-level rules
-/// (Lemmas 1, 2, 4) at leaf vertices; surviving candidates are refined by
-/// extracting their maximal seed community and running the exact MIA
-/// propagation. Terminates early once the best unexplored upper bound cannot
-/// beat the current L-th score.
+///  - Plan: best-first traversal of the tree index with a max-heap keyed by
+///    the nodes' influential-score upper bounds, applying the index-level
+///    pruning rules (Lemmas 5–7) at non-leaf entries and the candidate-level
+///    rules (Lemmas 1, 2, 4) at leaf vertices. The traversal is exposed as a
+///    cursor that yields *waves* of surviving candidate centers.
+///  - Score: each wave's candidates are refined — maximal seed community
+///    extraction plus exact MIA propagation — either inline (sequential) or
+///    fanned out in chunks over a ThreadPool (SearchControl::pool), with
+///    share-nothing per-chunk scratch.
+///  - Merge: refined communities fold into a bounded top-L collector ordered
+///    by the canonical total order (σ desc, center asc), whose L-th entry
+///    drives the score pruning / early-termination threshold of later waves.
+///
+/// Because candidates are pruned only when their upper bound is *strictly*
+/// below the threshold and the collector's order is total, the final answer
+/// is one specific community set regardless of wave sizes, chunk boundaries,
+/// or merge order: the parallel path returns byte-identical results to the
+/// sequential path (which in turn equals brute force). Parallelism changes
+/// wall-clock, never answers.
+///
+/// SearchControl additionally provides deadlines, cooperative cancellation,
+/// and progressive streaming of intermediate answers (anytime search); see
+/// core/search_control.h.
 ///
 /// The detector reuses extraction/propagation scratch across calls; use one
 /// detector per thread, or serve through topl::Engine (engine/engine.h),
-/// which leases one pooled detector per in-flight query. The referenced
+/// which leases one pooled detector per in-flight query. (Intra-query chunk
+/// scratch is pooled separately, so one Search may use a ThreadPool even
+/// though the detector itself is leased to a single query.) The referenced
 /// graph/index must outlive it.
 class TopLDetector {
  public:
   TopLDetector(const Graph& g, const PrecomputedData& pre, const TreeIndex& tree);
 
-  /// Answers one query. Fails with InvalidArgument when the query is
-  /// malformed or asks for a radius beyond the index's r_max.
+  /// Answers one query sequentially to completion. Fails with
+  /// InvalidArgument when the query is malformed or asks for a radius beyond
+  /// the index's r_max.
   Result<TopLResult> Search(const Query& query, const QueryOptions& options = {});
+
+  /// Answers one query under runtime controls: intra-query parallelism,
+  /// deadline/budget, cancellation, progressive streaming. A truncated run
+  /// (deadline, cancel, callback stop) still succeeds, returning best-so-far
+  /// communities with TopLResult::truncated set and the remaining
+  /// score_upper_bound as the anytime gap.
+  Result<TopLResult> Search(const Query& query, const QueryOptions& options,
+                            const SearchControl& control);
+
+  /// Per-worker refinement scratch created so far (== peak scoring-worker
+  /// concurrency of any single parallel query); exposed for tests.
+  std::size_t pooled_scratch() const { return extractor_pool_.size(); }
 
  private:
   const Graph* graph_;
   const PrecomputedData* pre_;
   const TreeIndex* tree_;
-  SeedCommunityExtractor extractor_;
+  SeedCommunityExtractor extractor_;  // sequential-path scratch
   PropagationEngine engine_;
+
+  // Per-worker scratch for the parallel scoring stage, grown lazily to the
+  // peak number of concurrent scoring workers and reused across waves and
+  // queries: share-nothing extraction scratch here, the propagation side
+  // from the influence layer's own pool (reentrant chunkable evaluation).
+  LeasePool<SeedCommunityExtractor> extractor_pool_;
+  PropagationEnginePool engine_pool_;
 };
 
 }  // namespace topl

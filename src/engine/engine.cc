@@ -160,38 +160,76 @@ std::size_t Engine::pooled_contexts() const {
 }
 
 Result<TopLResult> Engine::SearchOnContext(WorkerContext* context,
-                                           const Query& query,
-                                           const QueryOptions& options) {
+                                           QueryKind kind, const Query& query,
+                                           const QueryOptions& options,
+                                           const SearchControl& control) {
   Timer timer;
-  Result<TopLResult> result = context->topl.Search(query, options);
-  context->stats.Record(/*diversified=*/false, result.ok(),
+  Result<TopLResult> result = context->topl.Search(query, options, control);
+  context->stats.Record(kind, /*diversified=*/false, result.ok(),
+                        result.ok() && result->truncated,
                         timer.ElapsedSeconds(),
                         result.ok() ? result->stats : QueryStats{});
   return result;
 }
 
-Result<DTopLResult> Engine::SearchDiversifiedOnContext(WorkerContext* context,
-                                                       const Query& query,
-                                                       const DTopLOptions& options) {
+Result<DTopLResult> Engine::SearchDiversifiedOnContext(
+    WorkerContext* context, QueryKind kind, const Query& query,
+    const DTopLOptions& options, const SearchControl& control) {
   if (!context->dtopl.has_value()) {
     context->dtopl.emplace(graph_, *pre_, tree_);
   }
   Timer timer;
-  Result<DTopLResult> result = context->dtopl->Search(query, options);
-  context->stats.Record(/*diversified=*/true, result.ok(), timer.ElapsedSeconds(),
+  Result<DTopLResult> result = context->dtopl->Search(query, options, control);
+  context->stats.Record(kind, /*diversified=*/true, result.ok(),
+                        result.ok() && result->truncated,
+                        timer.ElapsedSeconds(),
                         result.ok() ? result->candidate_stats : QueryStats{});
   return result;
 }
 
+SearchControl Engine::MakeControl(const ProgressiveOptions& options,
+                                  ProgressiveCallback on_update) {
+  SearchControl control;
+  // Intra-query parallelism rides the same pool as batch fan-out and async
+  // serving; TaskGroup's help-first join keeps the combination deadlock-free.
+  if (options.parallel && pool_.num_threads() > 1) control.pool = &pool_;
+  control.chunk_size = options.chunk_size;
+  control.deadline_seconds = options.deadline_seconds;
+  control.cancel = options.cancel;
+  control.on_progress = std::move(on_update);
+  return control;
+}
+
 Result<TopLResult> Engine::Search(const Query& query, const QueryOptions& options) {
   ContextLease lease(this);
-  return SearchOnContext(lease.get(), query, options);
+  return SearchOnContext(lease.get(), QueryKind::kSearch, query, options);
 }
 
 Result<DTopLResult> Engine::SearchDiversified(const Query& query,
                                               const DTopLOptions& options) {
   ContextLease lease(this);
-  return SearchDiversifiedOnContext(lease.get(), query, options);
+  return SearchDiversifiedOnContext(lease.get(), QueryKind::kDiversified, query,
+                                    options);
+}
+
+Result<TopLResult> Engine::SearchProgressive(const Query& query,
+                                             const ProgressiveOptions& options,
+                                             ProgressiveCallback on_update) {
+  ContextLease lease(this);
+  return SearchOnContext(lease.get(), QueryKind::kProgressive, query,
+                         options.query, MakeControl(options, std::move(on_update)));
+}
+
+Result<DTopLResult> Engine::SearchDiversifiedProgressive(
+    const Query& query, const DTopLOptions& dtopl_options,
+    const ProgressiveOptions& options, ProgressiveCallback on_update) {
+  ContextLease lease(this);
+  // Pruning toggles come from dtopl_options.topl_options, exactly as in
+  // SearchDiversified — ProgressiveOptions::query applies to the TopL entry
+  // point only, so the two DTopL paths can never diverge algorithmically.
+  return SearchDiversifiedOnContext(lease.get(), QueryKind::kProgressive, query,
+                                    dtopl_options,
+                                    MakeControl(options, std::move(on_update)));
 }
 
 std::vector<Result<TopLResult>> Engine::SearchBatch(std::span<const Query> queries,
@@ -220,7 +258,8 @@ std::vector<Result<TopLResult>> Engine::SearchBatch(std::span<const Query> queri
       [&](std::size_t worker, std::size_t i) {
         WorkerContext*& context = leased[worker];
         if (context == nullptr) context = AcquireContext();
-        results[i] = SearchOnContext(context, queries[i], options);
+        results[i] = SearchOnContext(context, QueryKind::kBatch, queries[i],
+                                     options);
       },
       /*grain=*/1);
   for (WorkerContext* context : leased) {
@@ -244,7 +283,7 @@ std::future<Result<DTopLResult>> Engine::SubmitDiversified(Query query,
 
 EngineStats Engine::Stats() const {
   EngineStats total;
-  std::array<std::uint64_t, EngineStatsShard::kLatencyBuckets> buckets{};
+  std::array<EngineStatsShard::Histogram, kNumQueryKinds> buckets{};
   {
     std::lock_guard<std::mutex> lock(contexts_mu_);
     for (const auto& context : contexts_) {
@@ -254,25 +293,45 @@ EngineStats Engine::Stats() const {
   total.batches = batches_.load(std::memory_order_relaxed);
   total.queries_total = total.topl_queries + total.dtopl_queries;
 
-  std::uint64_t count = 0;
-  for (std::uint64_t b : buckets) count += b;
-  if (count > 0) {
-    auto percentile = [&](double q) {
-      const std::uint64_t rank =
-          static_cast<std::uint64_t>(q * static_cast<double>(count - 1));
-      std::uint64_t seen = 0;
-      for (std::size_t i = 0; i < buckets.size(); ++i) {
-        seen += buckets[i];
-        if (seen > rank) return EngineStatsShard::BucketSeconds(i);
-      }
-      return EngineStatsShard::BucketSeconds(buckets.size() - 1);
-    };
-    // Bucket-midpoint estimates can overshoot the true extremum; the exact
-    // max is tracked separately and caps them.
+  auto percentile = [](const EngineStatsShard::Histogram& histogram,
+                       std::uint64_t count, double q) {
+    const std::uint64_t rank =
+        static_cast<std::uint64_t>(q * static_cast<double>(count - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < histogram.size(); ++i) {
+      seen += histogram[i];
+      if (seen > rank) return EngineStatsShard::BucketSeconds(i);
+    }
+    return EngineStatsShard::BucketSeconds(histogram.size() - 1);
+  };
+
+  // Per-kind percentiles, then the legacy all-kinds view from the merged
+  // histogram. Bucket-midpoint estimates can overshoot the true extremum;
+  // the exact max is tracked separately and caps them.
+  EngineStatsShard::Histogram merged{};
+  std::uint64_t merged_count = 0;
+  for (std::size_t k = 0; k < kNumQueryKinds; ++k) {
+    std::uint64_t count = 0;
+    for (std::size_t i = 0; i < buckets[k].size(); ++i) {
+      count += buckets[k][i];
+      merged[i] += buckets[k][i];
+    }
+    merged_count += count;
+    total.latency[k].count = count;
+    if (count > 0) {
+      total.latency[k].p50_seconds = std::min(percentile(buckets[k], count, 0.50),
+                                              total.latency[k].max_seconds);
+      total.latency[k].p99_seconds = std::min(percentile(buckets[k], count, 0.99),
+                                              total.latency[k].max_seconds);
+    }
+    total.max_latency_seconds =
+        std::max(total.max_latency_seconds, total.latency[k].max_seconds);
+  }
+  if (merged_count > 0) {
     total.p50_latency_seconds =
-        std::min(percentile(0.50), total.max_latency_seconds);
+        std::min(percentile(merged, merged_count, 0.50), total.max_latency_seconds);
     total.p99_latency_seconds =
-        std::min(percentile(0.99), total.max_latency_seconds);
+        std::min(percentile(merged, merged_count, 0.99), total.max_latency_seconds);
   }
   return total;
 }

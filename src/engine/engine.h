@@ -32,10 +32,15 @@ namespace topl {
 ///  - SearchBatch: fans a whole batch out across the engine's ThreadPool.
 ///  - Submit / SubmitDiversified: async; the query runs on a pool worker and
 ///    the caller gets a std::future.
+///  - SearchProgressive / SearchDiversifiedProgressive: anytime queries —
+///    intra-query parallel scoring over the same pool, streamed
+///    intermediate answers with an upper-bound gap, per-query deadlines,
+///    and cooperative cancellation (core/search_control.h).
 ///
 /// Every query's QueryStats and latency are folded into cumulative
-/// EngineStats through mutex-free per-context accumulators; Stats() takes a
-/// snapshot at any time without blocking the query path.
+/// EngineStats through mutex-free per-context accumulators, with latency
+/// histograms tagged by query kind (single/batch/dtopl/progressive);
+/// Stats() takes a snapshot at any time without blocking the query path.
 ///
 /// Construction:
 ///  - Engine::Open(options): load graph + index from files (building and
@@ -81,6 +86,26 @@ class Engine {
   /// Answers one DTopL-ICDE query. Thread-safe.
   Result<DTopLResult> SearchDiversified(const Query& query,
                                         const DTopLOptions& options = {});
+
+  /// Anytime TopL: scores candidate waves in parallel over the engine's
+  /// pool (when options.parallel), streams intermediate answers to
+  /// `on_update` after every wave that improves the current top-L, and
+  /// honors options.deadline_seconds / options.cancel. A truncated run still
+  /// succeeds: best-so-far communities, truncated=true, and
+  /// score_upper_bound as the remaining-quality gap. Thread-safe; `on_update`
+  /// is invoked from the calling thread only.
+  Result<TopLResult> SearchProgressive(const Query& query,
+                                       const ProgressiveOptions& options = {},
+                                       ProgressiveCallback on_update = nullptr);
+
+  /// Anytime DTopL: like SearchProgressive, but each update streams the
+  /// *diversified* greedy selection over the candidate pool so far. Pruning
+  /// toggles are taken from dtopl_options.topl_options (as in
+  /// SearchDiversified); options.query is ignored here.
+  Result<DTopLResult> SearchDiversifiedProgressive(
+      const Query& query, const DTopLOptions& dtopl_options,
+      const ProgressiveOptions& options = {},
+      ProgressiveCallback on_update = nullptr);
 
   /// Answers queries[i] into slot i of the returned vector, fanning out
   /// across the engine's ThreadPool (the calling thread participates).
@@ -145,11 +170,18 @@ class Engine {
   void ReleaseContext(WorkerContext* context);
 
   /// Search/SearchDiversified bodies running on an already-leased context.
-  Result<TopLResult> SearchOnContext(WorkerContext* context, const Query& query,
-                                     const QueryOptions& options);
-  Result<DTopLResult> SearchDiversifiedOnContext(WorkerContext* context,
-                                                 const Query& query,
-                                                 const DTopLOptions& options);
+  /// `kind` tags the latency sample (per-kind percentiles).
+  Result<TopLResult> SearchOnContext(WorkerContext* context, QueryKind kind,
+                                     const Query& query,
+                                     const QueryOptions& options,
+                                     const SearchControl& control = {});
+  Result<DTopLResult> SearchDiversifiedOnContext(
+      WorkerContext* context, QueryKind kind, const Query& query,
+      const DTopLOptions& options, const SearchControl& control = {});
+
+  /// Translates engine-level progressive options into a detector control.
+  SearchControl MakeControl(const ProgressiveOptions& options,
+                            ProgressiveCallback on_update);
 
   EngineOptions options_;
   Graph graph_;

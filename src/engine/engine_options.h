@@ -2,12 +2,43 @@
 #define TOPL_ENGINE_ENGINE_OPTIONS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
+#include "core/query.h"
+#include "core/search_control.h"
 #include "index/precompute.h"
 #include "index/tree_index.h"
 
 namespace topl {
+
+/// \brief Per-query controls of Engine::SearchProgressive /
+/// Engine::SearchDiversifiedProgressive: the anytime entry points.
+///
+/// Progressive queries stream intermediate top-L answers (with an
+/// upper-bound quality gap) to the caller's callback, honor a wall-clock
+/// deadline, and can be cancelled cooperatively. When `parallel` is set the
+/// candidate-scoring stage additionally fans out in chunks over the
+/// engine's ThreadPool — final (non-truncated) answers stay byte-identical
+/// to the sequential path.
+struct ProgressiveOptions {
+  /// Algorithmic toggles forwarded to the detector (pruning rules).
+  QueryOptions query;
+
+  /// Per-query wall-clock budget in seconds; 0 = unlimited. On expiry the
+  /// query returns best-so-far with TopLResult::truncated set.
+  double deadline_seconds = 0.0;
+
+  /// Cooperative cancellation (CancelToken::Create() to make one that can
+  /// actually fire). Checked at wave boundaries.
+  CancelToken cancel;
+
+  /// Score candidate waves in parallel chunks over the engine's pool.
+  bool parallel = true;
+
+  /// Candidates per scoring chunk when `parallel`.
+  std::uint32_t chunk_size = 8;
+};
 
 /// \brief Configuration of a topl::Engine (see engine/engine.h).
 ///

@@ -12,6 +12,42 @@
 
 namespace topl {
 
+/// How a query entered the engine. Latency samples are tagged with their
+/// kind so percentiles are reported per kind — batch fan-outs and
+/// progressive (possibly deadline-truncated) queries have very different
+/// latency profiles from interactive single queries, and mixing them into
+/// one histogram made p50/p99 meaningless for all of them.
+enum class QueryKind : std::uint8_t {
+  kSearch = 0,       ///< Search / Submit: one synchronous or async query
+  kBatch = 1,        ///< a SearchBatch slot
+  kDiversified = 2,  ///< SearchDiversified / SubmitDiversified
+  kProgressive = 3,  ///< SearchProgressive / SearchDiversifiedProgressive
+};
+
+inline constexpr std::size_t kNumQueryKinds = 4;
+
+inline const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kSearch:
+      return "search";
+    case QueryKind::kBatch:
+      return "batch";
+    case QueryKind::kDiversified:
+      return "dtopl";
+    case QueryKind::kProgressive:
+      return "progressive";
+  }
+  return "?";
+}
+
+/// Latency distribution of one query kind (histogram-estimated, ~1.5x).
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double p50_seconds = 0.0;
+  double p99_seconds = 0.0;
+  double max_seconds = 0.0;
+};
+
 /// \brief Snapshot of an Engine's cumulative service counters, aggregated
 /// over every query answered since the engine was created.
 struct EngineStats {
@@ -20,28 +56,50 @@ struct EngineStats {
   std::uint64_t dtopl_queries = 0;
   std::uint64_t failed_queries = 0;
   std::uint64_t batches = 0;
+  /// Progressive entry points served (also counted in topl/dtopl_queries).
+  std::uint64_t progressive_queries = 0;
+  /// Queries that returned best-so-far after a deadline, cancellation, or
+  /// progressive early stop.
+  std::uint64_t truncated_queries = 0;
 
   /// Per-query counters merged with QueryStats::operator+= (prune counters,
   /// heap pops, refinements; elapsed_seconds is the summed query time).
   QueryStats query_stats;
 
-  /// Latency percentiles over all successful + failed queries, estimated
-  /// from a power-of-two-bucket histogram (values accurate to within ~1.5x).
+  /// Latency percentiles per query kind, indexed by QueryKind.
+  std::array<LatencySummary, kNumQueryKinds> latency;
+
+  /// Latency percentiles over *all* queries of every kind (legacy view;
+  /// prefer the per-kind summaries for alerting).
   double p50_latency_seconds = 0.0;
   double p99_latency_seconds = 0.0;
   double max_latency_seconds = 0.0;
 
+  const LatencySummary& ForKind(QueryKind kind) const {
+    return latency[static_cast<std::size_t>(kind)];
+  }
+
   std::string ToString() const {
-    return "queries=" + std::to_string(queries_total) +
-           " (topl=" + std::to_string(topl_queries) +
-           " dtopl=" + std::to_string(dtopl_queries) +
-           " failed=" + std::to_string(failed_queries) +
-           ") batches=" + std::to_string(batches) +
-           " p50=" + std::to_string(p50_latency_seconds) + "s" +
-           " p99=" + std::to_string(p99_latency_seconds) + "s" +
-           " max=" + std::to_string(max_latency_seconds) + "s" +
-           " pruned=" + std::to_string(query_stats.TotalPruned()) +
+    std::string out =
+        "queries=" + std::to_string(queries_total) +
+        " (topl=" + std::to_string(topl_queries) +
+        " dtopl=" + std::to_string(dtopl_queries) +
+        " failed=" + std::to_string(failed_queries) +
+        " truncated=" + std::to_string(truncated_queries) +
+        ") batches=" + std::to_string(batches) +
+        " p50=" + std::to_string(p50_latency_seconds) + "s" +
+        " p99=" + std::to_string(p99_latency_seconds) + "s" +
+        " max=" + std::to_string(max_latency_seconds) + "s";
+    for (std::size_t k = 0; k < kNumQueryKinds; ++k) {
+      if (latency[k].count == 0) continue;
+      out += std::string(" ") + QueryKindName(static_cast<QueryKind>(k)) +
+             "{n=" + std::to_string(latency[k].count) +
+             " p50=" + std::to_string(latency[k].p50_seconds) + "s" +
+             " p99=" + std::to_string(latency[k].p99_seconds) + "s}";
+    }
+    out += " pruned=" + std::to_string(query_stats.TotalPruned()) +
            " refined=" + std::to_string(query_stats.candidates_refined);
+    return out;
   }
 };
 
@@ -50,26 +108,36 @@ struct EngineStats {
 /// Exactly one query writes to a shard at a time (the Engine leases each
 /// worker context to a single query), but Engine::Stats() reads shards
 /// concurrently with writers, so every field is a relaxed atomic: snapshots
-/// are cheap, race-free, and never block the query path. Latencies go into a
-/// power-of-two histogram (bucket i holds queries taking [2^(i-1), 2^i)
-/// microseconds) from which the snapshot derives p50/p99.
+/// are cheap, race-free, and never block the query path. Latencies go into
+/// one power-of-two histogram *per query kind* (bucket i holds queries
+/// taking [2^(i-1), 2^i) microseconds) from which the snapshot derives
+/// per-kind and overall p50/p99.
 class EngineStatsShard {
  public:
   static constexpr std::size_t kLatencyBuckets = 44;  // 2^43 us ≈ 101 days
 
-  void Record(bool diversified, bool ok, double seconds, const QueryStats& qs) {
+  using Histogram = std::array<std::uint64_t, kLatencyBuckets>;
+
+  void Record(QueryKind kind, bool diversified, bool ok, bool truncated,
+              double seconds, const QueryStats& qs) {
     constexpr auto relaxed = std::memory_order_relaxed;
+    const std::size_t k = static_cast<std::size_t>(kind);
     (diversified ? dtopl_queries_ : topl_queries_).fetch_add(1, relaxed);
     if (!ok) failed_queries_.fetch_add(1, relaxed);
+    if (truncated) truncated_queries_.fetch_add(1, relaxed);
+    if (kind == QueryKind::kProgressive) {
+      progressive_queries_.fetch_add(1, relaxed);
+    }
 
     const std::uint64_t micros =
         seconds <= 0.0 ? 0 : static_cast<std::uint64_t>(seconds * 1e6);
     total_micros_.fetch_add(micros, relaxed);
-    std::uint64_t prev_max = max_micros_.load(relaxed);
+    std::atomic<std::uint64_t>& max_micros = max_micros_[k];
+    std::uint64_t prev_max = max_micros.load(relaxed);
     while (prev_max < micros &&
-           !max_micros_.compare_exchange_weak(prev_max, micros, relaxed)) {
+           !max_micros.compare_exchange_weak(prev_max, micros, relaxed)) {
     }
-    latency_buckets_[LatencyBucket(micros)].fetch_add(1, relaxed);
+    latency_buckets_[k][LatencyBucket(micros)].fetch_add(1, relaxed);
 
     heap_pops_.fetch_add(qs.heap_pops, relaxed);
     index_nodes_visited_.fetch_add(qs.index_nodes_visited, relaxed);
@@ -79,20 +147,26 @@ class EngineStatsShard {
     pruned_termination_.fetch_add(qs.pruned_termination, relaxed);
     candidates_refined_.fetch_add(qs.candidates_refined, relaxed);
     communities_found_.fetch_add(qs.communities_found, relaxed);
+    waves_.fetch_add(qs.waves, relaxed);
+    parallel_chunks_.fetch_add(qs.parallel_chunks, relaxed);
   }
 
-  /// Adds this shard's counters into `total` and its latency histogram into
-  /// `buckets`. Percentiles are computed by the caller once all shards (and
-  /// thus all buckets) are merged.
+  /// Adds this shard's counters into `total` and its per-kind latency
+  /// histograms into `buckets`. Percentiles are computed by the caller once
+  /// all shards (and thus all buckets) are merged.
   void MergeInto(EngineStats* total,
-                 std::array<std::uint64_t, kLatencyBuckets>* buckets) const {
+                 std::array<Histogram, kNumQueryKinds>* buckets) const {
     constexpr auto relaxed = std::memory_order_relaxed;
     total->topl_queries += topl_queries_.load(relaxed);
     total->dtopl_queries += dtopl_queries_.load(relaxed);
     total->failed_queries += failed_queries_.load(relaxed);
-    total->max_latency_seconds =
-        std::max(total->max_latency_seconds,
-                 static_cast<double>(max_micros_.load(relaxed)) / 1e6);
+    total->truncated_queries += truncated_queries_.load(relaxed);
+    total->progressive_queries += progressive_queries_.load(relaxed);
+    for (std::size_t k = 0; k < kNumQueryKinds; ++k) {
+      total->latency[k].max_seconds =
+          std::max(total->latency[k].max_seconds,
+                   static_cast<double>(max_micros_[k].load(relaxed)) / 1e6);
+    }
 
     QueryStats shard;
     shard.heap_pops = heap_pops_.load(relaxed);
@@ -103,11 +177,15 @@ class EngineStatsShard {
     shard.pruned_termination = pruned_termination_.load(relaxed);
     shard.candidates_refined = candidates_refined_.load(relaxed);
     shard.communities_found = communities_found_.load(relaxed);
+    shard.waves = waves_.load(relaxed);
+    shard.parallel_chunks = parallel_chunks_.load(relaxed);
     shard.elapsed_seconds = static_cast<double>(total_micros_.load(relaxed)) / 1e6;
     total->query_stats += shard;
 
-    for (std::size_t i = 0; i < kLatencyBuckets; ++i) {
-      (*buckets)[i] += latency_buckets_[i].load(relaxed);
+    for (std::size_t k = 0; k < kNumQueryKinds; ++k) {
+      for (std::size_t i = 0; i < kLatencyBuckets; ++i) {
+        (*buckets)[k][i] += latency_buckets_[k][i].load(relaxed);
+      }
     }
   }
 
@@ -127,9 +205,13 @@ class EngineStatsShard {
   std::atomic<std::uint64_t> topl_queries_{0};
   std::atomic<std::uint64_t> dtopl_queries_{0};
   std::atomic<std::uint64_t> failed_queries_{0};
+  std::atomic<std::uint64_t> truncated_queries_{0};
+  std::atomic<std::uint64_t> progressive_queries_{0};
   std::atomic<std::uint64_t> total_micros_{0};
-  std::atomic<std::uint64_t> max_micros_{0};
-  std::array<std::atomic<std::uint64_t>, kLatencyBuckets> latency_buckets_{};
+  std::array<std::atomic<std::uint64_t>, kNumQueryKinds> max_micros_{};
+  std::array<std::array<std::atomic<std::uint64_t>, kLatencyBuckets>,
+             kNumQueryKinds>
+      latency_buckets_{};
 
   std::atomic<std::uint64_t> heap_pops_{0};
   std::atomic<std::uint64_t> index_nodes_visited_{0};
@@ -139,6 +221,8 @@ class EngineStatsShard {
   std::atomic<std::uint64_t> pruned_termination_{0};
   std::atomic<std::uint64_t> candidates_refined_{0};
   std::atomic<std::uint64_t> communities_found_{0};
+  std::atomic<std::uint64_t> waves_{0};
+  std::atomic<std::uint64_t> parallel_chunks_{0};
 };
 
 }  // namespace topl

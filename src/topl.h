@@ -29,6 +29,7 @@
 #include "core/community_result.h"
 #include "core/dtopl_detector.h"
 #include "core/query.h"
+#include "core/search_control.h"
 #include "core/seed_community.h"
 #include "core/topl_detector.h"
 #include "engine/engine.h"

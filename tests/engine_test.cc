@@ -397,6 +397,179 @@ TEST_F(EngineTest, OpenLoadsBuildsAndPersists) {
   std::filesystem::remove_all(dir);
 }
 
+TEST_F(EngineTest, ProgressiveMatchesPlainSearch) {
+  // The progressive/parallel path must return byte-identical answers to the
+  // plain sequential path when it runs to completion.
+  for (const Query& query : world_->queries) {
+    Result<TopLResult> plain = world_->engine->Search(query);
+    ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+    ProgressiveOptions options;
+    options.chunk_size = 4;
+    int updates = 0;
+    Result<TopLResult> progressive = world_->engine->SearchProgressive(
+        query, options, [&](const ProgressiveUpdate&) {
+          ++updates;
+          return true;
+        });
+    ASSERT_TRUE(progressive.ok()) << progressive.status().ToString();
+    EXPECT_FALSE(progressive->truncated);
+    ExpectSameCommunities(progressive->communities, plain->communities);
+    if (!plain->communities.empty()) EXPECT_GE(updates, 1);
+  }
+}
+
+TEST_F(EngineTest, ProgressiveDiversifiedMatchesPlainSearch) {
+  for (const Query& query : world_->queries) {
+    Result<DTopLResult> plain =
+        world_->engine->SearchDiversified(query, DiversifiedOptions());
+    ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+    Result<DTopLResult> progressive =
+        world_->engine->SearchDiversifiedProgressive(query, DiversifiedOptions());
+    ASSERT_TRUE(progressive.ok()) << progressive.status().ToString();
+    EXPECT_FALSE(progressive->truncated);
+    ExpectSameCommunities(progressive->communities, plain->communities);
+    EXPECT_EQ(progressive->diversity_score, plain->diversity_score);
+  }
+}
+
+TEST_F(EngineTest, ProgressiveDiversifiedHonorsPruningToggles) {
+  // The progressive path must take its pruning toggles from
+  // DTopLOptions::topl_options, exactly like SearchDiversified — not from
+  // ProgressiveOptions::query. Keyword pruning fires on every workload
+  // query, so with it disabled (and parallelism off, making the traversal
+  // identical to the plain path) the refinement counters must match the
+  // plain path's non-default-toggle run exactly — and visibly exceed the
+  // default-toggle run.
+  DTopLOptions no_keyword_pruning = DiversifiedOptions();
+  no_keyword_pruning.topl_options.use_keyword_pruning = false;
+  ProgressiveOptions sequential;
+  sequential.parallel = false;
+  for (const Query& query : world_->queries) {
+    Result<DTopLResult> plain =
+        world_->engine->SearchDiversified(query, no_keyword_pruning);
+    ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+    Result<DTopLResult> progressive =
+        world_->engine->SearchDiversifiedProgressive(query, no_keyword_pruning,
+                                                     sequential);
+    ASSERT_TRUE(progressive.ok()) << progressive.status().ToString();
+    ExpectSameCommunities(progressive->communities, plain->communities);
+    EXPECT_EQ(progressive->candidate_stats.candidates_refined,
+              plain->candidate_stats.candidates_refined);
+    EXPECT_EQ(progressive->candidate_stats.pruned_keyword, 0u);
+
+    Result<DTopLResult> defaults = world_->engine->SearchDiversifiedProgressive(
+        query, DiversifiedOptions(), sequential);
+    ASSERT_TRUE(defaults.ok());
+    EXPECT_GE(progressive->candidate_stats.candidates_refined,
+              defaults->candidate_stats.candidates_refined);
+  }
+}
+
+TEST_F(EngineTest, DeadlineExpiryReturnsTruncatedBestSoFar) {
+  ProgressiveOptions options;
+  options.deadline_seconds = 1e-12;  // expires at the first checkpoint
+  Result<TopLResult> result =
+      world_->engine->SearchProgressive(world_->queries.front(), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->truncated);
+  // Upper bound covers everything the truncated run missed.
+  Result<TopLResult> exact = world_->engine->Search(world_->queries.front());
+  ASSERT_TRUE(exact.ok());
+  for (const CommunityResult& community : exact->communities) {
+    bool returned = false;
+    for (const CommunityResult& got : result->communities) {
+      if (got.community.center == community.community.center) returned = true;
+    }
+    if (!returned) {
+      EXPECT_LE(community.score(), result->score_upper_bound);
+    }
+  }
+}
+
+TEST_F(EngineTest, CancellationBeforeFirstResult) {
+  CancelToken cancel = CancelToken::Create();
+  cancel.Cancel();
+  ProgressiveOptions options;
+  options.cancel = cancel;
+  Result<TopLResult> result =
+      world_->engine->SearchProgressive(world_->queries.front(), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->truncated);
+  EXPECT_TRUE(result->communities.empty());
+  EXPECT_EQ(result->stats.candidates_refined, 0u);
+}
+
+TEST_F(EngineTest, ConcurrentCancellationIsClean) {
+  // One thread cancels while others run the same token's queries: exercises
+  // the cancel-flag and chunk-skip paths under TSan.
+  CancelToken cancel = CancelToken::Create();
+  ProgressiveOptions options;
+  options.cancel = cancel;
+  options.chunk_size = 1;
+  constexpr std::size_t kThreads = 3;
+  std::vector<std::thread> threads;
+  std::atomic<int> truncated{0};
+  std::atomic<int> failures{0};
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < world_->queries.size(); ++i) {
+        Result<TopLResult> r = world_->engine->SearchProgressive(
+            world_->queries[(i + t) % world_->queries.size()], options);
+        if (!r.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        if (r->truncated) truncated.fetch_add(1);
+      }
+    });
+  }
+  cancel.Cancel();
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Every query issued after the cancel must have come back truncated; the
+  // race with in-flight ones is inherently timing-dependent, so only the
+  // absence of crashes/races and of failures is asserted beyond that.
+  EXPECT_GE(truncated.load(), 0);
+}
+
+TEST_F(EngineTest, StatsTagLatenciesByQueryKind) {
+  // Fresh engine: single, batch, diversified, and progressive queries must
+  // land in their own latency histograms, not one mixed pool.
+  EngineOptions options;
+  options.num_threads = 2;
+  Result<std::unique_ptr<Engine>> engine = MakeEngineFromSharedIndex(options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  ASSERT_TRUE((*engine)->Search(world_->queries[0]).ok());
+  ASSERT_TRUE((*engine)->Search(world_->queries[1]).ok());
+  (*engine)->SearchBatch(world_->queries);
+  ASSERT_TRUE(
+      (*engine)->SearchDiversified(world_->queries[0], DiversifiedOptions()).ok());
+  ProgressiveOptions prog;
+  prog.deadline_seconds = 1e-12;
+  ASSERT_TRUE((*engine)->SearchProgressive(world_->queries[0], prog).ok());
+
+  const EngineStats stats = (*engine)->Stats();
+  EXPECT_EQ(stats.ForKind(QueryKind::kSearch).count, 2u);
+  EXPECT_EQ(stats.ForKind(QueryKind::kBatch).count, world_->queries.size());
+  EXPECT_EQ(stats.ForKind(QueryKind::kDiversified).count, 1u);
+  EXPECT_EQ(stats.ForKind(QueryKind::kProgressive).count, 1u);
+  EXPECT_EQ(stats.progressive_queries, 1u);
+  EXPECT_EQ(stats.truncated_queries, 1u);  // the zero-deadline progressive one
+  // Per-kind percentile invariants hold independently.
+  for (std::size_t k = 0; k < kNumQueryKinds; ++k) {
+    const LatencySummary& summary = stats.latency[k];
+    EXPECT_LE(summary.p50_seconds, summary.p99_seconds);
+    EXPECT_LE(summary.p99_seconds, summary.max_seconds);
+  }
+  // The legacy aggregate view still covers every sample.
+  std::uint64_t total = 0;
+  for (std::size_t k = 0; k < kNumQueryKinds; ++k) total += stats.latency[k].count;
+  EXPECT_EQ(total, stats.queries_total);
+  EXPECT_LE(stats.p50_latency_seconds, stats.p99_latency_seconds);
+  EXPECT_LE(stats.p99_latency_seconds, stats.max_latency_seconds);
+}
+
 TEST_F(EngineTest, SequentialQueriesReuseOneContext) {
   Result<std::unique_ptr<Engine>> engine =
       MakeEngineFromSharedIndex(EngineOptions());

@@ -1,7 +1,9 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <future>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -58,6 +60,74 @@ TEST(ThreadPoolTest, WorkerIdsWithinRange) {
       },
       /*grain=*/16);
   EXPECT_FALSE(bad.load());
+}
+
+TEST(ThreadPoolTest, TaskGroupRunsAllSubtasks) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> sum{0};
+  ThreadPool::TaskGroup group(&pool);
+  for (std::uint64_t i = 1; i <= 100; ++i) {
+    group.Spawn([&sum, i] { sum.fetch_add(i); });
+  }
+  group.Wait();
+  EXPECT_EQ(sum.load(), 5050u);
+}
+
+TEST(ThreadPoolTest, TaskGroupSingleThreadedPoolRunsInline) {
+  ThreadPool pool(1);
+  std::vector<int> order;  // no synchronization: everything runs on this thread
+  ThreadPool::TaskGroup group(&pool);
+  for (int i = 0; i < 5; ++i) {
+    group.Spawn([&order, i] { order.push_back(i); });
+  }
+  group.Wait();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, TaskGroupReusableAcrossWaitRounds) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  ThreadPool::TaskGroup group(&pool);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) group.Spawn([&count] { count.fetch_add(1); });
+    group.Wait();
+    EXPECT_EQ(count.load(), (round + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, TaskGroupNestedFanOutFromSubmitDoesNotDeadlock) {
+  // Saturate a tiny pool with Submit tasks that each fan out a nested
+  // TaskGroup on the *same* pool. Every queue worker is occupied by an outer
+  // task, so nested subtasks can only make progress through the help-first
+  // join — if Wait() merely blocked, this test would hang.
+  ThreadPool pool(2);
+  std::atomic<std::uint64_t> nested_sum{0};
+  std::vector<std::future<void>> outer;
+  for (int t = 0; t < 8; ++t) {
+    outer.push_back(pool.Submit([&pool, &nested_sum] {
+      ThreadPool::TaskGroup group(&pool);
+      for (int i = 0; i < 20; ++i) {
+        group.Spawn([&nested_sum] { nested_sum.fetch_add(1); });
+      }
+      group.Wait();
+    }));
+  }
+  for (auto& f : outer) f.get();
+  EXPECT_EQ(nested_sum.load(), 8u * 20u);
+}
+
+TEST(ThreadPoolTest, TaskGroupPropagatesExceptions) {
+  ThreadPool pool(2);
+  ThreadPool::TaskGroup group(&pool);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 10; ++i) {
+    group.Spawn([&ran, i] {
+      ran.fetch_add(1);
+      if (i == 3) throw std::runtime_error("boom");
+    });
+  }
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 10);  // one failure never cancels siblings
 }
 
 TEST(ThreadPoolTest, WorkerScratchIsolation) {

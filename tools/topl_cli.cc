@@ -19,9 +19,17 @@
 // is built in-process, and persisted back when --save-index=1):
 //   topl_cli query    --graph=graph.bin --index=index.bin
 //                     --keywords=1,8,21 --k=4 --r=2 --theta=0.2 --L=5
+//                     [--deadline-ms=0 --progressive --chunk=8]
 //   topl_cli dtopl    ... same flags ... [--n=5 --algorithm=wp|wop|optimal]
 //   topl_cli batch    --graph=graph.bin --index=index.bin --queries=queries.txt
 //                     [--threads=0 --repeat=1 --quiet=0]
+//
+// --deadline-ms gives the query a wall-clock budget: on expiry it returns
+// its best-so-far communities marked "truncated" plus the remaining score
+// upper bound (the anytime gap). --progressive streams every intermediate
+// top-L improvement as the search converges; both flags route the query
+// through the engine's progressive path, which also scores candidate waves
+// in parallel chunks over the engine's worker pool (--threads).
 //
 // The batch query file holds one query per line:
 //   <keywords-csv> [k] [r] [theta] [L] [dtopl]
@@ -327,25 +335,63 @@ Result<DTopLOptions> BuildDTopLOptions(
   return options;
 }
 
+void PrintTruncation(bool truncated, double upper_bound) {
+  if (!truncated) return;
+  std::printf("truncated: best-so-far answer (deadline/cancel); "
+              "remaining score upper bound %.3f\n", upper_bound);
+}
+
 int CmdQuery(const std::map<std::string, std::string>& flags, bool diversified) {
   Result<std::unique_ptr<Engine>> engine = OpenEngine(flags);
   if (!engine.ok()) return Fail(engine.status());
   Result<Query> query = BuildQuery(flags);
   if (!query.ok()) return Fail(query.status());
 
+  const double deadline_ms = DoubleFlag(flags, "deadline-ms", 0.0);
+  const bool progressive = FlagOr(flags, "progressive", "0") == "1";
+  const bool controlled = progressive || deadline_ms > 0.0;
+  ProgressiveOptions prog;
+  prog.deadline_seconds = deadline_ms / 1000.0;
+  prog.chunk_size = static_cast<std::uint32_t>(IntFlag(flags, "chunk", 8));
+  // Streams each improving wave: rank-1 score, the threshold σ_L, and the
+  // frontier upper bound — the gap σ_L vs bound is the anytime progress bar.
+  ProgressiveCallback on_update;
+  if (progressive) {
+    on_update = [](const ProgressiveUpdate& update) {
+      const double best =
+          update.communities.empty() ? 0.0 : update.communities.front().score();
+      const double worst =
+          update.communities.empty() ? 0.0 : update.communities.back().score();
+      std::printf("wave %llu: %zu communities, best sigma=%.3f, sigma_L=%.3f, "
+                  "upper bound=%.3f (%llu refined)\n",
+                  static_cast<unsigned long long>(update.wave),
+                  update.communities.size(), best, worst, update.upper_bound,
+                  static_cast<unsigned long long>(update.candidates_refined));
+      return true;
+    };
+  }
+
   if (!diversified) {
-    Result<TopLResult> answer = (*engine)->Search(*query);
+    Result<TopLResult> answer =
+        controlled ? (*engine)->SearchProgressive(*query, prog, on_update)
+                   : (*engine)->Search(*query);
     if (!answer.ok()) return Fail(answer.status());
     PrintCommunities(answer->communities);
+    PrintTruncation(answer->truncated, answer->score_upper_bound);
     std::printf("stats: %s\n", answer->stats.ToString().c_str());
     return 0;
   }
 
   Result<DTopLOptions> options = BuildDTopLOptions(flags);
   if (!options.ok()) return Fail(options.status());
-  Result<DTopLResult> answer = (*engine)->SearchDiversified(*query, *options);
+  Result<DTopLResult> answer =
+      controlled
+          ? (*engine)->SearchDiversifiedProgressive(*query, *options, prog,
+                                                    on_update)
+          : (*engine)->SearchDiversified(*query, *options);
   if (!answer.ok()) return Fail(answer.status());
   PrintCommunities(answer->communities);
+  PrintTruncation(answer->truncated, answer->score_upper_bound);
   std::printf("diversity score D(S) = %.3f (candidates %.3fs, refine %.3fs, "
               "%llu gain evaluations)\n",
               answer->diversity_score, answer->candidate_seconds,
