@@ -5,9 +5,10 @@ Compares a freshly produced benchmark JSON against a committed baseline and
 fails (exit 1) when any gated throughput metric regressed by more than the
 allowed fraction. Two input shapes are understood:
 
-  - bench_parallel_query / bench_cold_start style: a single JSON object; the
-    gated metrics are every "queries_per_s" value found recursively, keyed by
-    the path to it (e.g. runs[threads=8].queries_per_s).
+  - bench_parallel_query / bench_cold_start / bench_updates style: a single
+    JSON object; the gated metrics are every "queries_per_s" / "updates_per_s"
+    value found recursively, keyed by the path to it (e.g.
+    runs[threads=8].queries_per_s, incremental.updates_per_s).
   - google-benchmark --benchmark_format=json: gated metrics are each
     benchmark's "queries_per_s" counter keyed by the benchmark name.
 
@@ -32,7 +33,8 @@ def collect_metrics(node, prefix, out):
     if isinstance(node, dict):
         for key, value in node.items():
             path = f"{prefix}.{key}" if prefix else key
-            if key in ("queries_per_s", "speedup") and isinstance(value, (int, float)):
+            if key in ("queries_per_s", "updates_per_s", "speedup") and \
+                    isinstance(value, (int, float)):
                 out[path] = float(value)
             else:
                 collect_metrics(value, path, out)
@@ -77,7 +79,7 @@ def main():
     failures = []
     compared = 0
     for path, base_value in sorted(baseline.items()):
-        if path.endswith(".speedup"):
+        if path == "speedup" or path.endswith(".speedup"):
             continue  # speedups are gated via --require, not vs baseline
         if path not in current:
             print(f"note: {path} missing from current run (skipped)")

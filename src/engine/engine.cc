@@ -13,13 +13,20 @@ namespace topl {
 
 Engine::Engine(Graph graph, std::unique_ptr<PrecomputedData> pre, TreeIndex tree,
                const EngineOptions& options)
-    : options_(options),
-      graph_(std::move(graph)),
-      pre_(std::move(pre)),
-      tree_(std::move(tree)),
-      pool_(options.num_threads) {}
+    : options_(options), pool_(options.num_threads) {
+  auto snapshot = std::make_shared<EngineSnapshot>();
+  snapshot->graph = std::move(graph);
+  snapshot->pre = std::move(pre);
+  snapshot->tree = std::move(tree);
+  snapshot_ = std::move(snapshot);
+}
 
 Engine::~Engine() = default;
+
+std::shared_ptr<const EngineSnapshot> Engine::snapshot() const {
+  std::lock_guard<std::mutex> lock(contexts_mu_);
+  return snapshot_;
+}
 
 Result<std::unique_ptr<Engine>> Engine::Create(Graph graph,
                                                std::unique_ptr<PrecomputedData> pre,
@@ -132,26 +139,60 @@ Result<std::unique_ptr<Engine>> Engine::Open(const EngineOptions& options) {
 }
 
 Engine::WorkerContext* Engine::AcquireContext() {
+  std::shared_ptr<const EngineSnapshot> snapshot;
   {
     std::lock_guard<std::mutex> lock(contexts_mu_);
+    // Free contexts are always bound to the current snapshot: ApplyUpdate
+    // purges the free list at swap time and ReleaseContext retires stale
+    // returns.
     if (!free_contexts_.empty()) {
       WorkerContext* context = free_contexts_.back();
       free_contexts_.pop_back();
       return context;
     }
+    snapshot = snapshot_;
   }
   // Pool empty: grow by one context. Construction (O(n) scratch) happens
-  // outside the lock so concurrent growth does not serialize.
-  auto created = std::make_unique<WorkerContext>(graph_, *pre_, tree_);
+  // outside the lock so concurrent growth does not serialize. If an update
+  // swaps snapshots mid-construction the context simply serves the epoch it
+  // pinned and is retired on release.
+  auto created = std::make_unique<WorkerContext>(std::move(snapshot));
   WorkerContext* context = created.get();
   std::lock_guard<std::mutex> lock(contexts_mu_);
   contexts_.push_back(std::move(created));
   return context;
 }
 
+std::unique_ptr<Engine::WorkerContext> Engine::RetireContextLocked(
+    WorkerContext* context) {
+  context->stats.MergeInto(&retired_stats_, &retired_buckets_);
+  retired_contexts_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_ptr<WorkerContext> owned;
+  for (auto it = contexts_.begin(); it != contexts_.end(); ++it) {
+    if (it->get() == context) {
+      owned = std::move(*it);
+      contexts_.erase(it);
+      break;
+    }
+  }
+  return owned;
+}
+
 void Engine::ReleaseContext(WorkerContext* context) {
-  std::lock_guard<std::mutex> lock(contexts_mu_);
-  free_contexts_.push_back(context);
+  // The context's epoch may have been superseded while it served this
+  // query: fold its stats into the retained accumulators and drop it (and
+  // with it, possibly the last pin of the old snapshot). Destruction happens
+  // after the lock is released so freeing detector scratch / an old
+  // snapshot never blocks other queries.
+  std::unique_ptr<WorkerContext> retired;
+  {
+    std::lock_guard<std::mutex> lock(contexts_mu_);
+    if (context->snapshot == snapshot_) {
+      free_contexts_.push_back(context);
+      return;
+    }
+    retired = RetireContextLocked(context);
+  }
 }
 
 std::size_t Engine::pooled_contexts() const {
@@ -176,7 +217,8 @@ Result<DTopLResult> Engine::SearchDiversifiedOnContext(
     WorkerContext* context, QueryKind kind, const Query& query,
     const DTopLOptions& options, const SearchControl& control) {
   if (!context->dtopl.has_value()) {
-    context->dtopl.emplace(graph_, *pre_, tree_);
+    const EngineSnapshot& snapshot = *context->snapshot;
+    context->dtopl.emplace(snapshot.graph, *snapshot.pre, snapshot.tree);
   }
   Timer timer;
   Result<DTopLResult> result = context->dtopl->Search(query, options, control);
@@ -281,16 +323,71 @@ std::future<Result<DTopLResult>> Engine::SubmitDiversified(Query query,
   });
 }
 
+Result<RebuildScope> Engine::ApplyUpdate(const GraphDelta& delta) {
+  // Single writer at a time; queries keep flowing against the current
+  // snapshot for the whole (potentially long) maintenance pass.
+  std::lock_guard<std::mutex> update_lock(update_mu_);
+  std::shared_ptr<const EngineSnapshot> base = snapshot();
+  Result<UpdatedIndex> updated =
+      IndexUpdater::Apply(base->graph, *base->pre, base->tree, delta, &pool_);
+  if (!updated.ok()) return updated.status();
+
+  auto next = std::make_shared<EngineSnapshot>();
+  next->graph = std::move(updated->graph);
+  next->pre = std::move(updated->pre);
+  next->tree = std::move(updated->tree);
+  next->epoch = base->epoch + 1;
+
+  {
+    // Retired contexts (and the superseded snapshot pin held by `base`) are
+    // destroyed after the lock drops, so the swap itself is O(#contexts)
+    // under contexts_mu_ and queries never wait on bulk deallocation.
+    std::vector<std::unique_ptr<WorkerContext>> retired;
+    std::lock_guard<std::mutex> lock(contexts_mu_);
+    snapshot_ = std::move(next);
+    // Idle contexts are bound to the superseded snapshot; retire them now so
+    // the old epoch's memory is reclaimed as soon as in-flight queries
+    // finish. Leased contexts retire themselves on release.
+    retired.reserve(free_contexts_.size());
+    for (WorkerContext* context : free_contexts_) {
+      retired.push_back(RetireContextLocked(context));
+    }
+    free_contexts_.clear();
+  }
+
+  updates_applied_.fetch_add(1, std::memory_order_relaxed);
+  update_dirty_centers_.fetch_add(updated->scope.dirty_centers,
+                                  std::memory_order_relaxed);
+  return updated->scope;
+}
+
 EngineStats Engine::Stats() const {
   EngineStats total;
   std::array<EngineStatsShard::Histogram, kNumQueryKinds> buckets{};
   {
     std::lock_guard<std::mutex> lock(contexts_mu_);
+    // Start from the counters of retired contexts, then fold the live ones.
+    total = retired_stats_;
+    buckets = retired_buckets_;
     for (const auto& context : contexts_) {
       context->stats.MergeInto(&total, &buckets);
     }
+    total.snapshot_epoch = snapshot_->epoch;
+    // Distinct epochs still pinned by a context, plus the current snapshot.
+    std::vector<const EngineSnapshot*> pinned;
+    pinned.push_back(snapshot_.get());
+    for (const auto& context : contexts_) {
+      pinned.push_back(context->snapshot.get());
+    }
+    std::sort(pinned.begin(), pinned.end());
+    total.live_snapshots = static_cast<std::uint64_t>(
+        std::unique(pinned.begin(), pinned.end()) - pinned.begin());
   }
   total.batches = batches_.load(std::memory_order_relaxed);
+  total.updates_applied = updates_applied_.load(std::memory_order_relaxed);
+  total.update_dirty_centers =
+      update_dirty_centers_.load(std::memory_order_relaxed);
+  total.retired_contexts = retired_contexts_.load(std::memory_order_relaxed);
   total.queries_total = total.topl_queries + total.dtopl_queries;
 
   auto percentile = [](const EngineStatsShard::Histogram& histogram,

@@ -15,10 +15,27 @@
 #include "engine/engine_options.h"
 #include "engine/engine_stats.h"
 #include "graph/graph.h"
+#include "graph/graph_delta.h"
+#include "index/index_update.h"
 #include "index/precompute.h"
 #include "index/tree_index.h"
 
 namespace topl {
+
+/// \brief One immutable serving epoch: a graph plus the offline phase built
+/// over it. Engines swap whole snapshots atomically (MVCC), so a snapshot is
+/// never mutated after construction — queries pin one via shared_ptr and
+/// read it lock-free for their entire lifetime, even while newer snapshots
+/// are installed. `tree` holds a raw pointer to `*pre`, so the members must
+/// move together (the struct guarantees that).
+struct EngineSnapshot {
+  Graph graph;
+  std::unique_ptr<PrecomputedData> pre;
+  TreeIndex tree;
+  /// Monotone update counter: 0 for the open-time snapshot, +1 per applied
+  /// delta.
+  std::uint64_t epoch = 0;
+};
 
 /// \brief Thread-safe service facade over the TopL/DTopL online phase.
 ///
@@ -41,6 +58,12 @@ namespace topl {
 /// EngineStats through mutex-free per-context accumulators, with latency
 /// histograms tagged by query kind (single/batch/dtopl/progressive);
 /// Stats() takes a snapshot at any time without blocking the query path.
+///
+/// The serving state lives in an immutable EngineSnapshot swapped atomically
+/// by ApplyUpdate (epoch-based MVCC): each query pins the snapshot its
+/// worker context was built over, so updates never block or invalidate
+/// in-flight queries, and superseded snapshots are reclaimed when their last
+/// pinned context retires.
 ///
 /// Construction:
 ///  - Engine::Open(options): load graph + index from files (building and
@@ -119,12 +142,31 @@ class Engine {
   std::future<Result<DTopLResult>> SubmitDiversified(Query query,
                                                      DTopLOptions options = {});
 
+  /// Applies a graph delta and installs the resulting serving state as a new
+  /// snapshot. Maintenance is incremental (IndexUpdater: only the update's
+  /// dirty region is re-precomputed, over the engine's own thread pool) and
+  /// runs entirely off to the side: in-flight queries keep serving their
+  /// pinned snapshot lock-free, new queries see the new snapshot atomically
+  /// once it is installed, and answers after the swap are byte-identical to
+  /// a from-scratch rebuild of the mutated graph. Concurrent ApplyUpdate
+  /// calls serialize (single-writer); queries never block. On failure
+  /// (invalid delta) the engine keeps serving the old snapshot untouched.
+  /// Returns the RebuildScope work report.
+  Result<RebuildScope> ApplyUpdate(const GraphDelta& delta);
+
   /// Cumulative service counters (snapshot; never blocks queries).
   EngineStats Stats() const;
 
-  const Graph& graph() const { return graph_; }
-  const PrecomputedData& precomputed() const { return *pre_; }
-  const TreeIndex& tree() const { return tree_; }
+  /// Pins the snapshot currently serving new queries. Hold the returned
+  /// pointer to keep graph/precompute/tree alive across ApplyUpdate calls.
+  std::shared_ptr<const EngineSnapshot> snapshot() const;
+
+  /// Convenience views into the *current* snapshot. The references stay
+  /// valid until the next ApplyUpdate retires that snapshot — callers that
+  /// race updates must pin via snapshot() instead.
+  const Graph& graph() const { return snapshot()->graph; }
+  const PrecomputedData& precomputed() const { return *snapshot()->pre; }
+  const TreeIndex& tree() const { return snapshot()->tree; }
   std::size_t num_threads() const { return pool_.num_threads(); }
 
   /// Which load path Open took (kInMemory for Create/FromGraph engines).
@@ -139,10 +181,18 @@ class Engine {
   /// time, so the detectors' scratch reuse stays single-threaded. The
   /// DTopLDetector (which embeds a second TopLDetector's scratch) is only
   /// materialized once the context serves its first diversified query.
+  ///
+  /// A context is bound to one snapshot for life: the detectors hold
+  /// references into it, and the shared_ptr pin keeps that epoch alive while
+  /// the context exists. Contexts bound to a superseded snapshot are retired
+  /// (stats folded into the engine's retired accumulators, then destroyed)
+  /// instead of returning to the free list.
   struct WorkerContext {
-    WorkerContext(const Graph& g, const PrecomputedData& pre, const TreeIndex& tree)
-        : topl(g, pre, tree) {}
+    explicit WorkerContext(std::shared_ptr<const EngineSnapshot> snap)
+        : snapshot(std::move(snap)),
+          topl(snapshot->graph, *snapshot->pre, snapshot->tree) {}
 
+    std::shared_ptr<const EngineSnapshot> snapshot;
     TopLDetector topl;
     std::optional<DTopLDetector> dtopl;
     EngineStatsShard stats;
@@ -183,17 +233,35 @@ class Engine {
   SearchControl MakeControl(const ProgressiveOptions& options,
                             ProgressiveCallback on_update);
 
+  /// Folds `context`'s stats into the retired accumulators and extracts it
+  /// from contexts_, returning ownership. Caller holds contexts_mu_ and must
+  /// destroy the returned context *after* releasing the lock — destruction
+  /// frees O(n) detector scratch and possibly the last pin of an old
+  /// snapshot, which must not stall concurrent Acquire/ReleaseContext.
+  std::unique_ptr<WorkerContext> RetireContextLocked(WorkerContext* context);
+
   EngineOptions options_;
-  Graph graph_;
-  std::unique_ptr<PrecomputedData> pre_;
-  TreeIndex tree_;
   IndexSource index_source_ = IndexSource::kInMemory;
 
   std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> updates_applied_{0};
+  std::atomic<std::uint64_t> update_dirty_centers_{0};
+  std::atomic<std::uint64_t> retired_contexts_{0};
+
+  /// Serializes ApplyUpdate writers; never held while queries run.
+  std::mutex update_mu_;
 
   mutable std::mutex contexts_mu_;
-  std::vector<std::unique_ptr<WorkerContext>> contexts_;  // all ever created
+  /// Serving state for *new* queries; swapped wholesale by ApplyUpdate.
+  /// Guarded by contexts_mu_ (reads copy the shared_ptr, so queries hold no
+  /// lock while running).
+  std::shared_ptr<const EngineSnapshot> snapshot_;
+  std::vector<std::unique_ptr<WorkerContext>> contexts_;  // all live contexts
   std::vector<WorkerContext*> free_contexts_;
+  /// Counters of retired contexts, so Stats() stays cumulative across
+  /// snapshot swaps.
+  EngineStats retired_stats_;
+  std::array<EngineStatsShard::Histogram, kNumQueryKinds> retired_buckets_{};
 
   // Declared last so its destructor — which drains and joins the async
   // queue workers — runs before the contexts those workers may be using are

@@ -62,6 +62,22 @@ struct EngineStats {
   /// progressive early stop.
   std::uint64_t truncated_queries = 0;
 
+  /// Graph deltas installed via Engine::ApplyUpdate.
+  std::uint64_t updates_applied = 0;
+  /// Cumulative dirty centers re-precomputed across all updates (the
+  /// incremental-maintenance work actually done; compare against
+  /// updates_applied * n for the avoided fraction).
+  std::uint64_t update_dirty_centers = 0;
+  /// Epoch of the snapshot currently serving new queries (0 until the first
+  /// update).
+  std::uint64_t snapshot_epoch = 0;
+  /// Snapshots still referenced: the current one plus any older epochs kept
+  /// alive by in-flight queries or not-yet-retired worker contexts.
+  std::uint64_t live_snapshots = 0;
+  /// Worker contexts destroyed because their snapshot was superseded (their
+  /// counters live on in these stats).
+  std::uint64_t retired_contexts = 0;
+
   /// Per-query counters merged with QueryStats::operator+= (prune counters,
   /// heap pops, refinements; elapsed_seconds is the summed query time).
   QueryStats query_stats;
@@ -99,6 +115,13 @@ struct EngineStats {
     }
     out += " pruned=" + std::to_string(query_stats.TotalPruned()) +
            " refined=" + std::to_string(query_stats.candidates_refined);
+    if (updates_applied > 0) {
+      out += " updates=" + std::to_string(updates_applied) +
+             " dirty_centers=" + std::to_string(update_dirty_centers) +
+             " epoch=" + std::to_string(snapshot_epoch) +
+             " live_snapshots=" + std::to_string(live_snapshots) +
+             " retired_contexts=" + std::to_string(retired_contexts);
+    }
     return out;
   }
 };

@@ -1,0 +1,116 @@
+#include "graph/delta_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+namespace topl {
+
+namespace {
+
+Status ParseError(const std::string& path, std::size_t line_no,
+                  const std::string& what) {
+  return Status::InvalidArgument(path + ":" + std::to_string(line_no) + ": " +
+                                 what);
+}
+
+/// Ids parse as uint64 so oversized values are caught here instead of
+/// silently wrapping into some other vertex/keyword's 32-bit id.
+bool FitsId(std::uint64_t value) {
+  return value <= std::numeric_limits<std::uint32_t>::max();
+}
+
+}  // namespace
+
+Result<GraphDelta> ReadGraphDeltaText(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open delta file: " + path);
+
+  GraphDelta delta;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream tokens(line);
+    std::string op;
+    if (!(tokens >> op)) continue;  // blank / comment-only line
+
+    if (op == "e-" || op == "e+") {
+      std::uint64_t u = 0;
+      std::uint64_t v = 0;
+      if (!(tokens >> u >> v)) {
+        return ParseError(path, line_no, "'" + op + "' needs two vertex ids");
+      }
+      if (!FitsId(u) || !FitsId(v)) {
+        return ParseError(path, line_no, "vertex id exceeds 32 bits");
+      }
+      if (op == "e-") {
+        delta.DeleteEdge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+      } else {
+        double prob_uv = 0.0;
+        if (!(tokens >> prob_uv)) {
+          return ParseError(path, line_no, "'e+' needs a probability");
+        }
+        double prob_vu = prob_uv;
+        if (!(tokens >> prob_vu)) {
+          // Optional field: fall back to the symmetric probability, but
+          // clear the failbit so a non-numeric token is still caught by the
+          // trailing-token check below instead of being swallowed.
+          prob_vu = prob_uv;
+          tokens.clear();
+        }
+        delta.InsertEdge(static_cast<VertexId>(u), static_cast<VertexId>(v),
+                         prob_uv, prob_vu);
+      }
+    } else if (op == "w-" || op == "w+") {
+      std::uint64_t v = 0;
+      std::uint64_t w = 0;
+      if (!(tokens >> v >> w)) {
+        return ParseError(path, line_no,
+                          "'" + op + "' needs a vertex id and a keyword id");
+      }
+      if (!FitsId(v) || !FitsId(w)) {
+        return ParseError(path, line_no, "vertex/keyword id exceeds 32 bits");
+      }
+      if (op == "w-") {
+        delta.RemoveKeyword(static_cast<VertexId>(v), static_cast<KeywordId>(w));
+      } else {
+        delta.AddKeyword(static_cast<VertexId>(v), static_cast<KeywordId>(w));
+      }
+    } else {
+      return ParseError(path, line_no, "unknown operation '" + op +
+                                           "' (expected e+, e-, w+ or w-)");
+    }
+    std::string trailing;
+    if (tokens >> trailing) {
+      return ParseError(path, line_no, "trailing token '" + trailing + "'");
+    }
+  }
+  return delta;
+}
+
+Status WriteGraphDeltaText(const GraphDelta& delta, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot write delta file: " + path);
+  for (const GraphDelta::EdgeRef& e : delta.edge_deletes) {
+    out << "e- " << e.u << " " << e.v << "\n";
+  }
+  for (const GraphDelta::EdgeInsert& e : delta.edge_inserts) {
+    out << "e+ " << e.u << " " << e.v << " " << e.prob_uv << " " << e.prob_vu
+        << "\n";
+  }
+  for (const GraphDelta::KeywordChange& c : delta.keyword_removes) {
+    out << "w- " << c.v << " " << c.w << "\n";
+  }
+  for (const GraphDelta::KeywordChange& c : delta.keyword_adds) {
+    out << "w+ " << c.v << " " << c.w << "\n";
+  }
+  if (!out.good()) return Status::IOError("short write to delta file: " + path);
+  return Status::OK();
+}
+
+}  // namespace topl

@@ -1,0 +1,32 @@
+#ifndef TOPL_GRAPH_DELTA_IO_H_
+#define TOPL_GRAPH_DELTA_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "graph/graph_delta.h"
+
+namespace topl {
+
+/// \brief Text serialization of GraphDelta: the `topl_cli update` input
+/// format and the interchange format of the update pipeline.
+///
+/// One operation per line, '#' starts a comment, blank lines are ignored:
+///
+///   e- u v                delete undirected edge {u, v}
+///   e+ u v p_uv [p_vu]    insert edge {u, v}; p_vu defaults to p_uv
+///   w- v kw               remove keyword kw from v.W
+///   w+ v kw               add keyword kw to v.W
+///
+/// Line order inside a kind is preserved, but ApplyDelta always applies
+/// deletes before inserts, so "e- 3 7" followed by "e+ 3 7 0.9" (in either
+/// line order) re-weights the edge.
+Result<GraphDelta> ReadGraphDeltaText(const std::string& path);
+
+/// Writes the delta in the format ReadGraphDeltaText parses.
+Status WriteGraphDeltaText(const GraphDelta& delta, const std::string& path);
+
+}  // namespace topl
+
+#endif  // TOPL_GRAPH_DELTA_IO_H_

@@ -8,6 +8,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/check.h"
 #include "graph/types.h"
 
 namespace topl {
@@ -66,10 +67,14 @@ class Graph {
   std::size_t NumEdges() const { return edge_endpoints_.size(); }
 
   /// Degree of v in the undirected structure.
-  std::size_t Degree(VertexId v) const { return offsets_[v + 1] - offsets_[v]; }
+  std::size_t Degree(VertexId v) const {
+    TOPL_DCHECK(v < NumVertices(), "Graph::Degree: vertex id out of range");
+    return offsets_[v + 1] - offsets_[v];
+  }
 
   /// Outgoing arcs of v, sorted by target id.
   std::span<const Arc> Neighbors(VertexId v) const {
+    TOPL_DCHECK(v < NumVertices(), "Graph::Neighbors: vertex id out of range");
     return arcs_.subspan(offsets_[v], offsets_[v + 1] - offsets_[v]);
   }
 
@@ -85,6 +90,7 @@ class Graph {
 
   /// Keyword set of v (sorted ascending).
   std::span<const KeywordId> Keywords(VertexId v) const {
+    TOPL_DCHECK(v < NumVertices(), "Graph::Keywords: vertex id out of range");
     return keywords_.subspan(keyword_offsets_[v],
                              keyword_offsets_[v + 1] - keyword_offsets_[v]);
   }

@@ -55,8 +55,14 @@ Result<Graph> GraphBuilder::Build() && {
             });
   for (std::size_t i = 1; i < edges_.size(); ++i) {
     if (edges_[i].u == edges_[i - 1].u && edges_[i].v == edges_[i - 1].v) {
-      return Status::Corruption("duplicate edge {" + std::to_string(edges_[i].u) +
-                                ", " + std::to_string(edges_[i].v) + "}");
+      // Distinct from every other builder diagnostic: the duplicate arcs may
+      // carry different probabilities, and silently letting one win would
+      // corrupt influence scores, so the pair is named explicitly.
+      return Status::Corruption(
+          "duplicate undirected edge {" + std::to_string(edges_[i].u) + ", " +
+          std::to_string(edges_[i].v) +
+          "}: AddEdge was called more than once for this vertex pair (in "
+          "either endpoint order), probabilities would be ambiguous");
     }
   }
 

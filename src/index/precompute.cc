@@ -3,10 +3,9 @@
 #include <algorithm>
 #include <memory>
 
+#include "common/check.h"
 #include "common/thread_pool.h"
-#include "graph/local_subgraph.h"
 #include "influence/influence_calculator.h"
-#include "influence/propagation.h"
 #include "truss/truss_decomposition.h"
 
 namespace topl {
@@ -37,6 +36,86 @@ double PrecomputedData::SortKey(VertexId v) const {
     for (std::uint32_t z = 0; z < num_thetas(); ++z) sum += ScoreBound(v, r, z);
   }
   return sum / (r_max_ * (1.0 + thetas_.size()));
+}
+
+VertexPrecomputer::VertexPrecomputer(const Graph& g)
+    : graph_(&g), hop_(g), engine_(g) {}
+
+void VertexPrecomputer::Recompute(VertexId v, PrecomputedData* out) {
+  TOPL_CHECK(!out->IsMapped(),
+             "VertexPrecomputer::Recompute needs a heap-backed "
+             "PrecomputedData (copy a mapped instance first)");
+  TOPL_CHECK(v < out->n_ && out->n_ == graph_->NumVertices(),
+             "VertexPrecomputer::Recompute: vertex/graph shape mismatch");
+  const Graph& g = *graph_;
+  const std::uint32_t r_max = out->r_max_;
+  const std::size_t m_thetas = out->owned_thetas_.size();
+  const double theta_min = out->owned_thetas_.front();
+
+  // One unfiltered r_max-hop extraction; every smaller radius is a BFS-order
+  // prefix of it.
+  hop_.Extract(v, r_max, /*keyword_filter=*/{}, &lg_);
+  const LocalGraph& lg = lg_;
+
+  // Members per radius (prefix lengths of the BFS order).
+  members_at_radius_.assign(r_max + 1, 0);
+  {
+    std::size_t idx = 0;
+    for (std::uint32_t r = 0; r <= r_max; ++r) {
+      while (idx < lg.NumVertices() && lg.dist[idx] <= r) ++idx;
+      members_at_radius_[r] = idx;
+    }
+  }
+
+  // Signatures: incremental OR over BFS layers.
+  BitVector acc(out->signature_bits_);
+  {
+    std::size_t idx = 0;
+    for (std::uint32_t r = 1; r <= r_max; ++r) {
+      // Layer r-1's prefix is already folded in; fold the new layer.
+      // (For r = 1 this folds layers 0 and 1.)
+      const std::size_t upto = members_at_radius_[r];
+      while (idx < upto) {
+        for (KeywordId w : g.Keywords(lg.global_ids[idx])) acc.AddKeyword(w);
+        ++idx;
+      }
+      std::copy(acc.words().begin(), acc.words().end(),
+                out->owned_signatures_.begin() +
+                    static_cast<std::ptrdiff_t>(out->SigOffset(v, r)));
+    }
+  }
+
+  // Support bounds "w.r.t. hop(v_i, r_max)" (Algorithm 2 lines 4-5):
+  // edge supports within the ball, plus — from the same peeling — the
+  // trussness of the center, the sharp structural bound.
+  const std::vector<std::uint32_t> ball_trussness =
+      LocalTrussDecomposition(lg, &ball_support_);
+  out->owned_center_truss_[v] = LocalCenterTrussness(lg, ball_trussness);
+  // Max ball-support among edges appearing at each radius, then prefix-max
+  // across radii.
+  max_sup_by_radius_.assign(r_max + 1, 0);
+  for (std::size_t e = 0; e < lg.NumEdges(); ++e) {
+    const std::uint32_t er = lg.edge_radius[e];
+    max_sup_by_radius_[er] = std::max(max_sup_by_radius_[er], ball_support_[e]);
+  }
+  // edge_radius is max(dist of endpoints) ≥ 1, so bucket 0 stays empty.
+  std::uint32_t running = 0;
+  for (std::uint32_t r = 1; r <= r_max; ++r) {
+    running = std::max(running, max_sup_by_radius_[r]);
+    out->owned_support_bounds_[out->Index2(v, r)] = running;
+  }
+
+  // Influential-score bounds: one propagation per radius at θ_min, then all
+  // σ_z read off the same cpp list.
+  for (std::uint32_t r = 1; r <= r_max; ++r) {
+    const std::size_t count = members_at_radius_[r];
+    const std::span<const VertexId> seeds(lg.global_ids.data(), count);
+    const InfluencedCommunity inf = engine_.Compute(seeds, theta_min);
+    const std::vector<double> scores = ScoresAtThresholds(inf, out->owned_thetas_);
+    for (std::uint32_t z = 0; z < m_thetas; ++z) {
+      out->owned_score_bounds_[out->Index3(v, r, z)] = scores[z];
+    }
+  }
 }
 
 Result<PrecomputedData> PrecomputedData::Build(const Graph& g,
@@ -78,93 +157,17 @@ Result<PrecomputedData> PrecomputedData::Build(const Graph& g,
 
   ThreadPool pool(options.num_threads);
 
-  // One extraction + one propagation scratch set per worker.
-  struct WorkerState {
-    explicit WorkerState(const Graph& graph) : hop(graph), engine(graph) {}
-    HopExtractor hop;
-    PropagationEngine engine;
-    LocalGraph lg;
-    std::vector<std::uint32_t> max_sup_by_radius;
-  };
-  std::vector<std::unique_ptr<WorkerState>> workers;
+  // One extraction + propagation scratch set per worker.
+  std::vector<std::unique_ptr<VertexPrecomputer>> workers;
   workers.reserve(pool.num_threads());
   for (std::size_t t = 0; t < pool.num_threads(); ++t) {
-    workers.push_back(std::make_unique<WorkerState>(g));
+    workers.push_back(std::make_unique<VertexPrecomputer>(g));
   }
-
-  const double theta_min = data.thetas_.front();
 
   pool.ParallelForWithWorker(
       0, data.n_,
       [&](std::size_t worker_id, std::size_t vi) {
-        WorkerState& ws = *workers[worker_id];
-        const VertexId v = static_cast<VertexId>(vi);
-        // One unfiltered r_max-hop extraction; every smaller radius is a
-        // BFS-order prefix of it.
-        ws.hop.Extract(v, r_max, /*keyword_filter=*/{}, &ws.lg);
-        const LocalGraph& lg = ws.lg;
-
-        // Members per radius (prefix lengths of the BFS order).
-        std::vector<std::size_t> members_at_radius(r_max + 1, 0);
-        {
-          std::size_t idx = 0;
-          for (std::uint32_t r = 0; r <= r_max; ++r) {
-            while (idx < lg.NumVertices() && lg.dist[idx] <= r) ++idx;
-            members_at_radius[r] = idx;
-          }
-        }
-
-        // Signatures: incremental OR over BFS layers.
-        BitVector acc(data.signature_bits_);
-        {
-          std::size_t idx = 0;
-          for (std::uint32_t r = 1; r <= r_max; ++r) {
-            // Layer r-1's prefix is already folded in; fold the new layer.
-            // (For r = 1 this folds layers 0 and 1.)
-            const std::size_t upto = members_at_radius[r];
-            while (idx < upto) {
-              for (KeywordId w : g.Keywords(lg.global_ids[idx])) acc.AddKeyword(w);
-              ++idx;
-            }
-            std::copy(acc.words().begin(), acc.words().end(),
-                      data.owned_signatures_.begin() +
-                          static_cast<std::ptrdiff_t>(data.SigOffset(v, r)));
-          }
-        }
-
-        // Support bounds "w.r.t. hop(v_i, r_max)" (Algorithm 2 lines 4-5):
-        // edge supports within the ball, plus — from the same peeling — the
-        // trussness of the center, the sharp structural bound.
-        std::vector<std::uint32_t> ball_support;
-        const std::vector<std::uint32_t> ball_trussness =
-            LocalTrussDecomposition(lg, &ball_support);
-        data.owned_center_truss_[v] = LocalCenterTrussness(lg, ball_trussness);
-        // Max ball-support among edges appearing at each radius, then
-        // prefix-max across radii.
-        ws.max_sup_by_radius.assign(r_max + 1, 0);
-        for (std::size_t e = 0; e < lg.NumEdges(); ++e) {
-          const std::uint32_t er = lg.edge_radius[e];
-          ws.max_sup_by_radius[er] =
-              std::max(ws.max_sup_by_radius[er], ball_support[e]);
-        }
-        // edge_radius is max(dist of endpoints) ≥ 1, so bucket 0 stays empty.
-        std::uint32_t running = 0;
-        for (std::uint32_t r = 1; r <= r_max; ++r) {
-          running = std::max(running, ws.max_sup_by_radius[r]);
-          data.owned_support_bounds_[data.Index2(v, r)] = running;
-        }
-
-        // Influential-score bounds: one propagation per radius at θ_min,
-        // then all σ_z read off the same cpp list.
-        for (std::uint32_t r = 1; r <= r_max; ++r) {
-          const std::size_t count = members_at_radius[r];
-          const std::span<const VertexId> seeds(lg.global_ids.data(), count);
-          const InfluencedCommunity inf = ws.engine.Compute(seeds, theta_min);
-          const std::vector<double> scores = ScoresAtThresholds(inf, data.owned_thetas_);
-          for (std::uint32_t z = 0; z < m_thetas; ++z) {
-            data.owned_score_bounds_[data.Index3(v, r, z)] = scores[z];
-          }
-        }
+        workers[worker_id]->Recompute(static_cast<VertexId>(vi), &data);
       },
       /*grain=*/32);
 

@@ -8,6 +8,8 @@
 
 #include "common/result.h"
 #include "graph/graph.h"
+#include "graph/local_subgraph.h"
+#include "influence/propagation.h"
 #include "keywords/bit_vector.h"
 
 namespace topl {
@@ -111,9 +113,11 @@ class PrecomputedData {
   bool IsMapped() const { return backing_ != nullptr; }
 
  private:
-  friend class IndexCodec;      // legacy TOPLIDX1 serialization
-  friend class ArtifactWriter;  // TOPLIDX2 (storage/artifact.h)
+  friend class IndexCodec;       // legacy TOPLIDX1 serialization
+  friend class ArtifactWriter;   // TOPLIDX2 (storage/artifact.h)
   friend class ArtifactReader;
+  friend class VertexPrecomputer;  // per-vertex rebuild (Build + incremental)
+  friend class IndexUpdater;       // incremental maintenance (index_update.h)
 
   PrecomputedData() = default;
 
@@ -176,6 +180,39 @@ class PrecomputedData {
 
   // Keeps the mmap alive for artifact-backed instances.
   std::shared_ptr<const MappedFile> backing_;
+};
+
+/// \brief The Algorithm-2 inner loop for one vertex, with reusable scratch.
+///
+/// Vertices are independent in the offline phase: each vertex's rows
+/// (signatures, support bounds, center trussness, score bounds) derive from
+/// its own r_max-ball plus one global propagation per radius. Build runs one
+/// VertexPrecomputer per pool worker over all vertices; incremental
+/// maintenance (IndexUpdater) runs the same code over the dirty set only, so
+/// the two paths cannot drift apart.
+///
+/// Thread-compatibility: one instance per thread; Recompute only reads `g`
+/// and writes the target vertex's own rows, so concurrent Recompute calls on
+/// distinct vertices against one PrecomputedData are race-free.
+class VertexPrecomputer {
+ public:
+  /// Scratch sized to `g`; `g` must outlive the precomputer and be the graph
+  /// the rows are recomputed over.
+  explicit VertexPrecomputer(const Graph& g);
+
+  /// Recomputes every row of vertex v in `out` over the constructor's graph.
+  /// `out` must be heap-backed (not a mapped artifact view) with fully
+  /// allocated arrays, and its r_max/thetas/signature shape is taken as-is.
+  void Recompute(VertexId v, PrecomputedData* out);
+
+ private:
+  const Graph* graph_;
+  HopExtractor hop_;
+  PropagationEngine engine_;
+  LocalGraph lg_;
+  std::vector<std::size_t> members_at_radius_;
+  std::vector<std::uint32_t> max_sup_by_radius_;
+  std::vector<std::uint32_t> ball_support_;
 };
 
 }  // namespace topl

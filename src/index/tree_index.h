@@ -108,6 +108,7 @@ class TreeIndex {
   friend class IndexCodec;      // legacy TOPLIDX1 serialization
   friend class ArtifactWriter;  // TOPLIDX2 (storage/artifact.h)
   friend class ArtifactReader;
+  friend class IndexUpdater;    // incremental maintenance (index_update.h)
 
   /// Points the view spans at the owned vectors (build / legacy-read path).
   void BindOwned() {

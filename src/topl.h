@@ -38,13 +38,16 @@
 #include "graph/bfs.h"
 #include "graph/binary_io.h"
 #include "graph/connectivity.h"
+#include "graph/delta_io.h"
 #include "graph/edge_list_io.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
 #include "graph/graph_builder.h"
+#include "graph/graph_delta.h"
 #include "graph/local_subgraph.h"
 #include "graph/types.h"
 #include "index/index_io.h"
+#include "index/index_update.h"
 #include "index/precompute.h"
 #include "index/tree_index.h"
 #include "influence/diversity.h"

@@ -22,6 +22,35 @@ TEST(GraphBuilderTest, RejectsDuplicateEdge) {
   EXPECT_TRUE(g.status().IsCorruption());
 }
 
+// Duplicates must fail with a message naming the pair — never silently
+// last-write-wins on the probability — in both same-order and
+// opposite-order arc insertions.
+TEST(GraphBuilderTest, DuplicateEdgeDiagnosticNamesThePair) {
+  {
+    GraphBuilder b(3);
+    b.AddEdge(0, 1, 0.5);
+    b.AddEdge(0, 1, 0.9);  // same orientation, different probability
+    Result<Graph> g = std::move(b).Build();
+    ASSERT_FALSE(g.ok());
+    EXPECT_TRUE(g.status().IsCorruption());
+    EXPECT_NE(g.status().ToString().find("duplicate undirected edge {0, 1}"),
+              std::string::npos)
+        << g.status().ToString();
+  }
+  {
+    GraphBuilder b(3);
+    b.AddEdge(2, 1, 0.5);
+    b.AddEdge(1, 2, 0.9);  // opposite orientation
+    Result<Graph> g = std::move(b).Build();
+    ASSERT_FALSE(g.ok());
+    EXPECT_TRUE(g.status().IsCorruption());
+    // Both orders collapse to the canonical u < v pair in the diagnostic.
+    EXPECT_NE(g.status().ToString().find("duplicate undirected edge {1, 2}"),
+              std::string::npos)
+        << g.status().ToString();
+  }
+}
+
 TEST(GraphBuilderTest, RejectsOutOfRangeEndpoint) {
   GraphBuilder b(2);
   b.AddEdge(0, 5, 0.5);

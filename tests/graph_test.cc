@@ -124,5 +124,30 @@ TEST(GraphTest, MoveSemantics) {
   EXPECT_EQ(h.NumEdges(), 2u);
 }
 
+// Accessors at the last valid id must read exactly the final CSR range —
+// the off-by-one regression the debug bounds checks guard against.
+TEST(GraphTest, AccessorsAtUpperBoundary) {
+  const Graph g = MakeKeywordGraph(3, {{0, 1}, {1, 2}}, {{}, {}, {7}});
+  EXPECT_EQ(g.Degree(2), 1u);
+  ASSERT_EQ(g.Neighbors(2).size(), 1u);
+  EXPECT_EQ(g.Neighbors(2)[0].to, 1u);
+  ASSERT_EQ(g.Keywords(2).size(), 1u);
+  EXPECT_EQ(g.Keywords(2)[0], 7u);
+}
+
+// Out-of-range vertex ids used to read past the offsets array (UB); with
+// TOPL_DCHECK they die loudly in debug builds. NDEBUG builds compile the
+// check out (no release cost), so the death expectation only runs in debug.
+TEST(GraphDeathTest, OutOfRangeVertexDiesInDebug) {
+#ifdef NDEBUG
+  GTEST_SKIP() << "TOPL_DCHECK is compiled out under NDEBUG";
+#else
+  const Graph g = MakeGraph(3, {{0, 1}, {1, 2}});
+  EXPECT_DEATH((void)g.Degree(3), "vertex id out of range");
+  EXPECT_DEATH((void)g.Neighbors(57), "vertex id out of range");
+  EXPECT_DEATH((void)g.Keywords(3), "vertex id out of range");
+#endif
+}
+
 }  // namespace
 }  // namespace topl

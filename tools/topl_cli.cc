@@ -7,6 +7,7 @@
 //                          [--rmax=3 --threads=0 --format=v2|legacy]
 //   topl_cli index inspect --artifact=index.idx
 //   topl_cli index migrate --in=old.bin --graph=graph.bin --out=index.idx
+//   topl_cli update   --index=index.idx --delta=delta.txt --out=patched.idx
 //   topl_cli stats    --graph=graph.bin
 //
 // `index build` writes the mmap-able TOPLIDX2 artifact (graph + precompute +
@@ -14,6 +15,14 @@
 // `index inspect` dumps an artifact's section table and checksums;
 // `index migrate` rewrites a TOPLIDX1 file as TOPLIDX2. Bare
 // `topl_cli index --graph=... --out=...` remains an alias for `index build`.
+//
+// `update` applies a GraphDelta (text format of graph/delta_io.h: one
+// "e+ u v p [p]", "e- u v", "w+ v kw" or "w- v kw" per line) to a TOPLIDX2
+// artifact with incremental maintenance — only the update's dirty region is
+// re-precomputed — and writes the patched artifact (--out may equal --index;
+// the input is read before the output is written). Serving answers from the
+// patched artifact is byte-identical to rebuilding the index from scratch on
+// the mutated graph.
 //
 // Online phase (all served through topl::Engine::Open; a missing index file
 // is built in-process, and persisted back when --save-index=1):
@@ -112,8 +121,8 @@ int Fail(const Status& status) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: topl_cli <generate|convert|index|stats|query|dtopl|batch> "
-               "[--flag=value ...]\n"
+               "usage: topl_cli <generate|convert|index|update|stats|query|"
+               "dtopl|batch> [--flag=value ...]\n"
                "       topl_cli index <build|inspect|migrate> [--flag=value ...]\n"
                "see the header comment of tools/topl_cli.cc for flags\n");
   return 2;
@@ -256,6 +265,41 @@ int CmdIndexMigrate(const std::map<std::string, std::string>& flags) {
   if (!status.ok()) return Fail(status);
   std::printf("migrated %s -> %s (TOPLIDX2, %zu tree nodes)\n", in.c_str(),
               out.c_str(), loaded->tree.NumNodes());
+  return 0;
+}
+
+int CmdUpdate(const std::map<std::string, std::string>& flags) {
+  const std::string index_path = FlagOr(flags, "index", "");
+  const std::string delta_path = FlagOr(flags, "delta", "");
+  const std::string out = FlagOr(flags, "out", index_path);
+  if (index_path.empty() || delta_path.empty()) {
+    return Fail(Status::InvalidArgument(
+        "update needs --index=ARTIFACT and --delta=FILE (and optionally "
+        "--out=ARTIFACT, default --index)"));
+  }
+  if (!ArtifactReader::IsArtifact(index_path)) {
+    return Fail(Status::InvalidArgument(
+        index_path + " is not a TOPLIDX2 artifact (run `topl_cli index "
+        "migrate` on legacy indexes first)"));
+  }
+  Result<GraphDelta> delta = ReadGraphDeltaText(delta_path);
+  if (!delta.ok()) return Fail(delta.status());
+  Result<MappedIndex> mapped = ArtifactReader::Open(index_path);
+  if (!mapped.ok()) return Fail(mapped.status());
+
+  ThreadPool pool(IntFlag(flags, "threads", 0));
+  Timer timer;
+  Result<UpdatedIndex> updated = IndexUpdater::Apply(
+      mapped->graph, *mapped->pre, mapped->tree, *delta, &pool);
+  if (!updated.ok()) return Fail(updated.status());
+  const double maintain_seconds = timer.ElapsedSeconds();
+  const Status status =
+      ArtifactWriter::Write(updated->graph, *updated->pre, updated->tree, out);
+  if (!status.ok()) return Fail(status);
+  std::printf("applied %zu delta ops in %.3fs -> %s (%zu vertices, %zu edges)\n",
+              delta->NumOps(), maintain_seconds, out.c_str(),
+              updated->graph.NumVertices(), updated->graph.NumEdges());
+  std::printf("rebuild scope: %s\n", updated->scope.ToString().c_str());
   return 0;
 }
 
@@ -582,6 +626,7 @@ int main(int argc, char** argv) {
   if (!ParseFlags(argc, argv, 2, &flags)) return Usage();
   if (command == "generate") return CmdGenerate(flags);
   if (command == "convert") return CmdConvert(flags);
+  if (command == "update") return CmdUpdate(flags);
   if (command == "stats") return CmdStats(flags);
   if (command == "query") return CmdQuery(flags, /*diversified=*/false);
   if (command == "dtopl") return CmdQuery(flags, /*diversified=*/true);
