@@ -5,10 +5,11 @@ Compares a freshly produced benchmark JSON against a committed baseline and
 fails (exit 1) when any gated throughput metric regressed by more than the
 allowed fraction. Two input shapes are understood:
 
-  - bench_parallel_query / bench_cold_start / bench_updates style: a single
-    JSON object; the gated metrics are every "queries_per_s" / "updates_per_s"
-    value found recursively, keyed by the path to it (e.g.
-    runs[threads=8].queries_per_s, incremental.updates_per_s).
+  - bench_parallel_query / bench_cold_start / bench_updates /
+    bench_seed_extraction style: a single JSON object; the gated metrics are
+    every "queries_per_s" / "updates_per_s" / "extractions_per_s" value found
+    recursively, keyed by the path to it (e.g.
+    runs[threads=8].queries_per_s, incremental.extractions_per_s).
   - google-benchmark --benchmark_format=json: gated metrics are each
     benchmark's "queries_per_s" counter keyed by the benchmark name.
 
@@ -33,7 +34,8 @@ def collect_metrics(node, prefix, out):
     if isinstance(node, dict):
         for key, value in node.items():
             path = f"{prefix}.{key}" if prefix else key
-            if key in ("queries_per_s", "updates_per_s", "speedup") and \
+            if key in ("queries_per_s", "updates_per_s", "extractions_per_s",
+                       "speedup") and \
                     isinstance(value, (int, float)):
                 out[path] = float(value)
             else:

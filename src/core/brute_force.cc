@@ -16,7 +16,14 @@ Result<std::vector<CommunityResult>> EnumerateAllCommunities(const Graph& g,
   std::vector<CommunityResult> out;
   for (VertexId v = 0; v < g.NumVertices(); ++v) {
     CommunityResult candidate;
-    if (!extractor.Extract(v, query, &candidate.community)) continue;
+    // The brute-force path is the independent oracle the detectors are
+    // checked against, so it deliberately runs the reference (pre-substrate)
+    // verification pipeline — a substrate bug must not cancel out of
+    // detector-vs-brute-force comparisons.
+    if (!extractor.Extract(v, query, SeedCommunityExtractor::Mode::kReference,
+                           &candidate.community)) {
+      continue;
+    }
     candidate.influence = engine.Compute(candidate.community.vertices, query.theta);
     out.push_back(std::move(candidate));
   }

@@ -56,6 +56,11 @@ struct QueryOptions {
   /// bound (DESIGN.md §3). Off = the paper's max-ball-support rule only;
   /// the ablation benchmark compares the two.
   bool use_center_truss_bound = true;
+  /// Verify candidates on the pre-substrate reference path (from-scratch
+  /// support recompute per fixpoint round) instead of the incremental
+  /// triangle substrate. Answers are byte-identical either way; this switch
+  /// exists for the equivalence sweep and the bench_seed_extraction A/B.
+  bool use_reference_extraction = false;
 };
 
 /// \brief Counters filled during query processing.
@@ -74,6 +79,13 @@ struct QueryStats {
 
   std::uint64_t candidates_refined = 0;   // extractions attempted
   std::uint64_t communities_found = 0;    // non-empty seed communities
+
+  /// Triangle-substrate counters (truss/local_truss.h): alive triangles
+  /// enumerated while verifying candidates, and fixpoint kill rounds whose
+  /// support updates were absorbed incrementally — each avoided round is one
+  /// full from-scratch local support recompute the pre-substrate path paid.
+  std::uint64_t triangles_inspected = 0;
+  std::uint64_t support_recomputes_avoided = 0;
 
   /// Staged-pipeline counters: plan/score/merge waves executed, and scoring
   /// chunks that ran on a worker pool (0 for a fully sequential search).
@@ -97,6 +109,8 @@ struct QueryStats {
     pruned_termination += other.pruned_termination;
     candidates_refined += other.candidates_refined;
     communities_found += other.communities_found;
+    triangles_inspected += other.triangles_inspected;
+    support_recomputes_avoided += other.support_recomputes_avoided;
     waves += other.waves;
     parallel_chunks += other.parallel_chunks;
     elapsed_seconds += other.elapsed_seconds;
@@ -111,6 +125,8 @@ struct QueryStats {
            " pruned_termination=" + std::to_string(pruned_termination) +
            " refined=" + std::to_string(candidates_refined) +
            " found=" + std::to_string(communities_found) +
+           " triangles=" + std::to_string(triangles_inspected) +
+           " recomputes_avoided=" + std::to_string(support_recomputes_avoided) +
            " waves=" + std::to_string(waves) +
            " parallel_chunks=" + std::to_string(parallel_chunks) +
            " elapsed=" + std::to_string(elapsed_seconds) + "s";

@@ -8,6 +8,7 @@
 #include "graph/graph.h"
 #include "graph/local_subgraph.h"
 #include "graph/types.h"
+#include "truss/local_truss.h"
 
 namespace topl {
 
@@ -41,33 +42,91 @@ struct SeedCommunity {
 /// every subgraph of the current candidate, so the fixpoint is exactly the
 /// maximal community (DESIGN.md §3).
 ///
+/// The default (kIncremental) execution runs on the triangle substrate
+/// (truss/local_truss.h): edge supports are computed once by oriented
+/// triangle enumeration, every radius/connectivity kill decrements only the
+/// triangles it destroys, and the peel queue survives across fixpoint
+/// rounds — O(triangles touched) instead of O(rounds × full enumeration),
+/// with zero heap allocation after warm-up. kReference preserves the
+/// from-scratch recompute-per-round path; both produce byte-identical
+/// communities (enforced by tests/truss_substrate_test.cc and
+/// bench_seed_extraction).
+///
 /// Holds per-instance scratch; create one per thread and reuse across
 /// queries.
 class SeedCommunityExtractor {
  public:
+  /// Which verification pipeline Extract runs. Answers never differ; the
+  /// reference path exists as the A/B anchor for the substrate.
+  enum class Mode {
+    kIncremental,  ///< triangle substrate, incremental support maintenance
+    kReference,    ///< from-scratch support recompute after every kill round
+  };
+
   explicit SeedCommunityExtractor(const Graph& g);
 
   /// Computes the seed community centered at `center` for `query`.
   /// Returns false (and clears *out) when no non-empty community exists —
   /// the center lacks query keywords, or peeling eliminates it. Communities
   /// contain at least one edge (an isolated center is not a community).
-  bool Extract(VertexId center, const Query& query, SeedCommunity* out);
+  bool Extract(VertexId center, const Query& query, SeedCommunity* out) {
+    return Extract(center, query, Mode::kIncremental, out);
+  }
+
+  /// Extract with an explicit pipeline choice (benchmarks, equivalence
+  /// sweeps, and QueryOptions::use_reference_extraction).
+  bool Extract(VertexId center, const Query& query, Mode mode,
+               SeedCommunity* out);
+
+  /// Verification only: runs the k-truss + connectivity + radius fixpoint
+  /// over a caller-materialized ball (hop(center, query.radius) extracted
+  /// under the query's keyword filter, as HopExtractor produces). Extract is
+  /// exactly materialize-then-Verify; the split lets callers that already
+  /// hold the ball — bench_seed_extraction's A/B timing, future ball-sharing
+  /// batch paths — pay for verification alone. `ball` is only read and must
+  /// stay alive for the duration of the call.
+  bool Verify(const LocalGraph& ball, const Query& query, Mode mode,
+              SeedCommunity* out);
 
   /// The number of local-subgraph edges inspected by the last Extract call
   /// (cost introspection for benchmarks).
   std::size_t last_subgraph_edges() const { return last_subgraph_edges_; }
 
+  /// Alive triangles the substrate enumerated during the last Extract call
+  /// (0 on the reference path, which does not meter its intersections).
+  std::uint64_t last_triangles_inspected() const {
+    return last_triangles_inspected_;
+  }
+
+  /// Fixpoint rounds of the last Extract call whose bulk kills were absorbed
+  /// by incremental support decrements — each one a full from-scratch
+  /// ComputeLocalEdgeSupports pass the reference path would have run.
+  std::uint64_t last_support_recomputes_avoided() const {
+    return last_support_recomputes_avoided_;
+  }
+
  private:
+  /// Finds vertices unreachable within r in the peeled subgraph (BFS over
+  /// alive edges from the center into local_dist_), kills them, and collects
+  /// their still-alive incident edges into doomed_ — each dying edge exactly
+  /// once. Returns true when any edge is doomed. The caller decides how the
+  /// doomed edges leave `support_` (incremental decrements vs recompute).
+  bool CollectOutOfRadius(const LocalGraph& ball, std::uint32_t radius);
+
   const Graph* graph_;
   HopExtractor hop_;
   LocalGraph lg_;
+  TriangleSubstrate substrate_;
   // Scratch reused across calls.
   std::vector<char> edge_alive_;
   std::vector<char> vertex_alive_;
   std::vector<std::uint32_t> support_;
   std::vector<std::uint32_t> local_dist_;
   std::vector<std::uint32_t> bfs_queue_;
+  std::vector<std::uint32_t> doomed_;
   std::size_t last_subgraph_edges_ = 0;
+  std::uint64_t last_triangles_inspected_ = 0;
+  std::uint64_t last_support_recomputes_avoided_ = 0;
 };
 
 }  // namespace topl

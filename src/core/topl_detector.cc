@@ -213,9 +213,12 @@ struct ChunkOutput {
   std::vector<CommunityResult> found;
   std::uint64_t refined = 0;
   std::uint64_t skipped = 0;  // deadline/cancel hit before these candidates
+  std::uint64_t triangles_inspected = 0;
+  std::uint64_t support_recomputes_avoided = 0;
 };
 
 void RefineChunk(std::span<const VertexId> candidates, const Query& query,
+                 SeedCommunityExtractor::Mode mode,
                  SeedCommunityExtractor& extractor, PropagationEngine& engine,
                  const CancelToken& cancel, const DeadlineClock& deadline,
                  ChunkOutput* out) {
@@ -226,7 +229,10 @@ void RefineChunk(std::span<const VertexId> candidates, const Query& query,
   for (VertexId v : candidates) {
     ++out->refined;
     CommunityResult candidate;
-    if (!extractor.Extract(v, query, &candidate.community)) continue;
+    const bool found = extractor.Extract(v, query, mode, &candidate.community);
+    out->triangles_inspected += extractor.last_triangles_inspected();
+    out->support_recomputes_avoided += extractor.last_support_recomputes_avoided();
+    if (!found) continue;
     candidate.influence = engine.Compute(candidate.community.vertices, query.theta);
     out->found.push_back(std::move(candidate));
   }
@@ -272,6 +278,9 @@ Result<TopLResult> TopLDetector::Search(const Query& query,
 
   TopLCollector collector(query.top_l);
   PlanCursor plan(*graph_, *pre_, *tree_, query, options, z, query_bv);
+  const SeedCommunityExtractor::Mode extraction_mode =
+      options.use_reference_extraction ? SeedCommunityExtractor::Mode::kReference
+                                       : SeedCommunityExtractor::Mode::kIncremental;
   const DeadlineClock deadline(control.deadline_seconds);
   const bool checkpoints = control.NeedsCheckpoints();
 
@@ -341,7 +350,12 @@ Result<TopLResult> TopLDetector::Search(const Query& query,
         }
         ++stats.candidates_refined;
         CommunityResult candidate;
-        if (!extractor_.Extract(v, query, &candidate.community)) continue;
+        const bool found =
+            extractor_.Extract(v, query, extraction_mode, &candidate.community);
+        stats.triangles_inspected += extractor_.last_triangles_inspected();
+        stats.support_recomputes_avoided +=
+            extractor_.last_support_recomputes_avoided();
+        if (!found) continue;
         ++stats.communities_found;
         candidate.influence =
             engine_.Compute(candidate.community.vertices, query.theta);
@@ -368,8 +382,9 @@ Result<TopLResult> TopLDetector::Search(const Query& query,
           if (c >= num_chunks) break;
           const std::size_t begin = c * chunk_size;
           const std::size_t end = std::min(wave_span.size(), begin + chunk_size);
-          RefineChunk(wave_span.subspan(begin, end - begin), query, *extractor,
-                      *engine, control.cancel, deadline, &outputs[c]);
+          RefineChunk(wave_span.subspan(begin, end - begin), query,
+                      extraction_mode, *extractor, *engine, control.cancel,
+                      deadline, &outputs[c]);
         }
       };
       const std::size_t num_workers =
@@ -381,6 +396,8 @@ Result<TopLResult> TopLDetector::Search(const Query& query,
       for (ChunkOutput& out : outputs) {
         stats.candidates_refined += out.refined;
         stats.communities_found += out.found.size();
+        stats.triangles_inspected += out.triangles_inspected;
+        stats.support_recomputes_avoided += out.support_recomputes_avoided;
         skipped += out.skipped;
         for (CommunityResult& found : out.found) {
           merged_any |= collector.Offer(std::move(found));

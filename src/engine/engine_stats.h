@@ -170,6 +170,8 @@ class EngineStatsShard {
     pruned_termination_.fetch_add(qs.pruned_termination, relaxed);
     candidates_refined_.fetch_add(qs.candidates_refined, relaxed);
     communities_found_.fetch_add(qs.communities_found, relaxed);
+    triangles_inspected_.fetch_add(qs.triangles_inspected, relaxed);
+    support_recomputes_avoided_.fetch_add(qs.support_recomputes_avoided, relaxed);
     waves_.fetch_add(qs.waves, relaxed);
     parallel_chunks_.fetch_add(qs.parallel_chunks, relaxed);
   }
@@ -200,6 +202,8 @@ class EngineStatsShard {
     shard.pruned_termination = pruned_termination_.load(relaxed);
     shard.candidates_refined = candidates_refined_.load(relaxed);
     shard.communities_found = communities_found_.load(relaxed);
+    shard.triangles_inspected = triangles_inspected_.load(relaxed);
+    shard.support_recomputes_avoided = support_recomputes_avoided_.load(relaxed);
     shard.waves = waves_.load(relaxed);
     shard.parallel_chunks = parallel_chunks_.load(relaxed);
     shard.elapsed_seconds = static_cast<double>(total_micros_.load(relaxed)) / 1e6;
@@ -244,6 +248,8 @@ class EngineStatsShard {
   std::atomic<std::uint64_t> pruned_termination_{0};
   std::atomic<std::uint64_t> candidates_refined_{0};
   std::atomic<std::uint64_t> communities_found_{0};
+  std::atomic<std::uint64_t> triangles_inspected_{0};
+  std::atomic<std::uint64_t> support_recomputes_avoided_{0};
   std::atomic<std::uint64_t> waves_{0};
   std::atomic<std::uint64_t> parallel_chunks_{0};
 };

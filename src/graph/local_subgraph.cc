@@ -99,11 +99,11 @@ bool HopExtractor::Extract(VertexId center, std::uint32_t radius,
   }
   for (std::size_t l = 0; l < nv; ++l) out->offsets[l + 1] += out->offsets[l];
   out->arcs.resize(out->offsets[nv]);
-  std::vector<std::size_t> cursor(out->offsets.begin(), out->offsets.end() - 1);
+  cursor_.assign(out->offsets.begin(), out->offsets.end() - 1);
   for (std::uint32_t e = 0; e < out->edge_endpoints.size(); ++e) {
     const auto [a, b] = out->edge_endpoints[e];
-    out->arcs[cursor[a]++] = {b, e};
-    out->arcs[cursor[b]++] = {a, e};
+    out->arcs[cursor_[a]++] = {b, e};
+    out->arcs[cursor_[b]++] = {a, e};
   }
   for (std::uint32_t l = 0; l < nv; ++l) {
     std::sort(out->arcs.begin() + static_cast<std::ptrdiff_t>(out->offsets[l]),

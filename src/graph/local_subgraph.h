@@ -76,6 +76,8 @@ class HopExtractor {
   std::vector<std::uint32_t> stamp_;
   std::vector<std::uint32_t> local_of_;
   std::uint32_t epoch_ = 0;
+  // CSR fill cursors, reused across calls (no per-extraction allocation).
+  std::vector<std::size_t> cursor_;
 };
 
 }  // namespace topl

@@ -286,7 +286,10 @@ Result<UpdatedIndex> IndexUpdater::Apply(const Graph& base,
     // Per-worker scratch is created lazily on first chunk: with small dirty
     // sets most workers never run, and eagerly paying O(n) scratch per pool
     // thread would dwarf the work avoided. Each slot is only touched by its
-    // own worker id, so the lazy construction is race-free.
+    // own worker id, so the lazy construction is race-free. Each worker's
+    // precomputer carries its own triangle substrate (truss/local_truss.h),
+    // so the per-ball truss work inside Recompute is allocation-free and
+    // oriented-enumeration fast here exactly as in the full Build.
     std::vector<std::unique_ptr<VertexPrecomputer>> workers(pool->num_threads());
     pool->ParallelForWithWorker(
         0, dirty.size(),

@@ -88,9 +88,8 @@ void VertexPrecomputer::Recompute(VertexId v, PrecomputedData* out) {
   // Support bounds "w.r.t. hop(v_i, r_max)" (Algorithm 2 lines 4-5):
   // edge supports within the ball, plus — from the same peeling — the
   // trussness of the center, the sharp structural bound.
-  const std::vector<std::uint32_t> ball_trussness =
-      LocalTrussDecomposition(lg, &ball_support_);
-  out->owned_center_truss_[v] = LocalCenterTrussness(lg, ball_trussness);
+  decomposer_.Decompose(lg, &ball_trussness_, &ball_support_);
+  out->owned_center_truss_[v] = LocalCenterTrussness(lg, ball_trussness_);
   // Max ball-support among edges appearing at each radius, then prefix-max
   // across radii.
   max_sup_by_radius_.assign(r_max + 1, 0);

@@ -11,6 +11,7 @@
 #include "graph/local_subgraph.h"
 #include "influence/propagation.h"
 #include "keywords/bit_vector.h"
+#include "truss/truss_decomposition.h"
 
 namespace topl {
 
@@ -210,6 +211,11 @@ class VertexPrecomputer {
   HopExtractor hop_;
   PropagationEngine engine_;
   LocalGraph lg_;
+  // Per-ball truss decomposition on the triangle substrate; its scratch (and
+  // the vectors below) persist across the thousands of Recompute calls one
+  // worker performs, so the per-vertex loop allocates nothing after warm-up.
+  LocalTrussDecomposer decomposer_;
+  std::vector<std::uint32_t> ball_trussness_;
   std::vector<std::size_t> members_at_radius_;
   std::vector<std::uint32_t> max_sup_by_radius_;
   std::vector<std::uint32_t> ball_support_;

@@ -60,6 +60,7 @@
 #include "storage/checksum.h"
 #include "storage/mapped_file.h"
 #include "truss/kcore.h"
+#include "truss/local_truss.h"
 #include "truss/support.h"
 #include "truss/truss_decomposition.h"
 

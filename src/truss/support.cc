@@ -70,9 +70,17 @@ void ForEachAliveTriangle(const LocalGraph& lg, const std::vector<char>& edge_al
 
 std::vector<std::uint32_t> ComputeLocalEdgeSupports(
     const LocalGraph& lg, const std::vector<char>& edge_alive) {
+  std::vector<std::uint32_t> support;
+  ComputeLocalEdgeSupports(lg, edge_alive, &support);
+  return support;
+}
+
+void ComputeLocalEdgeSupports(const LocalGraph& lg,
+                              const std::vector<char>& edge_alive,
+                              std::vector<std::uint32_t>* support) {
   TOPL_DCHECK(edge_alive.size() == lg.NumEdges(),
               "edge_alive size mismatch in ComputeLocalEdgeSupports");
-  std::vector<std::uint32_t> support(lg.NumEdges(), 0);
+  support->assign(lg.NumEdges(), 0);
   for (std::uint32_t e = 0; e < lg.NumEdges(); ++e) {
     if (!edge_alive[e]) continue;
     const auto [a, b] = lg.edge_endpoints[e];
@@ -81,9 +89,8 @@ std::vector<std::uint32_t> ComputeLocalEdgeSupports(
                          [&count](std::uint32_t, std::uint32_t, std::uint32_t) {
                            ++count;
                          });
-    support[e] = count;
+    (*support)[e] = count;
   }
-  return support;
 }
 
 void PeelToKTruss(const LocalGraph& lg, std::uint32_t k,

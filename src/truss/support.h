@@ -23,11 +23,18 @@ std::vector<std::uint32_t> ComputeGlobalEdgeSupports(const Graph& g,
 /// \brief Support of every *alive* local edge of `lg`, counting only
 /// triangles whose three edges are alive. Dead edges get support 0.
 ///
-/// `edge_alive` has one flag per local edge. Used by the k-truss peeling in
-/// the seed-community extractor, where keyword/radius filtering repeatedly
-/// kills edges between peels.
+/// `edge_alive` has one flag per local edge. Per-edge sorted-list
+/// intersection, O(Σ_e (deg u + deg v)): this is the from-scratch reference
+/// the triangle substrate (truss/local_truss.h) is checked against; the hot
+/// paths run the substrate's oriented enumeration instead.
 std::vector<std::uint32_t> ComputeLocalEdgeSupports(
     const LocalGraph& lg, const std::vector<char>& edge_alive);
+
+/// Out-parameter overload: fills `*support` (resized to lg.NumEdges()) so
+/// repeated callers reuse one buffer instead of allocating per candidate.
+void ComputeLocalEdgeSupports(const LocalGraph& lg,
+                              const std::vector<char>& edge_alive,
+                              std::vector<std::uint32_t>* support);
 
 /// \brief In-place k-truss peeling on a LocalGraph (queue-based).
 ///

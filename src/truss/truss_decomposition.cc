@@ -84,70 +84,65 @@ std::vector<std::uint32_t> TrussDecomposition(const Graph& g, ThreadPool* pool) 
 
 std::vector<std::uint32_t> LocalTrussDecomposition(
     const LocalGraph& lg, std::vector<std::uint32_t>* initial_supports) {
-  const std::size_t m = lg.NumEdges();
-  const std::vector<char> all_alive(m, 1);
-  std::vector<std::uint32_t> sup = ComputeLocalEdgeSupports(lg, all_alive);
-  if (initial_supports != nullptr) *initial_supports = sup;
-  std::vector<std::uint32_t> trussness(m, 2);
-  if (m == 0) return trussness;
+  LocalTrussDecomposer decomposer;
+  std::vector<std::uint32_t> trussness;
+  decomposer.Decompose(lg, &trussness, initial_supports);
+  return trussness;
+}
 
-  const std::uint32_t max_sup = *std::max_element(sup.begin(), sup.end());
-  std::vector<std::uint32_t> bin_start(max_sup + 2, 0);
-  for (std::uint32_t s : sup) ++bin_start[s + 1];
-  for (std::uint32_t s = 1; s < bin_start.size(); ++s) bin_start[s] += bin_start[s - 1];
-  std::vector<std::uint32_t> sorted(m);
-  std::vector<std::uint32_t> pos_of(m);
-  {
-    std::vector<std::uint32_t> cursor(bin_start.begin(), bin_start.end() - 1);
-    for (std::uint32_t e = 0; e < m; ++e) {
-      pos_of[e] = cursor[sup[e]];
-      sorted[pos_of[e]] = e;
-      ++cursor[sup[e]];
-    }
+void LocalTrussDecomposer::Decompose(const LocalGraph& lg,
+                                     std::vector<std::uint32_t>* trussness,
+                                     std::vector<std::uint32_t>* initial_supports) {
+  const std::size_t m = lg.NumEdges();
+  trussness->assign(m, 2);
+  substrate_.Bind(lg);
+  substrate_.ComputeAllSupports(&sup_);
+  if (initial_supports != nullptr) *initial_supports = sup_;
+  if (m == 0) return;
+
+  const std::uint32_t max_sup = *std::max_element(sup_.begin(), sup_.end());
+  bin_start_.assign(max_sup + 2, 0);
+  for (std::uint32_t s : sup_) ++bin_start_[s + 1];
+  for (std::uint32_t s = 1; s < bin_start_.size(); ++s) {
+    bin_start_[s] += bin_start_[s - 1];
+  }
+  sorted_.resize(m);
+  pos_of_.resize(m);
+  cursor_.assign(bin_start_.begin(), bin_start_.end() - 1);
+  for (std::uint32_t e = 0; e < m; ++e) {
+    pos_of_[e] = cursor_[sup_[e]];
+    sorted_[pos_of_[e]] = e;
+    ++cursor_[sup_[e]];
   }
   auto decrement = [&](std::uint32_t f) {
-    const std::uint32_t s = sup[f];
-    const std::uint32_t boundary = bin_start[s];
-    const std::uint32_t at_boundary = sorted[boundary];
+    const std::uint32_t s = sup_[f];
+    const std::uint32_t boundary = bin_start_[s];
+    const std::uint32_t at_boundary = sorted_[boundary];
     if (at_boundary != f) {
-      const std::uint32_t pf = pos_of[f];
-      std::swap(sorted[boundary], sorted[pf]);
-      pos_of[at_boundary] = pf;
-      pos_of[f] = boundary;
+      const std::uint32_t pf = pos_of_[f];
+      std::swap(sorted_[boundary], sorted_[pf]);
+      pos_of_[at_boundary] = pf;
+      pos_of_[f] = boundary;
     }
-    ++bin_start[s];
-    --sup[f];
+    ++bin_start_[s];
+    --sup_[f];
   };
 
-  std::vector<char> alive(m, 1);
+  alive_.assign(m, 1);
   for (std::uint32_t i = 0; i < m; ++i) {
-    const std::uint32_t e = sorted[i];
-    const std::uint32_t level = sup[e];
-    trussness[e] = level + 2;
-    const auto [a, b] = lg.edge_endpoints[e];
-    const auto na = lg.Neighbors(a);
-    const auto nb = lg.Neighbors(b);
-    std::size_t x = 0;
-    std::size_t y = 0;
-    while (x < na.size() && y < nb.size()) {
-      if (na[x].to == nb[y].to) {
-        const std::uint32_t f1 = na[x].local_edge;
-        const std::uint32_t f2 = nb[y].local_edge;
-        if (alive[f1] && alive[f2]) {
-          if (sup[f1] > level) decrement(f1);
-          if (sup[f2] > level) decrement(f2);
-        }
-        ++x;
-        ++y;
-      } else if (na[x].to < nb[y].to) {
-        ++x;
-      } else {
-        ++y;
-      }
-    }
-    alive[e] = 0;
+    const std::uint32_t e = sorted_[i];
+    const std::uint32_t level = sup_[e];
+    (*trussness)[e] = level + 2;
+    substrate_.ForEachAliveTriangle(
+        e, alive_,
+        [&](std::uint32_t /*c*/, std::uint32_t f1, std::uint32_t f2) {
+          // Never lower a side edge below the current peel level: it will be
+          // peeled at this level itself.
+          if (sup_[f1] > level) decrement(f1);
+          if (sup_[f2] > level) decrement(f2);
+        });
+    alive_[e] = 0;
   }
-  return trussness;
 }
 
 std::uint32_t LocalCenterTrussness(const LocalGraph& lg,

@@ -7,6 +7,7 @@
 #include "common/thread_pool.h"
 #include "graph/graph.h"
 #include "graph/local_subgraph.h"
+#include "truss/local_truss.h"
 
 namespace topl {
 
@@ -41,8 +42,43 @@ std::vector<std::uint32_t> VertexTrussness(
 ///
 /// If `initial_supports` is non-null it receives sup(e) within the ball
 /// before peeling.
+///
+/// Convenience wrapper over LocalTrussDecomposer (fresh scratch per call);
+/// repeated callers — the offline phase runs this once per vertex — should
+/// hold a decomposer instead.
 std::vector<std::uint32_t> LocalTrussDecomposition(
     const LocalGraph& lg, std::vector<std::uint32_t>* initial_supports = nullptr);
+
+/// \brief Per-ball truss decomposition with reusable scratch.
+///
+/// Same peeling algorithm and byte-identical output as the free function,
+/// but initial supports come from the triangle substrate's oriented
+/// enumeration (O(Σ min-deg) instead of per-edge intersections) and every
+/// working array — substrate, support buckets, liveness flags — persists
+/// across Decompose calls, so a precompute worker sweeping thousands of
+/// balls allocates nothing after warm-up. One instance per thread.
+class LocalTrussDecomposer {
+ public:
+  /// Fills `*trussness` with τ(e) for every edge of `lg` (≥ 2 always). If
+  /// `initial_supports` is non-null it receives sup(e) before peeling.
+  void Decompose(const LocalGraph& lg, std::vector<std::uint32_t>* trussness,
+                 std::vector<std::uint32_t>* initial_supports = nullptr);
+
+  /// Alive triangles enumerated across all Decompose calls so far.
+  std::uint64_t triangles_inspected() const {
+    return substrate_.triangles_inspected();
+  }
+
+ private:
+  TriangleSubstrate substrate_;
+  // Bucket-queue peel state, reused across calls.
+  std::vector<std::uint32_t> sup_;
+  std::vector<std::uint32_t> bin_start_;
+  std::vector<std::uint32_t> sorted_;
+  std::vector<std::uint32_t> pos_of_;
+  std::vector<std::uint32_t> cursor_;
+  std::vector<char> alive_;
+};
 
 /// \brief Trussness of the ball's center (local vertex 0): the max trussness
 /// over its incident edges, or 2 if it has none.

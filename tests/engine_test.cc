@@ -310,10 +310,13 @@ TEST_F(EngineTest, QueryStatsMergeHelper) {
   a.pruned_termination = 2;
   a.candidates_refined = 4;
   a.elapsed_seconds = 0.25;
+  a.triangles_inspected = 10;
   QueryStats b;
   b.heap_pops = 5;
   b.pruned_support = 7;
   b.communities_found = 1;
+  b.triangles_inspected = 30;
+  b.support_recomputes_avoided = 2;
   b.elapsed_seconds = 0.5;
   a += b;
   EXPECT_EQ(a.heap_pops, 8u);
@@ -323,7 +326,29 @@ TEST_F(EngineTest, QueryStatsMergeHelper) {
   EXPECT_EQ(a.TotalPruned(), 10u);
   EXPECT_EQ(a.candidates_refined, 4u);
   EXPECT_EQ(a.communities_found, 1u);
+  EXPECT_EQ(a.triangles_inspected, 40u);
+  EXPECT_EQ(a.support_recomputes_avoided, 2u);
   EXPECT_DOUBLE_EQ(a.elapsed_seconds, 0.75);
+}
+
+TEST_F(EngineTest, SubstrateCountersReachEngineStats) {
+  Result<std::unique_ptr<Engine>> engine =
+      MakeEngineFromSharedIndex(EngineOptions{});
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  std::uint64_t triangles = 0;
+  for (const Query& q : world_->queries) {
+    Result<TopLResult> result = (*engine)->Search(q);
+    ASSERT_TRUE(result.ok());
+    triangles += result->stats.triangles_inspected;
+    if (result->stats.communities_found > 0) {
+      // Extracting a community walks its triangles on the (default)
+      // incremental path, so this query must have metered some.
+      EXPECT_GT(result->stats.triangles_inspected, 0u);
+    }
+  }
+  ASSERT_GT(triangles, 0u);  // the workload finds communities
+  // The per-query counters must fold into the engine aggregate.
+  EXPECT_EQ((*engine)->Stats().query_stats.triangles_inspected, triangles);
 }
 
 TEST_F(EngineTest, CreateRejectsMismatchedParts) {
