@@ -1,0 +1,222 @@
+// bench_serve — production workload harness: hammers one live topl::Engine
+// with a named mixed workload (TopL / DTopL / progressive / ApplyUpdate) and
+// reports load-dependent tail latency.
+//
+//   bench_serve [--vertices=8000] [--seed=42] [--rmax=2] [--mix=mixed]
+//               [--workers=8] [--engine-threads=2] [--qps=0] [--seconds=5]
+//               [--ops=0] [--warmup-seconds=0.5] [--popularity=zipf|uniform]
+//               [--zipf=0.99] [--signatures=64] [--deadline-ms=0]
+//               [--slo-qps=0] [--slo-p99-ms=0] [--slo-p999-ms=0]
+//               [--json=BENCH_serve.json]
+//
+// --qps=0 runs closed-loop (each of --workers threads fires its next
+// operation as soon as the previous completes: the capacity ceiling);
+// --qps>0 runs open-loop (arrivals scheduled at the target rate on the
+// monotonic clock, latency measured from *intended* arrival so coordinated
+// omission cannot hide stalls; the achieved-vs-target gap is reported).
+//
+// The operation stream is a pure function of (--seed, graph): two runs with
+// the same flags execute the identical stream regardless of worker count;
+// the JSON carries a stream_digest over the first ops as the witness.
+//
+// Exits non-zero when any operation failed or any --slo-* threshold (or the
+// implicit zero-failures SLO) is breached, so CI can gate sustained
+// throughput and tail latency directly on this binary plus
+// ci/check_bench_regression.py against the committed baseline.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "topl.h"
+
+namespace {
+
+using namespace topl;  // NOLINT(build/namespaces)
+
+struct Flags {
+  std::size_t vertices = 8000;
+  std::uint64_t seed = 42;
+  std::uint32_t rmax = 2;
+  std::string mix = "mixed";
+  std::size_t workers = 8;
+  std::size_t engine_threads = 2;
+  double qps = 0.0;
+  double seconds = 5.0;
+  std::uint64_t ops = 0;
+  double warmup_seconds = 0.5;
+  std::string popularity = "zipf";
+  double zipf = 0.99;
+  std::uint32_t signatures = 64;
+  double deadline_ms = 0.0;
+  double slo_qps = 0.0;
+  double slo_p99_ms = 0.0;
+  double slo_p999_ms = 0.0;
+  std::string json = "BENCH_serve.json";
+};
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+    const std::string key = arg.substr(2, eq - 2);
+    const std::string value = arg.substr(eq + 1);
+    if (key == "vertices") {
+      flags.vertices = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "seed") {
+      flags.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "rmax") {
+      flags.rmax = static_cast<std::uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (key == "mix") {
+      flags.mix = value;
+    } else if (key == "workers") {
+      flags.workers = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "engine-threads") {
+      flags.engine_threads = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "qps") {
+      flags.qps = std::strtod(value.c_str(), nullptr);
+    } else if (key == "seconds") {
+      flags.seconds = std::strtod(value.c_str(), nullptr);
+    } else if (key == "ops") {
+      flags.ops = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "warmup-seconds") {
+      flags.warmup_seconds = std::strtod(value.c_str(), nullptr);
+    } else if (key == "popularity") {
+      flags.popularity = value;
+    } else if (key == "zipf") {
+      flags.zipf = std::strtod(value.c_str(), nullptr);
+    } else if (key == "signatures") {
+      flags.signatures = static_cast<std::uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (key == "deadline-ms") {
+      flags.deadline_ms = std::strtod(value.c_str(), nullptr);
+    } else if (key == "slo-qps") {
+      flags.slo_qps = std::strtod(value.c_str(), nullptr);
+    } else if (key == "slo-p99-ms") {
+      flags.slo_p99_ms = std::strtod(value.c_str(), nullptr);
+    } else if (key == "slo-p999-ms") {
+      flags.slo_p999_ms = std::strtod(value.c_str(), nullptr);
+    } else if (key == "json") {
+      flags.json = value;
+    } else {
+      std::fprintf(stderr, "unknown flag: --%s\n", key.c_str());
+      std::exit(2);
+    }
+  }
+  return flags;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = ParseFlags(argc, argv);
+
+  std::printf("== serve: %s workload against one live engine ==\n",
+              flags.mix.c_str());
+  SmallWorldOptions gen;
+  gen.num_vertices = flags.vertices;
+  gen.seed = flags.seed;
+  gen.keywords.domain_size = 50;
+  gen.keywords.keywords_per_vertex = 3;
+  Result<Graph> graph = MakeSmallWorld(gen);
+  TOPL_CHECK(graph.ok(), graph.status().ToString().c_str());
+
+  Timer offline;
+  PrecomputeOptions pre_opts;
+  pre_opts.r_max = flags.rmax;
+  Result<PrecomputedData> pre_built = PrecomputedData::Build(*graph, pre_opts);
+  TOPL_CHECK(pre_built.ok(), pre_built.status().ToString().c_str());
+  auto pre = std::make_unique<PrecomputedData>(std::move(pre_built).value());
+  Result<TreeIndex> tree = TreeIndex::Build(*graph, *pre);
+  TOPL_CHECK(tree.ok(), tree.status().ToString().c_str());
+  std::printf("graph: %zu vertices, %zu edges; offline %.2fs\n",
+              graph->NumVertices(), graph->NumEdges(), offline.ElapsedSeconds());
+
+  EngineOptions engine_opts;
+  engine_opts.num_threads = flags.engine_threads;
+  Result<std::unique_ptr<Engine>> engine =
+      Engine::Create(std::move(graph).value(), std::move(pre),
+                     std::move(tree).value(), engine_opts);
+  TOPL_CHECK(engine.ok(), engine.status().ToString().c_str());
+
+  Result<loadgen::WorkloadSpec> spec = loadgen::WorkloadSpec::Named(flags.mix);
+  TOPL_CHECK(spec.ok(), spec.status().ToString().c_str());
+  spec->seed = flags.seed;
+  spec->num_signatures = flags.signatures;
+  spec->zipf_skew = flags.zipf;
+  spec->popularity = flags.popularity == "uniform"
+                         ? loadgen::Popularity::kUniform
+                         : loadgen::Popularity::kZipfian;
+  // Clamp the parameter bands to what this index can serve.
+  const PrecomputedData& precomputed = (*engine)->precomputed();
+  spec->params.radius_values.clear();
+  for (std::uint32_t r = 1; r <= precomputed.r_max() && r <= 2; ++r) {
+    spec->params.radius_values.push_back(r);
+  }
+  spec->params.theta_values.assign(precomputed.thetas().begin(),
+                                   precomputed.thetas().end());
+  Result<loadgen::WorkloadGenerator> generator =
+      loadgen::WorkloadGenerator::Create(*spec, (*engine)->graph());
+  TOPL_CHECK(generator.ok(), generator.status().ToString().c_str());
+
+  loadgen::InjectorOptions inject;
+  inject.num_workers = flags.workers;
+  inject.target_qps = flags.qps;
+  inject.duration_seconds = flags.seconds;
+  inject.max_ops = flags.ops;
+  inject.progressive_deadline_ms = flags.deadline_ms;
+
+  // Warmup (discarded): materializes detector contexts and engine pool
+  // threads so the measured run starts from serving steady state.
+  if (flags.warmup_seconds > 0.0) {
+    loadgen::InjectorOptions warmup = inject;
+    warmup.target_qps = 0.0;
+    warmup.duration_seconds = flags.warmup_seconds;
+    warmup.max_ops = 0;
+    Result<loadgen::LoadReport> ignored =
+        loadgen::LoadInjector(engine->get(), *generator, warmup).Run();
+    TOPL_CHECK(ignored.ok(), ignored.status().ToString().c_str());
+  }
+
+  Result<loadgen::LoadReport> report =
+      loadgen::LoadInjector(engine->get(), *generator, inject).Run();
+  TOPL_CHECK(report.ok(), report.status().ToString().c_str());
+  report->stream_digest = generator->StreamDigest(4096);
+
+  std::printf("%s", report->ToString().c_str());
+  if (report->open_loop) {
+    std::printf("achieved %.1f of %.0f target qps (%.1f%%)\n",
+                report->achieved_qps, report->target_qps,
+                report->target_qps > 0
+                    ? 100.0 * report->achieved_qps / report->target_qps
+                    : 0.0);
+  }
+  std::printf("stream digest: %016llx\n",
+              static_cast<unsigned long long>(report->stream_digest));
+
+  loadgen::SloThresholds slo;
+  slo.min_ops_per_s = flags.slo_qps;
+  slo.max_p99_ms = flags.slo_p99_ms;
+  slo.max_p999_ms = flags.slo_p999_ms;
+  const std::vector<std::string> violations = report->CheckSlo(slo);
+  for (const std::string& violation : violations) {
+    std::fprintf(stderr, "SLO BREACH: %s\n", violation.c_str());
+  }
+
+  std::FILE* json = std::fopen(flags.json.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", flags.json.c_str());
+    return 1;
+  }
+  const std::string payload = report->ToJson();
+  std::fwrite(payload.data(), 1, payload.size(), json);
+  std::fclose(json);
+  std::printf("wrote %s\n", flags.json.c_str());
+  return violations.empty() ? 0 : 1;
+}

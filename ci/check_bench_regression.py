@@ -2,14 +2,16 @@
 """Benchmark regression gate.
 
 Compares a freshly produced benchmark JSON against a committed baseline and
-fails (exit 1) when any gated throughput metric regressed by more than the
-allowed fraction. Two input shapes are understood:
+fails (exit 1) when any gated metric regressed by more than the allowed
+fraction. Two input shapes are understood:
 
   - bench_parallel_query / bench_cold_start / bench_updates /
-    bench_seed_extraction style: a single JSON object; the gated metrics are
-    every "queries_per_s" / "updates_per_s" / "extractions_per_s" value found
+    bench_seed_extraction / bench_serve style: a single JSON object; the
+    gated metrics are every "queries_per_s" / "updates_per_s" /
+    "extractions_per_s" / "ops_per_s" / "achieved_qps" value (higher is
+    better) and every "p99_ms" / "p999_ms" value (lower is better) found
     recursively, keyed by the path to it (e.g.
-    runs[threads=8].queries_per_s, incremental.extractions_per_s).
+    runs[threads=8].queries_per_s, overall.p99_ms).
   - google-benchmark --benchmark_format=json: gated metrics are each
     benchmark's "queries_per_s" counter keyed by the benchmark name.
 
@@ -18,34 +20,52 @@ Usage:
       [--tolerance=0.25]            # max allowed fractional regression
       [--require=PATH:MIN] ...      # absolute floor on a metric, e.g.
                                     #   --require='runs[threads=8].speedup:2.0'
+      [--limit=PATH:MAX] ...        # absolute ceiling on a metric, e.g.
+                                    #   --limit='overall.p99_ms:250'
 Baselines are refreshed by committing a newly generated JSON over the old
 one; the gate compares whatever metrics the two files share (a metric
 missing from either side is reported but not fatal, so adding benchmarks
-does not require lockstep baseline updates).
+does not require lockstep baseline updates). Tail-latency metrics whose
+enclosing object reports fewer than MIN_TAIL_SAMPLES samples ("count") are
+excluded from the relative comparison — a p99 over a couple dozen samples is
+one outlier wide — but remain visible to --require / --limit.
 """
 
 import argparse
 import json
 import sys
 
+# Metrics where bigger numbers are better; a drop beyond tolerance fails.
+HIGHER_BETTER = ("queries_per_s", "updates_per_s", "extractions_per_s",
+                 "ops_per_s", "achieved_qps", "speedup")
+# Metrics where smaller numbers are better; a rise beyond tolerance fails.
+LOWER_BETTER = ("p99_ms", "p999_ms")
+# A tail percentile over fewer samples than this is dominated by one or two
+# outliers; such metrics are excluded from the baseline comparison (but stay
+# available to --require / --limit, which encode absolute intent).
+MIN_TAIL_SAMPLES = 100
 
-def collect_metrics(node, prefix, out):
+
+def collect_metrics(node, prefix, out, unstable):
     """Recursively collects gated metrics from a plain benchmark JSON."""
     if isinstance(node, dict):
+        count = node.get("count")
+        small = isinstance(count, (int, float)) and count < MIN_TAIL_SAMPLES
         for key, value in node.items():
             path = f"{prefix}.{key}" if prefix else key
-            if key in ("queries_per_s", "updates_per_s", "extractions_per_s",
-                       "speedup") and \
+            if key in HIGHER_BETTER + LOWER_BETTER and \
                     isinstance(value, (int, float)):
                 out[path] = float(value)
+                if small and key in LOWER_BETTER:
+                    unstable.add(path)
             else:
-                collect_metrics(value, path, out)
+                collect_metrics(value, path, out, unstable)
     elif isinstance(node, list):
         for i, value in enumerate(node):
             label = f"{prefix}[{i}]"
             if isinstance(value, dict) and "threads" in value:
                 label = f"{prefix}[threads={value['threads']}]"
-            collect_metrics(value, label, out)
+            collect_metrics(value, label, out, unstable)
 
 
 def collect_google_benchmark(doc, out):
@@ -59,11 +79,16 @@ def load_metrics(path):
     with open(path) as f:
         doc = json.load(f)
     metrics = {}
+    unstable = set()
     if isinstance(doc, dict) and "benchmarks" in doc and "context" in doc:
         collect_google_benchmark(doc, metrics)
     else:
-        collect_metrics(doc, "", metrics)
-    return metrics
+        collect_metrics(doc, "", metrics, unstable)
+    return metrics, unstable
+
+
+def is_lower_better(path):
+    return any(path == key or path.endswith("." + key) for key in LOWER_BETTER)
 
 
 def main():
@@ -73,10 +98,12 @@ def main():
     parser.add_argument("--tolerance", type=float, default=0.25)
     parser.add_argument("--require", action="append", default=[],
                         help="PATH:MIN absolute floor, checked on --current")
+    parser.add_argument("--limit", action="append", default=[],
+                        help="PATH:MAX absolute ceiling, checked on --current")
     args = parser.parse_args()
 
-    current = load_metrics(args.current)
-    baseline = load_metrics(args.baseline)
+    current, current_unstable = load_metrics(args.current)
+    baseline, baseline_unstable = load_metrics(args.baseline)
 
     failures = []
     compared = 0
@@ -86,13 +113,23 @@ def main():
         if path not in current:
             print(f"note: {path} missing from current run (skipped)")
             continue
+        if path in current_unstable or path in baseline_unstable:
+            print(f"note: {path} has < {MIN_TAIL_SAMPLES} samples (skipped)")
+            continue
         cur_value = current[path]
         compared += 1
         if base_value <= 0:
             continue
         change = (cur_value - base_value) / base_value
         status = "ok"
-        if change < -args.tolerance:
+        if is_lower_better(path):
+            # Latency-style metric: regression is the value going *up*.
+            if change > args.tolerance:
+                status = "REGRESSION"
+                failures.append(
+                    f"{path}: {base_value:.2f} -> {cur_value:.2f} "
+                    f"({change * 100:+.1f}% > +{args.tolerance * 100:.0f}%)")
+        elif change < -args.tolerance:
             status = "REGRESSION"
             failures.append(
                 f"{path}: {base_value:.2f} -> {cur_value:.2f} "
@@ -113,7 +150,20 @@ def main():
         if not ok:
             failures.append(f"{path}: {value:.2f} below required {minimum:.2f}")
 
-    if compared == 0 and not args.require:
+    for limit in args.limit:
+        path, _, maximum = limit.rpartition(":")
+        maximum = float(maximum)
+        if path not in current:
+            failures.append(f"limited metric {path} missing from current run")
+            continue
+        value = current[path]
+        ok = value <= maximum
+        print(f"{'ok' if ok else 'OVER LIMIT':>10}  {path}: {value:.2f} "
+              f"(limit {maximum:.2f})")
+        if not ok:
+            failures.append(f"{path}: {value:.2f} above limit {maximum:.2f}")
+
+    if compared == 0 and not args.require and not args.limit:
         print("error: no shared metrics between current and baseline")
         return 1
     if failures:

@@ -1,0 +1,101 @@
+#ifndef TOPL_COMMON_LATENCY_HISTOGRAM_H_
+#define TOPL_COMMON_LATENCY_HISTOGRAM_H_
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace topl {
+
+/// Power-of-two latency histogram layout shared by the engine's per-context
+/// stats shards (engine/engine_stats.h) and the load-harness recorder
+/// (loadgen/recorder.h): bucket 0 counts sub-microsecond samples, bucket
+/// i >= 1 counts samples in [2^(i-1), 2^i) microseconds.
+inline constexpr std::size_t kLatencyHistogramBuckets = 44;  // 2^43 us ≈ 101 days
+
+using LatencyBuckets = std::array<std::uint64_t, kLatencyHistogramBuckets>;
+
+inline std::size_t LatencyBucketIndex(std::uint64_t micros) {
+  const std::size_t width = static_cast<std::size_t>(std::bit_width(micros));
+  return width < kLatencyHistogramBuckets ? width : kLatencyHistogramBuckets - 1;
+}
+
+/// Representative latency (seconds) of bucket i: the *geometric* midpoint
+/// sqrt(2^(i-1) * 2^i) of its microsecond range — the unbiased point estimate
+/// for a log-spaced bucket, so percentile estimates are within a factor
+/// sqrt(2) of the true sample in the worst case. (The arithmetic midpoint
+/// used before systematically overestimated by up to ~1.5x: latencies pile
+/// up at the low end of a power-of-two bucket.)
+inline double LatencyBucketSeconds(std::size_t i) {
+  if (i == 0) return 0.0;
+  constexpr double kSqrt2 = 1.4142135623730951;
+  return kSqrt2 * static_cast<double>(std::uint64_t{1} << (i - 1)) / 1e6;
+}
+
+/// Histogram-estimated q-quantile (q in [0, 1]) of `count` samples spread
+/// over `buckets`. Callers that track the exact maximum should cap the
+/// returned estimate with it (the top bucket's midpoint can overshoot).
+inline double LatencyPercentileSeconds(const LatencyBuckets& buckets,
+                                       std::uint64_t count, double q) {
+  if (count == 0) return 0.0;
+  const std::uint64_t rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(count - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen > rank) return LatencyBucketSeconds(i);
+  }
+  return LatencyBucketSeconds(buckets.size() - 1);
+}
+
+/// \brief One thread's plain (non-atomic) latency distribution: the
+/// power-of-two buckets plus exact count/sum/max. Writers own their
+/// histogram exclusively while recording (one instance per worker thread)
+/// and merge after the fact, so recording is a handful of integer ops with
+/// no synchronization at all — cheaper even than the engine shard's relaxed
+/// atomics, which must tolerate concurrent readers.
+struct LatencyHistogram {
+  LatencyBuckets buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t total_micros = 0;
+  std::uint64_t max_micros = 0;
+
+  void AddMicros(std::uint64_t micros) {
+    buckets[LatencyBucketIndex(micros)] += 1;
+    count += 1;
+    total_micros += micros;
+    max_micros = std::max(max_micros, micros);
+  }
+
+  void AddSeconds(double seconds) {
+    AddMicros(seconds <= 0.0 ? 0 : static_cast<std::uint64_t>(seconds * 1e6));
+  }
+
+  void Merge(const LatencyHistogram& other) {
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      buckets[i] += other.buckets[i];
+    }
+    count += other.count;
+    total_micros += other.total_micros;
+    max_micros = std::max(max_micros, other.max_micros);
+  }
+
+  /// Estimated q-quantile in seconds, capped by the exact maximum.
+  double PercentileSeconds(double q) const {
+    return std::min(LatencyPercentileSeconds(buckets, count, q), MaxSeconds());
+  }
+
+  double MaxSeconds() const { return static_cast<double>(max_micros) / 1e6; }
+
+  double MeanSeconds() const {
+    return count == 0
+               ? 0.0
+               : static_cast<double>(total_micros) / 1e6 /
+                     static_cast<double>(count);
+  }
+};
+
+}  // namespace topl
+
+#endif  // TOPL_COMMON_LATENCY_HISTOGRAM_H_

@@ -390,18 +390,6 @@ EngineStats Engine::Stats() const {
   total.retired_contexts = retired_contexts_.load(std::memory_order_relaxed);
   total.queries_total = total.topl_queries + total.dtopl_queries;
 
-  auto percentile = [](const EngineStatsShard::Histogram& histogram,
-                       std::uint64_t count, double q) {
-    const std::uint64_t rank =
-        static_cast<std::uint64_t>(q * static_cast<double>(count - 1));
-    std::uint64_t seen = 0;
-    for (std::size_t i = 0; i < histogram.size(); ++i) {
-      seen += histogram[i];
-      if (seen > rank) return EngineStatsShard::BucketSeconds(i);
-    }
-    return EngineStatsShard::BucketSeconds(histogram.size() - 1);
-  };
-
   // Per-kind percentiles, then the legacy all-kinds view from the merged
   // histogram. Bucket-midpoint estimates can overshoot the true extremum;
   // the exact max is tracked separately and caps them.
@@ -416,19 +404,25 @@ EngineStats Engine::Stats() const {
     merged_count += count;
     total.latency[k].count = count;
     if (count > 0) {
-      total.latency[k].p50_seconds = std::min(percentile(buckets[k], count, 0.50),
-                                              total.latency[k].max_seconds);
-      total.latency[k].p99_seconds = std::min(percentile(buckets[k], count, 0.99),
-                                              total.latency[k].max_seconds);
+      const double cap = total.latency[k].max_seconds;
+      total.latency[k].p50_seconds =
+          std::min(LatencyPercentileSeconds(buckets[k], count, 0.50), cap);
+      total.latency[k].p99_seconds =
+          std::min(LatencyPercentileSeconds(buckets[k], count, 0.99), cap);
+      total.latency[k].p999_seconds =
+          std::min(LatencyPercentileSeconds(buckets[k], count, 0.999), cap);
     }
     total.max_latency_seconds =
         std::max(total.max_latency_seconds, total.latency[k].max_seconds);
   }
   if (merged_count > 0) {
+    const double cap = total.max_latency_seconds;
     total.p50_latency_seconds =
-        std::min(percentile(merged, merged_count, 0.50), total.max_latency_seconds);
+        std::min(LatencyPercentileSeconds(merged, merged_count, 0.50), cap);
     total.p99_latency_seconds =
-        std::min(percentile(merged, merged_count, 0.99), total.max_latency_seconds);
+        std::min(LatencyPercentileSeconds(merged, merged_count, 0.99), cap);
+    total.p999_latency_seconds =
+        std::min(LatencyPercentileSeconds(merged, merged_count, 0.999), cap);
   }
   return total;
 }

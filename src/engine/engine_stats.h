@@ -4,10 +4,10 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
-#include <bit>
 #include <cstdint>
 #include <string>
 
+#include "common/latency_histogram.h"
 #include "core/query.h"
 
 namespace topl {
@@ -40,11 +40,15 @@ inline const char* QueryKindName(QueryKind kind) {
   return "?";
 }
 
-/// Latency distribution of one query kind (histogram-estimated, ~1.5x).
+/// Latency distribution of one query kind. Percentiles are estimated from
+/// power-of-two histograms at the bucket's geometric midpoint, so they are
+/// within a factor sqrt(2) of the true sample (common/latency_histogram.h);
+/// max is exact.
 struct LatencySummary {
   std::uint64_t count = 0;
   double p50_seconds = 0.0;
   double p99_seconds = 0.0;
+  double p999_seconds = 0.0;
   double max_seconds = 0.0;
 };
 
@@ -89,6 +93,7 @@ struct EngineStats {
   /// prefer the per-kind summaries for alerting).
   double p50_latency_seconds = 0.0;
   double p99_latency_seconds = 0.0;
+  double p999_latency_seconds = 0.0;
   double max_latency_seconds = 0.0;
 
   const LatencySummary& ForKind(QueryKind kind) const {
@@ -105,13 +110,15 @@ struct EngineStats {
         ") batches=" + std::to_string(batches) +
         " p50=" + std::to_string(p50_latency_seconds) + "s" +
         " p99=" + std::to_string(p99_latency_seconds) + "s" +
+        " p999=" + std::to_string(p999_latency_seconds) + "s" +
         " max=" + std::to_string(max_latency_seconds) + "s";
     for (std::size_t k = 0; k < kNumQueryKinds; ++k) {
       if (latency[k].count == 0) continue;
       out += std::string(" ") + QueryKindName(static_cast<QueryKind>(k)) +
              "{n=" + std::to_string(latency[k].count) +
              " p50=" + std::to_string(latency[k].p50_seconds) + "s" +
-             " p99=" + std::to_string(latency[k].p99_seconds) + "s}";
+             " p99=" + std::to_string(latency[k].p99_seconds) + "s" +
+             " p999=" + std::to_string(latency[k].p999_seconds) + "s}";
     }
     out += " pruned=" + std::to_string(query_stats.TotalPruned()) +
            " refined=" + std::to_string(query_stats.candidates_refined);
@@ -132,14 +139,15 @@ struct EngineStats {
 /// worker context to a single query), but Engine::Stats() reads shards
 /// concurrently with writers, so every field is a relaxed atomic: snapshots
 /// are cheap, race-free, and never block the query path. Latencies go into
-/// one power-of-two histogram *per query kind* (bucket i holds queries
-/// taking [2^(i-1), 2^i) microseconds) from which the snapshot derives
-/// per-kind and overall p50/p99.
+/// one power-of-two histogram *per query kind* (the shared layout of
+/// common/latency_histogram.h: bucket i holds queries taking
+/// [2^(i-1), 2^i) microseconds) from which the snapshot derives per-kind and
+/// overall p50/p99/p999.
 class EngineStatsShard {
  public:
-  static constexpr std::size_t kLatencyBuckets = 44;  // 2^43 us ≈ 101 days
+  static constexpr std::size_t kLatencyBuckets = kLatencyHistogramBuckets;
 
-  using Histogram = std::array<std::uint64_t, kLatencyBuckets>;
+  using Histogram = LatencyBuckets;
 
   void Record(QueryKind kind, bool diversified, bool ok, bool truncated,
               double seconds, const QueryStats& qs) {
@@ -216,16 +224,12 @@ class EngineStatsShard {
     }
   }
 
-  /// Representative latency (seconds) of bucket i: the arithmetic midpoint
-  /// of its [2^(i-1), 2^i) microsecond range.
-  static double BucketSeconds(std::size_t i) {
-    if (i == 0) return 0.0;
-    return 1.5 * static_cast<double>(std::uint64_t{1} << (i - 1)) / 1e6;
-  }
+  /// Representative latency (seconds) of bucket i: the geometric midpoint of
+  /// its [2^(i-1), 2^i) microsecond range (common/latency_histogram.h).
+  static double BucketSeconds(std::size_t i) { return LatencyBucketSeconds(i); }
 
   static std::size_t LatencyBucket(std::uint64_t micros) {
-    const std::size_t width = static_cast<std::size_t>(std::bit_width(micros));
-    return width < kLatencyBuckets ? width : kLatencyBuckets - 1;
+    return LatencyBucketIndex(micros);
   }
 
  private:

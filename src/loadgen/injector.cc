@@ -1,0 +1,142 @@
+#include "loadgen/injector.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph_delta.h"
+
+namespace topl {
+namespace loadgen {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+}  // namespace
+
+LoadInjector::LoadInjector(Engine* engine, const WorkloadGenerator& generator,
+                           const InjectorOptions& options)
+    : engine_(engine), generator_(generator), options_(options) {}
+
+Result<LoadReport> LoadInjector::Run() {
+  if (options_.num_workers == 0) {
+    return Status::InvalidArgument("injector needs >= 1 worker");
+  }
+  if (options_.duration_seconds <= 0.0 && options_.max_ops == 0) {
+    return Status::InvalidArgument(
+        "injector needs a positive duration or an op cap");
+  }
+  const bool open_loop = options_.target_qps > 0.0;
+
+  std::vector<LoadRecorder> recorders(options_.num_workers);
+  std::atomic<std::uint64_t> next_index{0};
+  // Serializes harness-side update generation+apply so every delta is drawn
+  // against exactly the graph version it lands on (deltas state transitions,
+  // not end states, so a delta raced by another update could become
+  // invalid). Queries never touch this mutex.
+  std::mutex update_mu;
+
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point deadline =
+      options_.duration_seconds > 0.0
+          ? start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(options_.duration_seconds))
+          : Clock::time_point::max();
+
+  ProgressiveOptions progressive;
+  progressive.parallel = options_.progressive_parallel;
+  progressive.deadline_seconds = options_.progressive_deadline_ms / 1e3;
+
+  auto worker = [&](LoadRecorder* recorder) {
+    for (;;) {
+      const std::uint64_t i =
+          next_index.fetch_add(1, std::memory_order_relaxed);
+      if (options_.max_ops != 0 && i >= options_.max_ops) break;
+
+      Clock::time_point intended;
+      if (open_loop) {
+        // Arrival i is scheduled at start + i/qps; execute every arrival
+        // scheduled before the deadline, even when running behind.
+        intended = start + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(
+                                   static_cast<double>(i) /
+                                   options_.target_qps));
+        if (intended >= deadline) break;
+        std::this_thread::sleep_until(intended);  // no-op when behind
+      } else {
+        const Clock::time_point now = Clock::now();
+        if (now >= deadline) break;
+        intended = now;
+      }
+
+      const Operation op = generator_.At(i);
+      const Clock::time_point begin = Clock::now();
+      bool ok = true;
+      bool truncated = false;
+      switch (op.kind) {
+        case OpKind::kTopL: {
+          Result<TopLResult> r = engine_->Search(op.query);
+          ok = r.ok();
+          truncated = ok && r->truncated;
+          break;
+        }
+        case OpKind::kDTopL: {
+          Result<DTopLResult> r =
+              engine_->SearchDiversified(op.query, DTopLOptions());
+          ok = r.ok();
+          truncated = ok && r->truncated;
+          break;
+        }
+        case OpKind::kProgressive: {
+          Result<TopLResult> r =
+              engine_->SearchProgressive(op.query, progressive);
+          ok = r.ok();
+          truncated = ok && r->truncated;
+          break;
+        }
+        case OpKind::kUpdate: {
+          std::lock_guard<std::mutex> lock(update_mu);
+          const std::shared_ptr<const EngineSnapshot> snap =
+              engine_->snapshot();
+          Rng rng(op.delta_seed);
+          const GraphDelta delta =
+              MakeRandomDelta(snap->graph, rng, generator_.spec().delta);
+          if (delta.empty()) break;  // no valid target found; count as ok
+          Result<RebuildScope> r = engine_->ApplyUpdate(delta);
+          ok = r.ok();
+          break;
+        }
+      }
+      const Clock::time_point done = Clock::now();
+      recorder->Record(op.kind, Seconds(done - intended),
+                       Seconds(done - begin), ok, truncated);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(options_.num_workers);
+  for (std::size_t w = 0; w < options_.num_workers; ++w) {
+    threads.emplace_back(worker, &recorders[w]);
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double wall = Seconds(Clock::now() - start);
+
+  LoadReport report =
+      BuildReport(recorders, generator_.spec().name, open_loop,
+                  options_.target_qps, wall);
+  const EngineStats stats = engine_->Stats();
+  report.updates_applied = stats.updates_applied;
+  report.snapshot_epoch = stats.snapshot_epoch;
+  return report;
+}
+
+}  // namespace loadgen
+}  // namespace topl

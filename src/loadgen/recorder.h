@@ -1,0 +1,70 @@
+#ifndef TOPL_LOADGEN_RECORDER_H_
+#define TOPL_LOADGEN_RECORDER_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/latency_histogram.h"
+#include "loadgen/workload.h"
+
+namespace topl {
+namespace loadgen {
+
+/// \brief One injector thread's latency recorder.
+///
+/// Each worker owns exactly one recorder and writes it without any
+/// synchronization (plain integers, no atomics — cheaper than the engine's
+/// stats shards, which must tolerate concurrent readers); the injector
+/// merges all recorders after the workers join. Two distributions are kept
+/// per operation kind:
+///
+///  - `latency`: the *reported* latency. In open-loop mode this is measured
+///    from the operation's intended arrival time, so queueing delay behind a
+///    stalled engine is charged to the operation instead of silently
+///    vanishing (the coordinated-omission trap closed-loop harnesses fall
+///    into).
+///  - `service`: time inside the engine call only — the two diverge exactly
+///    when the engine cannot keep up with the offered load.
+struct LoadRecorder {
+  struct Slot {
+    LatencyHistogram latency;
+    LatencyHistogram service;
+    std::uint64_t failed = 0;
+    std::uint64_t truncated = 0;
+  };
+
+  std::array<Slot, kNumOpKinds> per_kind{};
+
+  void Record(OpKind kind, double reported_seconds, double service_seconds,
+              bool ok, bool truncated) {
+    Slot& slot = per_kind[static_cast<std::size_t>(kind)];
+    slot.latency.AddSeconds(reported_seconds);
+    slot.service.AddSeconds(service_seconds);
+    if (!ok) ++slot.failed;
+    if (truncated) ++slot.truncated;
+  }
+
+  void Merge(const LoadRecorder& other) {
+    for (std::size_t k = 0; k < kNumOpKinds; ++k) {
+      per_kind[k].latency.Merge(other.per_kind[k].latency);
+      per_kind[k].service.Merge(other.per_kind[k].service);
+      per_kind[k].failed += other.per_kind[k].failed;
+      per_kind[k].truncated += other.per_kind[k].truncated;
+    }
+  }
+
+  const Slot& slot(OpKind kind) const {
+    return per_kind[static_cast<std::size_t>(kind)];
+  }
+
+  std::uint64_t TotalCount() const {
+    std::uint64_t total = 0;
+    for (const Slot& slot : per_kind) total += slot.latency.count;
+    return total;
+  }
+};
+
+}  // namespace loadgen
+}  // namespace topl
+
+#endif  // TOPL_LOADGEN_RECORDER_H_

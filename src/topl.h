@@ -20,6 +20,7 @@
 
 #include "baselines/atindex.h"
 #include "baselines/im_greedy.h"
+#include "common/latency_histogram.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -56,6 +57,10 @@
 #include "influence/propagation.h"
 #include "keywords/bit_vector.h"
 #include "keywords/keyword_dictionary.h"
+#include "loadgen/injector.h"
+#include "loadgen/recorder.h"
+#include "loadgen/report.h"
+#include "loadgen/workload.h"
 #include "storage/artifact.h"
 #include "storage/checksum.h"
 #include "storage/mapped_file.h"

@@ -1,0 +1,208 @@
+#include "loadgen/recorder.h"
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/latency_histogram.h"
+#include "gtest/gtest.h"
+#include "loadgen/report.h"
+
+namespace topl {
+namespace loadgen {
+namespace {
+
+TEST(LatencyHistogramTest, BucketIndexBoundaries) {
+  EXPECT_EQ(LatencyBucketIndex(0), 0u);
+  EXPECT_EQ(LatencyBucketIndex(1), 1u);
+  EXPECT_EQ(LatencyBucketIndex(2), 2u);
+  EXPECT_EQ(LatencyBucketIndex(3), 2u);   // [2, 4)
+  EXPECT_EQ(LatencyBucketIndex(4), 3u);   // [4, 8)
+  EXPECT_EQ(LatencyBucketIndex(511), 9u);
+  EXPECT_EQ(LatencyBucketIndex(512), 10u);   // [512, 1024)
+  EXPECT_EQ(LatencyBucketIndex(1000), 10u);  // 1ms lands in [512, 1024)µs
+  EXPECT_EQ(LatencyBucketIndex(1024), 11u);
+  // Saturates at the last bucket instead of overflowing.
+  EXPECT_EQ(LatencyBucketIndex(~std::uint64_t{0}),
+            kLatencyHistogramBuckets - 1);
+}
+
+TEST(LatencyHistogramTest, GeometricMidpointEstimate) {
+  // Bucket [512, 1024)µs: geometric midpoint is sqrt(512 * 1024) =
+  // 512*sqrt(2) ≈ 724µs. The old arithmetic midpoint (768µs) overestimated
+  // typical (log-uniform-ish) latency mass; the header now promises within
+  // sqrt(2) of the true value.
+  EXPECT_NEAR(LatencyBucketSeconds(10), 724.08e-6, 0.1e-6);
+  EXPECT_DOUBLE_EQ(LatencyBucketSeconds(0), 0.0);
+  EXPECT_NEAR(LatencyBucketSeconds(1), std::sqrt(2.0) * 1e-6, 1e-12);
+
+  LatencyHistogram h;
+  h.AddMicros(1000);
+  EXPECT_NEAR(h.PercentileSeconds(0.5), 724.08e-6, 0.1e-6);
+}
+
+TEST(LatencyHistogramTest, PercentilesAreOrderedAndCappedByMax) {
+  LatencyHistogram h;
+  // 1000 samples at ~1ms, 10 at ~16ms, 1 at ~1s.
+  for (int i = 0; i < 1000; ++i) h.AddMicros(1000);
+  for (int i = 0; i < 10; ++i) h.AddMicros(16000);
+  h.AddMicros(1000000);
+
+  const double p50 = h.PercentileSeconds(0.50);
+  const double p99 = h.PercentileSeconds(0.99);
+  const double p999 = h.PercentileSeconds(0.999);
+  const double max = h.MaxSeconds();
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, p999);
+  EXPECT_LE(p999, max);
+  EXPECT_DOUBLE_EQ(max, 1.0);
+  // p50 in the 1ms bucket, p999 reaches the 16ms mass.
+  EXPECT_NEAR(p50, 724.08e-6, 0.1e-6);
+  EXPECT_GT(p999, 0.010);
+  EXPECT_LT(p999, 0.033);
+}
+
+TEST(LatencyHistogramTest, MergeAddsCountsAndKeepsMax) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.AddMicros(100);
+  a.AddMicros(200);
+  b.AddMicros(50000);
+  a.Merge(b);
+  EXPECT_EQ(a.count, 3u);
+  EXPECT_EQ(a.total_micros, 100u + 200u + 50000u);
+  EXPECT_DOUBLE_EQ(a.MaxSeconds(), 0.05);
+  EXPECT_NEAR(a.MeanSeconds(), (100 + 200 + 50000) / 3.0 * 1e-6, 1e-12);
+}
+
+TEST(LoadRecorderTest, RecordsPerKindCountsAndFlags) {
+  LoadRecorder recorder;
+  recorder.Record(OpKind::kTopL, 0.001, 0.001, /*ok=*/true, /*truncated=*/false);
+  recorder.Record(OpKind::kTopL, 0.002, 0.001, /*ok=*/false, /*truncated=*/false);
+  recorder.Record(OpKind::kUpdate, 0.1, 0.1, /*ok=*/true, /*truncated=*/false);
+  recorder.Record(OpKind::kProgressive, 0.005, 0.004, /*ok=*/true,
+                  /*truncated=*/true);
+
+  EXPECT_EQ(recorder.TotalCount(), 4u);
+  EXPECT_EQ(recorder.slot(OpKind::kTopL).latency.count, 2u);
+  EXPECT_EQ(recorder.slot(OpKind::kTopL).failed, 1u);
+  EXPECT_EQ(recorder.slot(OpKind::kProgressive).truncated, 1u);
+  EXPECT_EQ(recorder.slot(OpKind::kDTopL).latency.count, 0u);
+  // Reported vs service latency are tracked separately.
+  EXPECT_GT(recorder.slot(OpKind::kTopL).latency.total_micros,
+            recorder.slot(OpKind::kTopL).service.total_micros);
+}
+
+// Many threads, each writing its own recorder (the injector's ownership
+// model), merged after join: totals must be exact, not approximate — there
+// is no sampling and no lossy path. Run under TSan in CI.
+TEST(LoadRecorderTest, ConcurrentRecordingMergesToExactCounts) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kOpsPerThread = 20000;
+  std::vector<LoadRecorder> recorders(kThreads);
+
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kOpsPerThread; ++i) {
+        const OpKind kind = static_cast<OpKind>(i % kNumOpKinds);
+        const bool ok = i % 7 != 0;
+        const bool truncated = i % 11 == 0;
+        recorders[t].Record(kind, 1e-6 * static_cast<double>(i % 5000),
+                            0.5e-6 * static_cast<double>(i % 5000), ok,
+                            truncated);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  LoadRecorder merged;
+  for (const LoadRecorder& recorder : recorders) merged.Merge(recorder);
+
+  EXPECT_EQ(merged.TotalCount(), kThreads * kOpsPerThread);
+  std::uint64_t expected_failed = 0;
+  std::uint64_t expected_truncated = 0;
+  std::array<std::uint64_t, kNumOpKinds> expected_kind{};
+  for (std::uint64_t i = 0; i < kOpsPerThread; ++i) {
+    ++expected_kind[i % kNumOpKinds];
+    if (i % 7 == 0) ++expected_failed;
+    if (i % 11 == 0) ++expected_truncated;
+  }
+  std::uint64_t failed = 0;
+  std::uint64_t truncated = 0;
+  for (std::size_t k = 0; k < kNumOpKinds; ++k) {
+    EXPECT_EQ(merged.per_kind[k].latency.count, kThreads * expected_kind[k])
+        << OpKindName(static_cast<OpKind>(k));
+    EXPECT_EQ(merged.per_kind[k].latency.count,
+              merged.per_kind[k].service.count);
+    failed += merged.per_kind[k].failed;
+    truncated += merged.per_kind[k].truncated;
+  }
+  EXPECT_EQ(failed, kThreads * expected_failed);
+  EXPECT_EQ(truncated, kThreads * expected_truncated);
+}
+
+TEST(LoadReportTest, BuildReportAggregatesAcrossRecorders) {
+  std::vector<LoadRecorder> recorders(3);
+  for (int i = 0; i < 100; ++i) {
+    recorders[0].Record(OpKind::kTopL, 0.001, 0.001, true, false);
+    recorders[1].Record(OpKind::kDTopL, 0.004, 0.003, true, false);
+    recorders[2].Record(OpKind::kUpdate, 0.050, 0.050, true, false);
+  }
+  recorders[1].Record(OpKind::kTopL, 0.2, 0.2, /*ok=*/false, false);
+
+  const LoadReport report =
+      BuildReport(recorders, "mixed", /*open_loop=*/true,
+                  /*target_qps=*/100.0, /*wall_seconds=*/3.0);
+  EXPECT_EQ(report.ops_total, 301u);
+  EXPECT_EQ(report.failed, 1u);
+  EXPECT_NEAR(report.achieved_qps, 301.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(report.ops_per_s, report.achieved_qps);
+  EXPECT_EQ(report.per_kind[0].count, 101u);
+  EXPECT_EQ(report.per_kind[1].count, 100u);
+  EXPECT_EQ(report.per_kind[3].count, 100u);
+  EXPECT_EQ(report.overall.count, 301u);
+  // Percentile ordering holds for every kind and overall.
+  for (const OpKindSummary& s : report.per_kind) {
+    EXPECT_LE(s.p50_ms, s.p99_ms);
+    EXPECT_LE(s.p99_ms, s.p999_ms);
+    EXPECT_LE(s.p999_ms, s.max_ms);
+  }
+
+  // JSON carries the per-kind blocks and the digest field.
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"benchmark\": \"serve\""), std::string::npos);
+  EXPECT_NE(json.find("\"topl\""), std::string::npos);
+  EXPECT_NE(json.find("\"ops_per_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"stream_digest\""), std::string::npos);
+}
+
+TEST(LoadReportTest, CheckSloFlagsBreaches) {
+  std::vector<LoadRecorder> recorders(1);
+  for (int i = 0; i < 1000; ++i) {
+    recorders[0].Record(OpKind::kTopL, 0.002, 0.002, true, false);
+  }
+  const LoadReport report =
+      BuildReport(recorders, "read_heavy", false, 0.0, 10.0);  // 100 ops/s
+
+  SloThresholds ok;
+  EXPECT_TRUE(report.CheckSlo(ok).empty());
+
+  SloThresholds strict;
+  strict.min_ops_per_s = 500.0;  // achieved 100
+  strict.max_p99_ms = 0.5;       // p99 ~2.8ms
+  EXPECT_EQ(report.CheckSlo(strict).size(), 2u);
+
+  // Failed operations breach even with thresholds disabled.
+  recorders[0].Record(OpKind::kUpdate, 0.001, 0.001, /*ok=*/false, false);
+  const LoadReport failed_report =
+      BuildReport(recorders, "read_heavy", false, 0.0, 10.0);
+  EXPECT_EQ(failed_report.CheckSlo(ok).size(), 1u);
+}
+
+}  // namespace
+}  // namespace loadgen
+}  // namespace topl

@@ -32,6 +32,20 @@
 //   topl_cli dtopl    ... same flags ... [--n=5 --algorithm=wp|wop|optimal]
 //   topl_cli batch    --graph=graph.bin --index=index.bin --queries=queries.txt
 //                     [--threads=0 --repeat=1 --quiet=0]
+//   topl_cli serve-bench --graph=graph.bin --index=index.bin
+//                     [--mix=mixed --workers=8 --qps=0 --seconds=5
+//                      --warmup-seconds=0.5 --seed=42 --popularity=zipf
+//                      --zipf=0.99 --signatures=64 --deadline-ms=0
+//                      --slo-qps=0 --slo-p99-ms=0 --slo-p999-ms=0 --json=]
+//
+// `serve-bench` replays a deterministic mixed workload (TopL / DTopL /
+// progressive / live graph updates; named mixes read_heavy, update_heavy,
+// progressive_scan, mixed) against the opened engine — closed-loop when
+// --qps=0 (capacity ceiling) or open-loop at the target rate, with latency
+// measured from each operation's *intended* arrival so a stalled engine
+// cannot hide its backlog (no coordinated omission). Prints the per-kind
+// latency table, optionally writes the JSON report, and exits non-zero on
+// any failed operation or breached --slo-* threshold.
 //
 // --deadline-ms gives the query a wall-clock budget: on expiry it returns
 // its best-so-far communities marked "truncated" plus the remaining score
@@ -122,7 +136,7 @@ int Fail(const Status& status) {
 int Usage() {
   std::fprintf(stderr,
                "usage: topl_cli <generate|convert|index|update|stats|query|"
-               "dtopl|batch> [--flag=value ...]\n"
+               "dtopl|batch|serve-bench> [--flag=value ...]\n"
                "       topl_cli index <build|inspect|migrate> [--flag=value ...]\n"
                "see the header comment of tools/topl_cli.cc for flags\n");
   return 2;
@@ -601,6 +615,84 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int CmdServeBench(const std::map<std::string, std::string>& flags) {
+  Result<std::unique_ptr<Engine>> engine = OpenEngine(flags);
+  if (!engine.ok()) return Fail(engine.status());
+
+  Result<loadgen::WorkloadSpec> spec =
+      loadgen::WorkloadSpec::Named(FlagOr(flags, "mix", "mixed"));
+  if (!spec.ok()) return Fail(spec.status());
+  spec->seed = IntFlag(flags, "seed", 42);
+  spec->num_signatures =
+      static_cast<std::uint32_t>(IntFlag(flags, "signatures", 64));
+  spec->zipf_skew = DoubleFlag(flags, "zipf", 0.99);
+  const std::string popularity = FlagOr(flags, "popularity", "zipf");
+  if (popularity == "uniform") {
+    spec->popularity = loadgen::Popularity::kUniform;
+  } else if (popularity == "zipf") {
+    spec->popularity = loadgen::Popularity::kZipfian;
+  } else {
+    return Fail(Status::InvalidArgument("unknown popularity: " + popularity));
+  }
+  // The workload can only ask what this index can serve: clamp the radius
+  // band to r_max and take the theta band from the precompute grid.
+  const PrecomputedData& pre = (*engine)->precomputed();
+  spec->params.radius_values.clear();
+  for (std::uint32_t r = 1; r <= pre.r_max() && r <= 2; ++r) {
+    spec->params.radius_values.push_back(r);
+  }
+  spec->params.theta_values.assign(pre.thetas().begin(), pre.thetas().end());
+  Result<loadgen::WorkloadGenerator> generator =
+      loadgen::WorkloadGenerator::Create(*spec, (*engine)->graph());
+  if (!generator.ok()) return Fail(generator.status());
+
+  loadgen::InjectorOptions inject;
+  inject.num_workers = IntFlag(flags, "workers", 8);
+  inject.target_qps = DoubleFlag(flags, "qps", 0.0);
+  inject.duration_seconds = DoubleFlag(flags, "seconds", 5.0);
+  inject.max_ops = IntFlag(flags, "ops", 0);
+  inject.progressive_deadline_ms = DoubleFlag(flags, "deadline-ms", 0.0);
+
+  const double warmup_seconds = DoubleFlag(flags, "warmup-seconds", 0.5);
+  if (warmup_seconds > 0.0) {
+    loadgen::InjectorOptions warmup = inject;
+    warmup.target_qps = 0.0;
+    warmup.duration_seconds = warmup_seconds;
+    warmup.max_ops = 0;
+    Result<loadgen::LoadReport> ignored =
+        loadgen::LoadInjector(engine->get(), *generator, warmup).Run();
+    if (!ignored.ok()) return Fail(ignored.status());
+  }
+
+  Result<loadgen::LoadReport> report =
+      loadgen::LoadInjector(engine->get(), *generator, inject).Run();
+  if (!report.ok()) return Fail(report.status());
+  report->stream_digest = generator->StreamDigest(4096);
+  std::printf("%s", report->ToString().c_str());
+
+  loadgen::SloThresholds slo;
+  slo.min_ops_per_s = DoubleFlag(flags, "slo-qps", 0.0);
+  slo.max_p99_ms = DoubleFlag(flags, "slo-p99-ms", 0.0);
+  slo.max_p999_ms = DoubleFlag(flags, "slo-p999-ms", 0.0);
+  const std::vector<std::string> violations = report->CheckSlo(slo);
+  for (const std::string& violation : violations) {
+    std::fprintf(stderr, "SLO BREACH: %s\n", violation.c_str());
+  }
+
+  const std::string json_path = FlagOr(flags, "json", "");
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      return Fail(Status::IOError("cannot write " + json_path));
+    }
+    const std::string payload = report->ToJson();
+    std::fwrite(payload.data(), 1, payload.size(), out);
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return violations.empty() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -631,5 +723,6 @@ int main(int argc, char** argv) {
   if (command == "query") return CmdQuery(flags, /*diversified=*/false);
   if (command == "dtopl") return CmdQuery(flags, /*diversified=*/true);
   if (command == "batch") return CmdBatch(flags);
+  if (command == "serve-bench") return CmdServeBench(flags);
   return Usage();
 }
