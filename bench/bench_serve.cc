@@ -5,9 +5,15 @@
 //   bench_serve [--vertices=8000] [--seed=42] [--rmax=2] [--mix=mixed]
 //               [--workers=8] [--engine-threads=2] [--qps=0] [--seconds=5]
 //               [--ops=0] [--warmup-seconds=0.5] [--popularity=zipf|uniform]
-//               [--zipf=0.99] [--signatures=64] [--deadline-ms=0]
+//               [--zipf=0] [--signatures=0] [--deadline-ms=0]
+//               [--cache=0|1] [--cache-max-mb=64]
 //               [--slo-qps=0] [--slo-p99-ms=0] [--slo-p999-ms=0]
 //               [--json=BENCH_serve.json]
+//
+// --zipf=0 / --signatures=0 keep the named mix's own values (repeat_heavy
+// narrows both; the other mixes use the spec defaults 0.99 / 64).
+// --cache=1 serves through the snapshot-epoch result cache; the JSON then
+// carries the measured-run hit_rate.
 //
 // --qps=0 runs closed-loop (each of --workers threads fires its next
 // operation as soon as the previous completes: the capacity ceiling);
@@ -24,11 +30,14 @@
 // throughput and tail latency directly on this binary plus
 // ci/check_bench_regression.py against the committed baseline.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "topl.h"
 
@@ -48,9 +57,11 @@ struct Flags {
   std::uint64_t ops = 0;
   double warmup_seconds = 0.5;
   std::string popularity = "zipf";
-  double zipf = 0.99;
-  std::uint32_t signatures = 64;
+  double zipf = 0.0;           // 0 = keep the named mix's skew
+  std::uint32_t signatures = 0;  // 0 = keep the named mix's pool size
   double deadline_ms = 0.0;
+  bool cache = false;
+  std::size_t cache_max_mb = 64;
   double slo_qps = 0.0;
   double slo_p99_ms = 0.0;
   double slo_p999_ms = 0.0;
@@ -96,6 +107,10 @@ Flags ParseFlags(int argc, char** argv) {
       flags.signatures = static_cast<std::uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
     } else if (key == "deadline-ms") {
       flags.deadline_ms = std::strtod(value.c_str(), nullptr);
+    } else if (key == "cache") {
+      flags.cache = value != "0" && value != "false";
+    } else if (key == "cache-max-mb") {
+      flags.cache_max_mb = std::strtoull(value.c_str(), nullptr, 10);
     } else if (key == "slo-qps") {
       flags.slo_qps = std::strtod(value.c_str(), nullptr);
     } else if (key == "slo-p99-ms") {
@@ -140,6 +155,8 @@ int main(int argc, char** argv) {
 
   EngineOptions engine_opts;
   engine_opts.num_threads = flags.engine_threads;
+  engine_opts.enable_result_cache = flags.cache;
+  engine_opts.cache_max_bytes = flags.cache_max_mb << 20;
   Result<std::unique_ptr<Engine>> engine =
       Engine::Create(std::move(graph).value(), std::move(pre),
                      std::move(tree).value(), engine_opts);
@@ -148,19 +165,38 @@ int main(int argc, char** argv) {
   Result<loadgen::WorkloadSpec> spec = loadgen::WorkloadSpec::Named(flags.mix);
   TOPL_CHECK(spec.ok(), spec.status().ToString().c_str());
   spec->seed = flags.seed;
-  spec->num_signatures = flags.signatures;
-  spec->zipf_skew = flags.zipf;
+  if (flags.signatures != 0) spec->num_signatures = flags.signatures;
+  if (flags.zipf > 0.0) spec->zipf_skew = flags.zipf;
   spec->popularity = flags.popularity == "uniform"
                          ? loadgen::Popularity::kUniform
                          : loadgen::Popularity::kZipfian;
-  // Clamp the parameter bands to what this index can serve.
+  // Clamp the parameter bands to what this index can serve, preserving the
+  // mix's own band shape (repeat_heavy pins single values so cache keys
+  // repeat; overwriting its bands with the full grid would destroy that).
   const PrecomputedData& precomputed = (*engine)->precomputed();
-  spec->params.radius_values.clear();
-  for (std::uint32_t r = 1; r <= precomputed.r_max() && r <= 2; ++r) {
-    spec->params.radius_values.push_back(r);
+  std::vector<std::uint32_t> radii;
+  for (std::uint32_t r : spec->params.radius_values) {
+    if (r >= 1 && r <= precomputed.r_max()) radii.push_back(r);
   }
-  spec->params.theta_values.assign(precomputed.thetas().begin(),
-                                   precomputed.thetas().end());
+  if (radii.empty()) {
+    for (std::uint32_t r = 1; r <= precomputed.r_max() && r <= 2; ++r) {
+      radii.push_back(r);
+    }
+  }
+  spec->params.radius_values = std::move(radii);
+  // Snap each requested theta to the nearest precomputed threshold (queries
+  // off the grid are uncacheable below theta_min and imprecise elsewhere).
+  std::vector<double> thetas;
+  for (double want : spec->params.theta_values) {
+    double best = precomputed.thetas().front();
+    for (double have : precomputed.thetas()) {
+      if (std::abs(have - want) < std::abs(best - want)) best = have;
+    }
+    if (std::find(thetas.begin(), thetas.end(), best) == thetas.end()) {
+      thetas.push_back(best);
+    }
+  }
+  spec->params.theta_values = std::move(thetas);
   Result<loadgen::WorkloadGenerator> generator =
       loadgen::WorkloadGenerator::Create(*spec, (*engine)->graph());
   TOPL_CHECK(generator.ok(), generator.status().ToString().c_str());

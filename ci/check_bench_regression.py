@@ -37,7 +37,7 @@ import sys
 
 # Metrics where bigger numbers are better; a drop beyond tolerance fails.
 HIGHER_BETTER = ("queries_per_s", "updates_per_s", "extractions_per_s",
-                 "ops_per_s", "achieved_qps", "speedup")
+                 "ops_per_s", "achieved_qps", "speedup", "hit_rate")
 # Metrics where smaller numbers are better; a rise beyond tolerance fails.
 LOWER_BETTER = ("p99_ms", "p999_ms")
 # A tail percentile over fewer samples than this is dominated by one or two

@@ -206,6 +206,14 @@ Result<DTopLResult> DTopLDetector::Search(const Query& query,
   result.score_upper_bound = pool.value().score_upper_bound;
   result.candidate_stats = pool.value().stats;
   result.candidate_seconds = candidate_timer.ElapsedSeconds();
+  result.pool_centers.reserve(pool.value().communities.size());
+  for (const CommunityResult& c : pool.value().communities) {
+    result.pool_centers.push_back(c.community.center);
+  }
+  if (!pool.value().communities.empty()) {
+    result.pool_floor = pool.value().communities.back().score();
+  }
+  result.pool_full = pool.value().communities.size() >= pool_query.top_l;
 
   // Phase 2: refinement.
   Timer refine_timer;

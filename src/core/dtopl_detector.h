@@ -56,6 +56,17 @@ struct DTopLResult {
   /// when the pool is exact.
   double score_upper_bound = -std::numeric_limits<double>::infinity();
 
+  /// Centers of the full top-(nL) candidate pool the selection was refined
+  /// from (selection order of the pool, i.e. σ desc / center asc). The
+  /// diversified answer is a deterministic function of this pool, so result
+  /// caches invalidate on the pool's dependence set, not the selected L's.
+  std::vector<VertexId> pool_centers;
+  /// σ of the weakest pool member; −∞ when the pool is empty.
+  double pool_floor = -std::numeric_limits<double>::infinity();
+  /// True when the pool reached the full n·L candidates — only then does
+  /// `pool_floor` bound what a new community must score to enter the pool.
+  bool pool_full = false;
+
   QueryStats candidate_stats;     // the embedded TopL call
   double candidate_seconds = 0.0;
   double refine_seconds = 0.0;

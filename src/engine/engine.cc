@@ -19,6 +19,11 @@ Engine::Engine(Graph graph, std::unique_ptr<PrecomputedData> pre, TreeIndex tree
   snapshot->pre = std::move(pre);
   snapshot->tree = std::move(tree);
   snapshot_ = std::move(snapshot);
+  if (options.enable_result_cache) {
+    QueryCache::Config config;
+    config.max_bytes = options.cache_max_bytes;
+    cache_ = std::make_unique<QueryCache>(config);
+  }
 }
 
 Engine::~Engine() = default;
@@ -242,16 +247,92 @@ SearchControl Engine::MakeControl(const ProgressiveOptions& options,
   return control;
 }
 
+Result<TopLResult> Engine::CachedSearch(QueryKind kind, const Query& query,
+                                        const QueryOptions& options,
+                                        WorkerContext* context) {
+  auto execute = [&](WorkerContext* ctx) {
+    return SearchOnContext(ctx, kind, query, options);
+  };
+  auto run = [&](auto&& body) -> Result<TopLResult> {
+    if (context != nullptr) return body(context);
+    ContextLease lease(this);
+    return body(lease.get());
+  };
+  // Invalid queries take the execution path so they fail with exactly the
+  // detector's status (a canonicalized key would otherwise let a permuted
+  // keyword list hit where a cache-disabled engine rejects it).
+  if (cache_ == nullptr || !query.Validate().ok() ||
+      !QueryCache::Cacheable(query, *snapshot()->pre)) {
+    return run(execute);
+  }
+  const CacheKey key = CacheKey::ForTopL(query, options);
+  const QueryCache::LookupResult lookup = cache_->Lookup(key);
+  if (lookup.hit) return *lookup.answer.topl;
+  if (!lookup.leader) {
+    Result<QueryCache::CachedAnswer> shared = cache_->Await(lookup.flight);
+    if (!shared.ok()) return shared.status();
+    return *shared->topl;
+  }
+  std::uint64_t executed_epoch = 0;
+  Result<TopLResult> result = run([&](WorkerContext* ctx) {
+    executed_epoch = ctx->snapshot->epoch;
+    return execute(ctx);
+  });
+  if (result.ok()) {
+    cache_->FillTopL(key, lookup.flight, executed_epoch,
+                     std::make_shared<const TopLResult>(*result));
+  } else {
+    cache_->Abandon(key, lookup.flight, result.status());
+  }
+  return result;
+}
+
+Result<DTopLResult> Engine::CachedSearchDiversified(QueryKind kind,
+                                                    const Query& query,
+                                                    const DTopLOptions& options,
+                                                    WorkerContext* context) {
+  auto execute = [&](WorkerContext* ctx) {
+    return SearchDiversifiedOnContext(ctx, kind, query, options);
+  };
+  auto run = [&](auto&& body) -> Result<DTopLResult> {
+    if (context != nullptr) return body(context);
+    ContextLease lease(this);
+    return body(lease.get());
+  };
+  if (cache_ == nullptr || !query.Validate().ok() ||
+      !QueryCache::Cacheable(query, *snapshot()->pre)) {
+    return run(execute);
+  }
+  const CacheKey key = CacheKey::ForDTopL(query, options);
+  const QueryCache::LookupResult lookup = cache_->Lookup(key);
+  if (lookup.hit) return *lookup.answer.dtopl;
+  if (!lookup.leader) {
+    Result<QueryCache::CachedAnswer> shared = cache_->Await(lookup.flight);
+    if (!shared.ok()) return shared.status();
+    return *shared->dtopl;
+  }
+  std::uint64_t executed_epoch = 0;
+  Result<DTopLResult> result = run([&](WorkerContext* ctx) {
+    executed_epoch = ctx->snapshot->epoch;
+    return execute(ctx);
+  });
+  if (result.ok()) {
+    cache_->FillDTopL(key, lookup.flight, executed_epoch,
+                      std::make_shared<const DTopLResult>(*result));
+  } else {
+    cache_->Abandon(key, lookup.flight, result.status());
+  }
+  return result;
+}
+
 Result<TopLResult> Engine::Search(const Query& query, const QueryOptions& options) {
-  ContextLease lease(this);
-  return SearchOnContext(lease.get(), QueryKind::kSearch, query, options);
+  return CachedSearch(QueryKind::kSearch, query, options, /*context=*/nullptr);
 }
 
 Result<DTopLResult> Engine::SearchDiversified(const Query& query,
                                               const DTopLOptions& options) {
-  ContextLease lease(this);
-  return SearchDiversifiedOnContext(lease.get(), QueryKind::kDiversified, query,
-                                    options);
+  return CachedSearchDiversified(QueryKind::kDiversified, query, options,
+                                 /*context=*/nullptr);
 }
 
 Result<TopLResult> Engine::SearchProgressive(const Query& query,
@@ -300,8 +381,8 @@ std::vector<Result<TopLResult>> Engine::SearchBatch(std::span<const Query> queri
       [&](std::size_t worker, std::size_t i) {
         WorkerContext*& context = leased[worker];
         if (context == nullptr) context = AcquireContext();
-        results[i] = SearchOnContext(context, QueryKind::kBatch, queries[i],
-                                     options);
+        results[i] =
+            CachedSearch(QueryKind::kBatch, queries[i], options, context);
       },
       /*grain=*/1);
   for (WorkerContext* context : leased) {
@@ -337,6 +418,7 @@ Result<RebuildScope> Engine::ApplyUpdate(const GraphDelta& delta) {
   next->pre = std::move(updated->pre);
   next->tree = std::move(updated->tree);
   next->epoch = base->epoch + 1;
+  const std::shared_ptr<const EngineSnapshot> installed = next;
 
   {
     // Retired contexts (and the superseded snapshot pin held by `base`) are
@@ -353,6 +435,15 @@ Result<RebuildScope> Engine::ApplyUpdate(const GraphDelta& delta) {
       retired.push_back(RetireContextLocked(context));
     }
     free_contexts_.clear();
+  }
+
+  if (cache_ != nullptr) {
+    // After the swap (so the cache epoch never runs ahead of serving) and
+    // still under update_mu_ (so epochs reach the cache in order): erase
+    // exactly the entries this delta's dirty-center set could have changed
+    // and rebase the provably clean ones to the new epoch.
+    cache_->OnUpdate(updated->dirty_center_ids, base->graph, installed->graph,
+                     *installed->pre, installed->epoch);
   }
 
   updates_applied_.fetch_add(1, std::memory_order_relaxed);
@@ -389,6 +480,17 @@ EngineStats Engine::Stats() const {
       update_dirty_centers_.load(std::memory_order_relaxed);
   total.retired_contexts = retired_contexts_.load(std::memory_order_relaxed);
   total.queries_total = total.topl_queries + total.dtopl_queries;
+  if (cache_ != nullptr) {
+    total.cache_enabled = true;
+    const QueryCache::Counters cache = cache_->counters();
+    total.cache_hits = cache.hits;
+    total.cache_misses = cache.misses;
+    total.cache_coalesced = cache.coalesced;
+    total.cache_invalidated = cache.invalidated;
+    total.cache_evicted = cache.evicted;
+    total.cache_entries = cache.entries;
+    total.cache_bytes = cache.bytes;
+  }
 
   // Per-kind percentiles, then the legacy all-kinds view from the merged
   // histogram. Bucket-midpoint estimates can overshoot the true extremum;

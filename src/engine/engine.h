@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "cache/query_cache.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "core/dtopl_detector.h"
@@ -229,6 +230,19 @@ class Engine {
       WorkerContext* context, QueryKind kind, const Query& query,
       const DTopLOptions& options, const SearchControl& control = {});
 
+  /// Cache-aware Search/SearchDiversified bodies: validate → lookup →
+  /// single-flight → execute → fill (see cache/query_cache.h). `context` is
+  /// an already-leased context (batch workers execute on theirs) or nullptr
+  /// to lease one only if execution is actually needed. With the cache
+  /// disabled these degenerate to the plain execution path.
+  Result<TopLResult> CachedSearch(QueryKind kind, const Query& query,
+                                  const QueryOptions& options,
+                                  WorkerContext* context);
+  Result<DTopLResult> CachedSearchDiversified(QueryKind kind,
+                                              const Query& query,
+                                              const DTopLOptions& options,
+                                              WorkerContext* context);
+
   /// Translates engine-level progressive options into a detector control.
   SearchControl MakeControl(const ProgressiveOptions& options,
                             ProgressiveCallback on_update);
@@ -262,6 +276,12 @@ class Engine {
   /// snapshot swaps.
   EngineStats retired_stats_;
   std::array<EngineStatsShard::Histogram, kNumQueryKinds> retired_buckets_{};
+
+  /// Snapshot-epoch result cache; null unless
+  /// EngineOptions::enable_result_cache. Declared before pool_ so async
+  /// workers (which may lead or follow flights) are joined before the cache
+  /// is destroyed.
+  std::unique_ptr<QueryCache> cache_;
 
   // Declared last so its destructor — which drains and joins the async
   // queue workers — runs before the contexts those workers may be using are

@@ -78,6 +78,18 @@ struct EngineOptions {
   /// 0 = hardware concurrency. Independent of the number of pooled detector
   /// contexts, which grows with the peak number of concurrent queries.
   std::size_t num_threads = 0;
+
+  /// Snapshot-epoch result cache (cache/query_cache.h): plain (non-progressive)
+  /// Search/SearchDiversified answers are cached by canonicalized query key,
+  /// identical in-flight queries coalesce onto one execution, and
+  /// ApplyUpdate invalidates only entries the update's exact dirty-center
+  /// set could have changed. Off by default — repeated-query workloads
+  /// opt in.
+  bool enable_result_cache = false;
+
+  /// Byte budget of the result cache (LRU-evicted per shard); ignored unless
+  /// `enable_result_cache`.
+  std::size_t cache_max_bytes = 64ull << 20;
 };
 
 }  // namespace topl

@@ -82,6 +82,20 @@ struct EngineStats {
   /// counters live on in these stats).
   std::uint64_t retired_contexts = 0;
 
+  /// Result-cache counters (engine_options.h enable_result_cache; all zero
+  /// when the cache is off). queries_total counts *executions*: a cache hit
+  /// or coalesced wait answers a query without executing it, so hits and
+  /// coalesced are reported here instead of inflating the latency
+  /// histograms with sub-microsecond samples.
+  bool cache_enabled = false;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;      ///< lookups that led an execution
+  std::uint64_t cache_coalesced = 0;   ///< lookups that joined an in-flight one
+  std::uint64_t cache_invalidated = 0; ///< entries erased by dirty-region checks
+  std::uint64_t cache_evicted = 0;     ///< entries erased by the LRU byte budget
+  std::uint64_t cache_entries = 0;     ///< resident entries right now
+  std::uint64_t cache_bytes = 0;       ///< resident bytes right now
+
   /// Per-query counters merged with QueryStats::operator+= (prune counters,
   /// heap pops, refinements; elapsed_seconds is the summed query time).
   QueryStats query_stats;
@@ -122,6 +136,15 @@ struct EngineStats {
     }
     out += " pruned=" + std::to_string(query_stats.TotalPruned()) +
            " refined=" + std::to_string(query_stats.candidates_refined);
+    if (cache_enabled) {
+      out += " cache{hits=" + std::to_string(cache_hits) +
+             " misses=" + std::to_string(cache_misses) +
+             " coalesced=" + std::to_string(cache_coalesced) +
+             " invalidated=" + std::to_string(cache_invalidated) +
+             " evicted=" + std::to_string(cache_evicted) +
+             " entries=" + std::to_string(cache_entries) +
+             " bytes=" + std::to_string(cache_bytes) + "}";
+    }
     if (updates_applied > 0) {
       out += " updates=" + std::to_string(updates_applied) +
              " dirty_centers=" + std::to_string(update_dirty_centers) +

@@ -274,9 +274,10 @@ Result<UpdatedIndex> IndexUpdater::Apply(const Graph& base,
   out.scope.touched_vertices = delta.TouchedVertices().size();
   out.scope.tree_nodes_total = tree.NumNodes();
 
-  const std::vector<VertexId> dirty =
+  out.dirty_center_ids =
       DirtyCenters(base, out.graph, delta, pre.r_max(), pre.thetas().front(),
                    &out.scope.influence_frontier);
+  const std::vector<VertexId>& dirty = out.dirty_center_ids;
   out.scope.dirty_centers = dirty.size();
 
   // Deep copy (materializes a mapped base into owned memory), then redo

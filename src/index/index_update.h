@@ -48,6 +48,12 @@ struct UpdatedIndex {
   std::unique_ptr<PrecomputedData> pre;
   TreeIndex tree;
   RebuildScope scope;
+  /// The exact dirty-center set (sorted ascending) the pass recomputed —
+  /// `scope.dirty_centers` is its size. Every center *not* in this list
+  /// keeps byte-identical precompute rows, seed community, and influenced
+  /// community for every query at θ ≥ θ_min; result caches invalidate
+  /// against exactly this set.
+  std::vector<VertexId> dirty_center_ids;
 };
 
 /// \brief Incremental maintenance of the offline phase under a GraphDelta.

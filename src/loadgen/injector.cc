@@ -44,6 +44,11 @@ Result<LoadReport> LoadInjector::Run() {
   // invalid). Queries never touch this mutex.
   std::mutex update_mu;
 
+  // Cache counters are cumulative over the engine's lifetime; diffing
+  // before/after isolates this run's activity (warmup runs use a separate
+  // injector, so their fills don't masquerade as measured hits).
+  const EngineStats stats_before = engine_->Stats();
+
   const Clock::time_point start = Clock::now();
   const Clock::time_point deadline =
       options_.duration_seconds > 0.0
@@ -135,6 +140,16 @@ Result<LoadReport> LoadInjector::Run() {
   const EngineStats stats = engine_->Stats();
   report.updates_applied = stats.updates_applied;
   report.snapshot_epoch = stats.snapshot_epoch;
+  report.cache_hits = stats.cache_hits - stats_before.cache_hits;
+  report.cache_misses = stats.cache_misses - stats_before.cache_misses;
+  report.cache_coalesced =
+      stats.cache_coalesced - stats_before.cache_coalesced;
+  const std::uint64_t lookups =
+      report.cache_hits + report.cache_misses + report.cache_coalesced;
+  if (lookups > 0) {
+    report.hit_rate =
+        static_cast<double>(report.cache_hits) / static_cast<double>(lookups);
+  }
   return report;
 }
 

@@ -117,6 +117,12 @@ std::string LoadReport::ToString() const {
           mix.c_str(), open_loop ? "open" : "closed", target_qps, achieved_qps,
           wall_seconds, ops_total, failed, truncated, updates_applied,
           snapshot_epoch);
+  if (cache_hits + cache_misses + cache_coalesced > 0) {
+    AppendF(&out,
+            "cache: %.1f%% hit rate (%" PRIu64 " hits, %" PRIu64
+            " misses, %" PRIu64 " coalesced)\n",
+            100.0 * hit_rate, cache_hits, cache_misses, cache_coalesced);
+  }
   AppendF(&out, "%-12s %9s %9s %9s %9s %9s %9s %9s\n", "kind", "count",
           "p50(ms)", "p99(ms)", "p999(ms)", "max(ms)", "mean(ms)", "svc(ms)");
   for (std::size_t k = 0; k < kNumOpKinds; ++k) {
@@ -148,6 +154,10 @@ std::string LoadReport::ToJson() const {
   AppendF(&out, "  \"updates_applied\": %" PRIu64 ",\n", updates_applied);
   AppendF(&out, "  \"snapshot_epoch\": %" PRIu64 ",\n", snapshot_epoch);
   AppendF(&out, "  \"stream_digest\": \"%016" PRIx64 "\",\n", stream_digest);
+  AppendF(&out, "  \"cache_hits\": %" PRIu64 ",\n", cache_hits);
+  AppendF(&out, "  \"cache_misses\": %" PRIu64 ",\n", cache_misses);
+  AppendF(&out, "  \"cache_coalesced\": %" PRIu64 ",\n", cache_coalesced);
+  AppendF(&out, "  \"hit_rate\": %.4f,\n", hit_rate);
   for (std::size_t k = 0; k < kNumOpKinds; ++k) {
     AppendKindJson(&out, OpKindName(static_cast<OpKind>(k)), per_kind[k], ",");
   }

@@ -53,6 +53,15 @@ struct LoadReport {
   std::uint64_t snapshot_epoch = 0;
   std::uint64_t stream_digest = 0;
 
+  /// Result-cache activity *during the measured run* (deltas over the
+  /// engine's cumulative counters, so warmup fills don't count as measured
+  /// hits). All zero when the engine runs cache-disabled.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_coalesced = 0;
+  /// hits / (hits + misses + coalesced); 0 when the cache saw no lookups.
+  double hit_rate = 0.0;
+
   std::array<OpKindSummary, kNumOpKinds> per_kind{};
   /// All kinds folded into one distribution (what the headline SLOs gate).
   OpKindSummary overall;

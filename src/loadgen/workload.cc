@@ -43,10 +43,23 @@ Result<WorkloadSpec> WorkloadSpec::Named(const std::string& name) {
     spec.mix = {0.05, 0.00, 0.90, 0.05};
   } else if (name == "mixed") {
     spec.mix = {0.50, 0.15, 0.25, 0.10};
+  } else if (name == "repeat_heavy") {
+    // Interactive-exploration traffic: the same few queries re-issued over
+    // and over. High zipf skew over a narrow signature pool, parameters
+    // pinned to single values so keys actually repeat, and no updates —
+    // the mix that makes a result cache's win measurable on its own.
+    spec.mix = {0.90, 0.10, 0.00, 0.00};
+    spec.zipf_skew = 1.2;
+    spec.num_signatures = 16;
+    spec.params.k_values = {4};
+    spec.params.radius_values = {2};
+    spec.params.theta_values = {0.2};
+    spec.params.top_l_values = {5};
   } else {
     return Status::InvalidArgument(
         "unknown workload mix: " + name +
-        " (expected read_heavy, update_heavy, progressive_scan, or mixed)");
+        " (expected read_heavy, update_heavy, progressive_scan, "
+        "repeat_heavy, or mixed)");
   }
   return spec;
 }

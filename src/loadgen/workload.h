@@ -93,7 +93,9 @@ struct WorkloadSpec {
   std::uint64_t seed = 42;
 
   /// The named mixes: read_heavy (80/10/8/2), update_heavy (45/5/0/50),
-  /// progressive_scan (5/0/90/5), mixed (50/15/25/10) — fractions over
+  /// progressive_scan (5/0/90/5), mixed (50/15/25/10), repeat_heavy
+  /// (90/10/0/0 with zipf 1.2 over 16 signatures and single-value parameter
+  /// bands — the result-cache workload) — fractions over
   /// topl/dtopl/progressive/update.
   static Result<WorkloadSpec> Named(const std::string& name);
 

@@ -35,12 +35,17 @@
 //   topl_cli serve-bench --graph=graph.bin --index=index.bin
 //                     [--mix=mixed --workers=8 --qps=0 --seconds=5
 //                      --warmup-seconds=0.5 --seed=42 --popularity=zipf
-//                      --zipf=0.99 --signatures=64 --deadline-ms=0
+//                      --zipf=0 --signatures=0 --deadline-ms=0
 //                      --slo-qps=0 --slo-p99-ms=0 --slo-p999-ms=0 --json=]
+//
+// All online subcommands accept --cache=1 [--cache-max-mb=64] to serve
+// repeated queries from the snapshot-epoch result cache (exact dirty-region
+// invalidation on update; answers stay byte-identical to uncached serving).
 //
 // `serve-bench` replays a deterministic mixed workload (TopL / DTopL /
 // progressive / live graph updates; named mixes read_heavy, update_heavy,
-// progressive_scan, mixed) against the opened engine — closed-loop when
+// progressive_scan, repeat_heavy, mixed; --zipf=0/--signatures=0 keep the
+// mix's own values) against the opened engine — closed-loop when
 // --qps=0 (capacity ceiling) or open-loop at the target rate, with latency
 // measured from each operation's *intended* arrival so a stalled engine
 // cannot hide its backlog (no coordinated omission). Prints the per-kind
@@ -63,6 +68,8 @@
 //
 // All subcommands exit non-zero with a Status message on failure.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -373,6 +380,8 @@ Result<std::unique_ptr<Engine>> OpenEngine(
   options.save_built_index = FlagOr(flags, "save-index", "0") == "1";
   options.precompute.r_max = static_cast<std::uint32_t>(IntFlag(flags, "rmax", 3));
   options.num_threads = IntFlag(flags, "threads", 0);
+  options.enable_result_cache = FlagOr(flags, "cache", "0") == "1";
+  options.cache_max_bytes = IntFlag(flags, "cache-max-mb", 64) << 20;
   return Engine::Open(options);
 }
 
@@ -623,9 +632,13 @@ int CmdServeBench(const std::map<std::string, std::string>& flags) {
       loadgen::WorkloadSpec::Named(FlagOr(flags, "mix", "mixed"));
   if (!spec.ok()) return Fail(spec.status());
   spec->seed = IntFlag(flags, "seed", 42);
-  spec->num_signatures =
-      static_cast<std::uint32_t>(IntFlag(flags, "signatures", 64));
-  spec->zipf_skew = DoubleFlag(flags, "zipf", 0.99);
+  // 0 keeps the named mix's own pool size / skew (repeat_heavy narrows both).
+  const std::uint64_t signatures = IntFlag(flags, "signatures", 0);
+  if (signatures != 0) {
+    spec->num_signatures = static_cast<std::uint32_t>(signatures);
+  }
+  const double zipf = DoubleFlag(flags, "zipf", 0.0);
+  if (zipf > 0.0) spec->zipf_skew = zipf;
   const std::string popularity = FlagOr(flags, "popularity", "zipf");
   if (popularity == "uniform") {
     spec->popularity = loadgen::Popularity::kUniform;
@@ -635,13 +648,31 @@ int CmdServeBench(const std::map<std::string, std::string>& flags) {
     return Fail(Status::InvalidArgument("unknown popularity: " + popularity));
   }
   // The workload can only ask what this index can serve: clamp the radius
-  // band to r_max and take the theta band from the precompute grid.
+  // band to r_max and snap thetas to the precompute grid, preserving the
+  // mix's own band shape (repeat_heavy pins single values so cache keys
+  // repeat; overwriting its bands with the full grid would destroy that).
   const PrecomputedData& pre = (*engine)->precomputed();
-  spec->params.radius_values.clear();
-  for (std::uint32_t r = 1; r <= pre.r_max() && r <= 2; ++r) {
-    spec->params.radius_values.push_back(r);
+  std::vector<std::uint32_t> radii;
+  for (std::uint32_t r : spec->params.radius_values) {
+    if (r >= 1 && r <= pre.r_max()) radii.push_back(r);
   }
-  spec->params.theta_values.assign(pre.thetas().begin(), pre.thetas().end());
+  if (radii.empty()) {
+    for (std::uint32_t r = 1; r <= pre.r_max() && r <= 2; ++r) {
+      radii.push_back(r);
+    }
+  }
+  spec->params.radius_values = std::move(radii);
+  std::vector<double> thetas;
+  for (double want : spec->params.theta_values) {
+    double best = pre.thetas().front();
+    for (double have : pre.thetas()) {
+      if (std::abs(have - want) < std::abs(best - want)) best = have;
+    }
+    if (std::find(thetas.begin(), thetas.end(), best) == thetas.end()) {
+      thetas.push_back(best);
+    }
+  }
+  spec->params.theta_values = std::move(thetas);
   Result<loadgen::WorkloadGenerator> generator =
       loadgen::WorkloadGenerator::Create(*spec, (*engine)->graph());
   if (!generator.ok()) return Fail(generator.status());
