@@ -23,23 +23,31 @@ Usage:
       [--limit=PATH:MAX] ...        # absolute ceiling on a metric, e.g.
                                     #   --limit='overall.p99_ms:250'
 Baselines are refreshed by committing a newly generated JSON over the old
-one; the gate compares whatever metrics the two files share (a metric
-missing from either side is reported but not fatal, so adding benchmarks
-does not require lockstep baseline updates). Tail-latency metrics whose
-enclosing object reports fewer than MIN_TAIL_SAMPLES samples ("count") are
-excluded from the relative comparison — a p99 over a couple dozen samples is
-one outlier wide — but remain visible to --require / --limit.
+one. The gated-metric key sets of the two files must match exactly: a metric
+present in the baseline but missing from the current run (or vice versa)
+fails the gate with a message naming the drifted keys, because a silently
+skipped metric is an ungated metric. Adding or removing benchmark output
+therefore requires regenerating the baseline in the same change.
+Tail-latency metrics whose enclosing object reports fewer than
+MIN_TAIL_SAMPLES samples ("count") are excluded from the relative
+comparison — a p99 over a couple dozen samples is one outlier wide — but
+remain visible to --require / --limit.
+
+When $GITHUB_STEP_SUMMARY is set (GitHub Actions), a markdown comparison
+table is appended to it so the numbers show up on the workflow run page.
 """
 
 import argparse
 import json
+import os
 import sys
 
 # Metrics where bigger numbers are better; a drop beyond tolerance fails.
 HIGHER_BETTER = ("queries_per_s", "updates_per_s", "extractions_per_s",
-                 "ops_per_s", "achieved_qps", "speedup", "hit_rate")
+                 "ops_per_s", "achieved_qps", "speedup", "hit_rate",
+                 "compression_ratio")
 # Metrics where smaller numbers are better; a rise beyond tolerance fails.
-LOWER_BETTER = ("p99_ms", "p999_ms")
+LOWER_BETTER = ("p99_ms", "p999_ms", "query_p50_ms")
 # A tail percentile over fewer samples than this is dominated by one or two
 # outliers; such metrics are excluded from the baseline comparison (but stay
 # available to --require / --limit, which encode absolute intent).
@@ -91,6 +99,24 @@ def is_lower_better(path):
     return any(path == key or path.endswith("." + key) for key in LOWER_BETTER)
 
 
+def is_speedup(path):
+    return path == "speedup" or path.endswith(".speedup")
+
+
+def write_step_summary(rows):
+    """Appends a markdown comparison table to $GITHUB_STEP_SUMMARY, if set."""
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not summary_path or not rows:
+        return
+    with open(summary_path, "a") as f:
+        f.write("### Benchmark gate\n\n")
+        f.write("| metric | baseline | current | change | status |\n")
+        f.write("|---|---:|---:|---:|---|\n")
+        for metric, base, cur, change, status in rows:
+            f.write(f"| `{metric}` | {base} | {cur} | {change} | {status} |\n")
+        f.write("\n")
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("--current", required=True)
@@ -106,13 +132,35 @@ def main():
     baseline, baseline_unstable = load_metrics(args.baseline)
 
     failures = []
+    summary_rows = []
+
+    # Key drift is fatal in both directions: a baseline metric the current
+    # run no longer emits is an ungated regression vector, and a new current
+    # metric with no baseline is ungated until the baseline is regenerated.
+    missing = sorted(p for p in baseline if p not in current
+                     and not is_speedup(p))
+    extra = sorted(p for p in current if p not in baseline
+                   and not is_speedup(p))
+    for path in missing:
+        failures.append(
+            f"baseline metric {path} missing from current run — if the "
+            f"benchmark output changed intentionally, regenerate and commit "
+            f"the baseline JSON")
+        summary_rows.append((path, f"{baseline[path]:.2f}", "—", "—",
+                             "MISSING"))
+    for path in extra:
+        failures.append(
+            f"current metric {path} has no baseline entry — regenerate and "
+            f"commit the baseline JSON to gate it")
+        summary_rows.append((path, "—", f"{current[path]:.2f}", "—",
+                             "NO BASELINE"))
+
     compared = 0
     for path, base_value in sorted(baseline.items()):
-        if path == "speedup" or path.endswith(".speedup"):
+        if is_speedup(path):
             continue  # speedups are gated via --require, not vs baseline
         if path not in current:
-            print(f"note: {path} missing from current run (skipped)")
-            continue
+            continue  # already reported above as fatal
         if path in current_unstable or path in baseline_unstable:
             print(f"note: {path} has < {MIN_TAIL_SAMPLES} samples (skipped)")
             continue
@@ -136,6 +184,8 @@ def main():
                 f"({change * 100:+.1f}% < -{args.tolerance * 100:.0f}%)")
         print(f"{status:>10}  {path}: {base_value:.2f} -> {cur_value:.2f} "
               f"({change * 100:+.1f}%)")
+        summary_rows.append((path, f"{base_value:.2f}", f"{cur_value:.2f}",
+                             f"{change * 100:+.1f}%", status))
 
     for requirement in args.require:
         path, _, minimum = requirement.rpartition(":")
@@ -147,6 +197,8 @@ def main():
         ok = value >= minimum
         print(f"{'ok' if ok else 'BELOW FLOOR':>10}  {path}: {value:.2f} "
               f"(floor {minimum:.2f})")
+        summary_rows.append((path, f"floor {minimum:.2f}", f"{value:.2f}",
+                             "—", "ok" if ok else "BELOW FLOOR"))
         if not ok:
             failures.append(f"{path}: {value:.2f} below required {minimum:.2f}")
 
@@ -160,9 +212,12 @@ def main():
         ok = value <= maximum
         print(f"{'ok' if ok else 'OVER LIMIT':>10}  {path}: {value:.2f} "
               f"(limit {maximum:.2f})")
+        summary_rows.append((path, f"limit {maximum:.2f}", f"{value:.2f}",
+                             "—", "ok" if ok else "OVER LIMIT"))
         if not ok:
             failures.append(f"{path}: {value:.2f} above limit {maximum:.2f}")
 
+    write_step_summary(summary_rows)
     if compared == 0 and not args.require and not args.limit:
         print("error: no shared metrics between current and baseline")
         return 1

@@ -6,6 +6,7 @@
 
 #include "common/timer.h"
 #include "graph/binary_io.h"
+#include "graph/reorder.h"
 #include "index/index_io.h"
 #include "storage/artifact.h"
 
@@ -60,13 +61,22 @@ Result<std::unique_ptr<Engine>> Engine::Create(Graph graph,
 
 Result<std::unique_ptr<Engine>> Engine::FromGraph(Graph graph,
                                                   const EngineOptions& options) {
+  std::vector<VertexId> external_ids;
+  if (options.reorder_vertices) {
+    Result<ReorderedGraph> reordered = ReorderForLocality(graph);
+    if (!reordered.ok()) return reordered.status();
+    graph = std::move(reordered->graph);
+    external_ids = std::move(reordered->external_ids);
+  }
   Result<PrecomputedData> pre = PrecomputedData::Build(graph, options.precompute);
   if (!pre.ok()) return pre.status();
   auto owned = std::make_unique<PrecomputedData>(std::move(pre).value());
   Result<TreeIndex> tree = TreeIndex::Build(graph, *owned, options.tree);
   if (!tree.ok()) return tree.status();
-  return Create(std::move(graph), std::move(owned), std::move(tree).value(),
-                options);
+  Result<std::unique_ptr<Engine>> engine = Create(
+      std::move(graph), std::move(owned), std::move(tree).value(), options);
+  if (engine.ok()) (*engine)->external_ids_ = std::move(external_ids);
+  return engine;
 }
 
 Result<std::unique_ptr<Engine>> Engine::Open(const EngineOptions& options) {
@@ -79,6 +89,8 @@ Result<std::unique_ptr<Engine>> Engine::Open(const EngineOptions& options) {
   if (have_index_file && ArtifactReader::IsArtifact(options.index_path)) {
     ArtifactReadOptions read_options;
     read_options.verify_checksums = options.verify_artifact_checksums;
+    read_options.populate = options.mmap_populate;
+    read_options.huge_pages = options.mmap_huge_pages;
     Result<MappedIndex> mapped =
         ArtifactReader::Open(options.index_path, read_options);
     if (!mapped.ok()) return mapped.status();
@@ -100,10 +112,16 @@ Result<std::unique_ptr<Engine>> Engine::Open(const EngineOptions& options) {
             std::to_string(header->num_edges));
       }
     }
+    std::vector<VertexId> external_ids = std::move(mapped->external_ids);
+    const bool compressed = mapped->compressed;
     Result<std::unique_ptr<Engine>> engine =
         Create(std::move(mapped->graph), std::move(mapped->pre),
                std::move(mapped->tree), options);
-    if (engine.ok()) (*engine)->index_source_ = IndexSource::kMappedArtifact;
+    if (engine.ok()) {
+      (*engine)->index_source_ = IndexSource::kMappedArtifact;
+      (*engine)->external_ids_ = std::move(external_ids);
+      (*engine)->artifact_compressed_ = compressed;
+    }
     return engine;
   }
 
@@ -130,17 +148,34 @@ Result<std::unique_ptr<Engine>> Engine::Open(const EngineOptions& options) {
     return Status::NotFound("index file not found: " + options.index_path +
                             " (set build_index_if_missing to build in-process)");
   }
+  std::vector<VertexId> external_ids;
+  if (options.reorder_vertices) {
+    Result<ReorderedGraph> reordered = ReorderForLocality(*graph);
+    if (!reordered.ok()) return reordered.status();
+    *graph = std::move(reordered->graph);
+    external_ids = std::move(reordered->external_ids);
+  }
   Result<PrecomputedData> pre = PrecomputedData::Build(*graph, options.precompute);
   if (!pre.ok()) return pre.status();
   auto owned = std::make_unique<PrecomputedData>(std::move(pre).value());
   Result<TreeIndex> tree = TreeIndex::Build(*graph, *owned, options.tree);
   if (!tree.ok()) return tree.status();
   if (options.save_built_index && !options.index_path.empty()) {
-    TOPL_RETURN_IF_ERROR(
-        ArtifactWriter::Write(*graph, *owned, *tree, options.index_path));
+    ArtifactWriteOptions write_options;
+    write_options.compress = options.compress_artifact;
+    write_options.external_ids = external_ids;
+    TOPL_RETURN_IF_ERROR(ArtifactWriter::Write(*graph, *owned, *tree,
+                                               options.index_path,
+                                               write_options));
   }
-  return Create(std::move(graph).value(), std::move(owned),
-                std::move(tree).value(), options);
+  Result<std::unique_ptr<Engine>> engine = Create(
+      std::move(graph).value(), std::move(owned), std::move(tree).value(),
+      options);
+  if (engine.ok()) {
+    (*engine)->external_ids_ = std::move(external_ids);
+    (*engine)->artifact_compressed_ = options.compress_artifact;
+  }
+  return engine;
 }
 
 Engine::WorkerContext* Engine::AcquireContext() {

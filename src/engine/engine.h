@@ -173,6 +173,20 @@ class Engine {
   /// Which load path Open took (kInMemory for Create/FromGraph engines).
   IndexSource index_source() const { return index_source_; }
 
+  /// Internal → external vertex-id mapping when the serving graph was
+  /// locality-reordered (EngineOptions::reorder_vertices or an artifact with
+  /// a g.extids section). Empty means identity. Query results carry internal
+  /// ids; presentation layers unmap with ExternalId. The mapping is fixed for
+  /// the engine's lifetime — updates permute nothing.
+  const std::vector<VertexId>& ExternalIds() const { return external_ids_; }
+  VertexId ExternalId(VertexId v) const {
+    return external_ids_.empty() ? v : external_ids_[v];
+  }
+
+  /// True when the serving artifact stored encoded sections; rewrites should
+  /// preserve the representation.
+  bool artifact_compressed() const { return artifact_compressed_; }
+
   /// Detector contexts created so far (== peak number of concurrent
   /// queries); exposed for tests and capacity monitoring.
   std::size_t pooled_contexts() const;
@@ -256,6 +270,10 @@ class Engine {
 
   EngineOptions options_;
   IndexSource index_source_ = IndexSource::kInMemory;
+  /// Internal → external id permutation (see ExternalIds()); immutable after
+  /// construction, so reads are lock-free.
+  std::vector<VertexId> external_ids_;
+  bool artifact_compressed_ = false;
 
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> updates_applied_{0};

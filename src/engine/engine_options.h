@@ -70,9 +70,27 @@ struct EngineOptions {
   /// happens; disabling this only skips the hash pass.
   bool verify_artifact_checksums = true;
 
+  /// Open: MAP_POPULATE the artifact mapping (prefault the whole file at
+  /// open instead of paying page faults on the query path) and/or advise
+  /// MADV_HUGEPAGE on it (TLB relief for multi-GB artifacts). Both are safe
+  /// no-ops where unsupported. Only affect the mmap load path.
+  bool mmap_populate = false;
+  bool mmap_huge_pages = false;
+
   /// Offline-phase parameters used when the index is built in-process.
   PrecomputeOptions precompute;
   TreeIndexOptions tree;
+
+  /// Build path (Open-with-missing-index / FromGraph): permute vertices into
+  /// the locality order (graph/reorder.h) before the offline phase. Query
+  /// results then carry *internal* ids; Engine::ExternalId maps them back,
+  /// and the permutation is persisted in the artifact (g.extids) so mmap
+  /// reopens keep the mapping. Ignored when serving an existing index.
+  bool reorder_vertices = false;
+
+  /// Build path: store the delta+varint-encoded artifact sections when
+  /// persisting (ArtifactWriteOptions::compress).
+  bool compress_artifact = false;
 
   /// Worker threads for SearchBatch fan-out and Submit async serving;
   /// 0 = hardware concurrency. Independent of the number of pooled detector

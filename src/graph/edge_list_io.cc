@@ -42,7 +42,7 @@ bool ParseEdgeLine(std::string_view line, std::uint64_t* a, std::uint64_t* b) {
 
 Result<Graph> LoadSnapEdgeList(const std::string& path,
                                const EdgeListLoadOptions& options) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open edge list: " + path);
 
   std::unordered_map<std::uint64_t, VertexId> remap;
@@ -52,23 +52,58 @@ Result<Graph> LoadSnapEdgeList(const std::string& path,
     return remap.emplace(raw, static_cast<VertexId>(remap.size())).first->second;
   };
 
-  std::string line;
+  // Chunked streaming read: fixed 1 MiB buffer, lines split manually, with a
+  // carry string for the line straddling each chunk boundary. Keeps memory
+  // proportional to the edge set (not the file) and beats per-line getline
+  // on the 100M-edge inputs `convert` exists for.
+  std::vector<char> buffer(1 << 20);
+  std::string carry;
   std::size_t line_no = 0;
-  while (std::getline(in, line)) {
+  Status line_error = Status::OK();
+  const auto process_line = [&](std::string_view text) {
     ++line_no;
-    if (line.empty() || line[0] == '#') continue;
+    if (text.empty() || text[0] == '#') return;
     std::uint64_t raw_a = 0;
     std::uint64_t raw_b = 0;
-    if (!ParseEdgeLine(line, &raw_a, &raw_b)) {
-      return Status::Corruption(path + ":" + std::to_string(line_no) +
-                                ": malformed edge line");
+    if (!ParseEdgeLine(text, &raw_a, &raw_b)) {
+      line_error = Status::Corruption(path + ":" + std::to_string(line_no) +
+                                      ": malformed edge line");
+      return;
     }
     const VertexId a = intern(raw_a);
     const VertexId b = intern(raw_b);
-    if (a == b) continue;  // SNAP files occasionally contain self-loops.
-    if (!seen.insert(EdgeKey(a, b)).second) continue;  // both orientations listed
+    if (a == b) return;  // SNAP files occasionally contain self-loops.
+    if (!seen.insert(EdgeKey(a, b)).second) return;  // both orientations listed
     edges.emplace_back(a, b);
+    if (options.progress && options.progress_interval > 0 &&
+        edges.size() % options.progress_interval == 0) {
+      options.progress(edges.size());
+    }
+  };
+  while (line_error.ok()) {
+    in.read(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+    const std::size_t got = static_cast<std::size_t>(in.gcount());
+    if (got == 0) break;
+    std::string_view chunk(buffer.data(), got);
+    std::size_t start = 0;
+    while (line_error.ok()) {
+      const std::size_t newline = chunk.find('\n', start);
+      if (newline == std::string_view::npos) {
+        carry.append(chunk.substr(start));
+        break;
+      }
+      if (carry.empty()) {
+        process_line(chunk.substr(start, newline - start));
+      } else {
+        carry.append(chunk.substr(start, newline - start));
+        process_line(carry);
+        carry.clear();
+      }
+      start = newline + 1;
+    }
   }
+  if (line_error.ok() && !carry.empty()) process_line(carry);  // no trailing \n
+  if (!line_error.ok()) return line_error;
   if (in.bad()) return Status::IOError("read error on " + path);
   if (remap.empty()) return Status::Corruption(path + ": no edges found");
 

@@ -1,7 +1,9 @@
 #ifndef TOPL_GRAPH_EDGE_LIST_IO_H_
 #define TOPL_GRAPH_EDGE_LIST_IO_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "common/result.h"
@@ -26,6 +28,12 @@ struct EdgeListLoadOptions {
   /// Definition 1 requires a connected network; when true the loader keeps
   /// only the largest connected component (and renumbers vertices densely).
   bool restrict_to_largest_component = false;
+
+  /// Invoked with the running edge count after every `progress_interval`
+  /// accepted edges — million-edge SNAP ingests are minutes of silence
+  /// otherwise. Null disables reporting.
+  std::function<void(std::size_t edges)> progress;
+  std::size_t progress_interval = 1000000;
 };
 
 /// \brief Loads a SNAP-format undirected edge list.
@@ -34,6 +42,10 @@ struct EdgeListLoadOptions {
 /// arbitrary non-negative integer ids. Ids are remapped to dense [0, n) in
 /// first-appearance order; duplicate edges (in either orientation) and
 /// self-loops are dropped, matching how SNAP community files are consumed.
+///
+/// The file is streamed through a fixed-size chunk buffer (never slurped),
+/// so peak memory is the deduplicated edge set plus O(1) of line buffer —
+/// the line length, not the file length, bounds the carry.
 Result<Graph> LoadSnapEdgeList(const std::string& path,
                                const EdgeListLoadOptions& options);
 

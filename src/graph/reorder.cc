@@ -1,0 +1,109 @@
+#include "graph/reorder.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+
+#include "graph/graph_builder.h"
+
+namespace topl {
+
+std::vector<VertexId> ComputeLocalityOrder(const Graph& g) {
+  const std::size_t n = g.NumVertices();
+  std::vector<VertexId> order;
+  order.reserve(n);
+
+  // Hubs first: high-degree vertices are on nearly every ball, so packing
+  // them (and each other's neighborhoods) at the front of the id space keeps
+  // the hottest CSR rows on a handful of shared pages.
+  std::vector<VertexId> seeds(n);
+  for (std::size_t v = 0; v < n; ++v) seeds[v] = static_cast<VertexId>(v);
+  std::sort(seeds.begin(), seeds.end(), [&g](VertexId a, VertexId b) {
+    const std::size_t da = g.Degree(a), db = g.Degree(b);
+    if (da != db) return da > db;
+    return a < b;
+  });
+
+  std::vector<bool> visited(n, false);
+  std::deque<VertexId> queue;
+  std::vector<VertexId> frontier;
+  for (VertexId seed : seeds) {
+    if (visited[seed]) continue;
+    visited[seed] = true;
+    queue.push_back(seed);
+    while (!queue.empty()) {
+      const VertexId v = queue.front();
+      queue.pop_front();
+      order.push_back(v);
+      frontier.clear();
+      for (const Graph::Arc& arc : g.Neighbors(v)) {
+        if (!visited[arc.to]) {
+          visited[arc.to] = true;
+          frontier.push_back(arc.to);
+        }
+      }
+      // Expand high-degree neighbors first so the next BFS ring clusters
+      // around them; (degree desc, id asc) keeps the order deterministic.
+      std::sort(frontier.begin(), frontier.end(),
+                [&g](VertexId a, VertexId b) {
+                  const std::size_t da = g.Degree(a), db = g.Degree(b);
+                  if (da != db) return da > db;
+                  return a < b;
+                });
+      for (VertexId u : frontier) queue.push_back(u);
+    }
+  }
+  return order;
+}
+
+Result<ReorderedGraph> ApplyVertexOrder(const Graph& g,
+                                        std::vector<VertexId> new_to_old) {
+  const std::size_t n = g.NumVertices();
+  if (new_to_old.size() != n) {
+    return Status::InvalidArgument(
+        "vertex order length does not match the graph");
+  }
+  std::vector<VertexId> old_to_new(n, kInvalidVertex);
+  for (std::size_t i = 0; i < n; ++i) {
+    const VertexId old = new_to_old[i];
+    if (old >= n || old_to_new[old] != kInvalidVertex) {
+      return Status::InvalidArgument("vertex order is not a permutation");
+    }
+    old_to_new[old] = static_cast<VertexId>(i);
+  }
+
+  // Recover both directional probabilities of every undirected edge from the
+  // arc array in one pass (arc.prob is p(source → target)).
+  const std::size_t m = g.NumEdges();
+  std::vector<float> prob_uv(m), prob_vu(m);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (const Graph::Arc& arc : g.Neighbors(static_cast<VertexId>(v))) {
+      if (g.EdgeSource(arc.edge) == static_cast<VertexId>(v)) {
+        prob_uv[arc.edge] = arc.prob;  // arc u → v of edge {u, v}
+      } else {
+        prob_vu[arc.edge] = arc.prob;  // arc v → u
+      }
+    }
+  }
+
+  GraphBuilder builder(n);
+  for (std::size_t e = 0; e < m; ++e) {
+    const VertexId u = g.EdgeSource(static_cast<EdgeId>(e));
+    const VertexId v = g.EdgeTarget(static_cast<EdgeId>(e));
+    builder.AddEdge(old_to_new[u], old_to_new[v], prob_uv[e], prob_vu[e]);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (KeywordId w : g.Keywords(new_to_old[i])) {
+      builder.AddKeyword(static_cast<VertexId>(i), w);
+    }
+  }
+  Result<Graph> rebuilt = std::move(builder).Build();
+  if (!rebuilt.ok()) return rebuilt.status();
+  return ReorderedGraph{std::move(rebuilt).value(), std::move(new_to_old)};
+}
+
+Result<ReorderedGraph> ReorderForLocality(const Graph& g) {
+  return ApplyVertexOrder(g, ComputeLocalityOrder(g));
+}
+
+}  // namespace topl

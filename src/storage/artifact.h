@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -23,26 +24,46 @@ namespace topl {
 ///   ArtifactHeader   (64 bytes)  magic "TOPLIDX2", version, section count,
 ///                                file size, XXH64 of the section table
 ///   SectionEntry[k]  (48 B each) name, byte offset, byte size, element
-///                                size, XXH64 of the section payload
+///                                size, encoding, XXH64 of the payload
 ///   payload sections              each starting on a 64-byte boundary,
 ///                                 zero-padded in between
 ///
-/// Every flat array of the three structures is one section, stored exactly
-/// as it lives in memory; opening the artifact is a single mmap plus O(1)
-/// header/table validation, linear-scan structural checks, and (by default)
-/// one checksum pass — no allocation, no deserialization, no copy. All
-/// serving processes on a host share one page-cache copy of the file.
+/// Two artifact versions are written and read:
 ///
-/// The legacy TOPLIDX1 format (index/index_io.h) remains readable;
-/// `topl_cli index migrate` rewrites old files as TOPLIDX2.
+///   version 1 — 17 sections, all raw: every flat array of the three
+///     structures stored exactly as it lives in memory. Opening is a single
+///     mmap plus O(1) header/table validation, linear-scan structural
+///     checks, and (by default) one checksum pass — no allocation, no
+///     deserialization, no copy.
+///   version 2 — the same sections plus a "g.extids" section holding the
+///     locality permutation (graph/reorder.h; empty = identity), and a
+///     per-section encoding tag: 0 = raw, 1 = the section's delta+varint
+///     codec (storage/varint.h). Encoded sections (CSR offsets, arcs, edge
+///     endpoints, keyword arrays, support/truss bounds, tree nodes) are
+///     decoded into owned heap memory at open; raw sections (doubles,
+///     signatures) stay zero-copy views of the mapping. A graph whose
+///     neighbor ids cluster (after reordering) compresses its arc array to
+///     a fraction of the raw 12 B/arc.
+///
+/// ArtifactWriter emits version 1 unless compression or an external-id
+/// permutation is requested, so default-written files are byte-compatible
+/// with older readers. `topl_cli index migrate` upgrades either the legacy
+/// TOPLIDX1 format (index/index_io.h) or a version-1 artifact in place.
+
+/// Per-section payload encodings (the DiskSection `encoding` field).
+enum class SectionEncoding : std::uint32_t {
+  kRaw = 0,          // memory layout verbatim
+  kDeltaVarint = 1,  // section-specific delta+varint codec (varint.h)
+};
 
 /// One row of the section table, decoded (see ArtifactReader::Inspect).
 struct ArtifactSectionInfo {
   std::string name;
   std::uint64_t offset = 0;
-  std::uint64_t size = 0;       // payload bytes
-  std::uint32_t elem_size = 0;  // bytes per element
-  std::uint64_t checksum = 0;   // XXH64 of the payload
+  std::uint64_t size = 0;       // payload bytes as stored (post-encoding)
+  std::uint32_t elem_size = 0;  // bytes per element (1 for encoded sections)
+  std::uint32_t encoding = 0;   // SectionEncoding
+  std::uint64_t checksum = 0;   // XXH64 of the stored payload
 };
 
 /// Decoded header + meta block of an artifact (see ArtifactReader::Inspect).
@@ -57,8 +78,20 @@ struct ArtifactInfo {
   std::uint32_t num_thetas = 0;
   std::uint32_t tree_height = 0;
   std::uint64_t tree_num_nodes = 0;
+  bool has_external_ids = false;
   bool checksums_ok = false;
   std::vector<ArtifactSectionInfo> sections;
+};
+
+struct ArtifactWriteOptions {
+  /// Store the delta+varint-friendly sections encoded (artifact version 2).
+  /// Decoding happens once at open; the structural validation and all query
+  /// answers are identical to a raw artifact.
+  bool compress = false;
+  /// The locality permutation (new internal id → original external id) from
+  /// graph/reorder.h. Must be empty (identity) or a permutation of [0, n).
+  /// Non-empty forces artifact version 2.
+  std::span<const VertexId> external_ids = {};
 };
 
 /// Writes a TOPLIDX2 artifact from an in-memory graph + offline phase.
@@ -66,7 +99,8 @@ class ArtifactWriter {
  public:
   /// `tree` must have been built over `pre`, and `pre` over `g`.
   static Status Write(const Graph& g, const PrecomputedData& pre,
-                      const TreeIndex& tree, const std::string& path);
+                      const TreeIndex& tree, const std::string& path,
+                      const ArtifactWriteOptions& options = {});
 };
 
 struct ArtifactReadOptions {
@@ -76,6 +110,9 @@ struct ArtifactReadOptions {
   /// detection. Header, section table and structural invariants are always
   /// validated regardless.
   bool verify_checksums = true;
+  /// MAP_POPULATE / MADV_HUGEPAGE on the mapping (see MappedFile::MapOptions).
+  bool populate = false;
+  bool huge_pages = false;
 };
 
 /// The three structures served straight out of one mapping. Each keeps the
@@ -87,6 +124,12 @@ struct MappedIndex {
   Graph graph;
   std::unique_ptr<PrecomputedData> pre;
   TreeIndex tree;
+  /// Internal → external vertex-id permutation from the "g.extids" section;
+  /// empty when the artifact was built without reordering (identity map).
+  std::vector<VertexId> external_ids;
+  /// True when the artifact stored encoded sections (version 2 compressed);
+  /// preserved so rewrites (`topl_cli update`) keep the representation.
+  bool compressed = false;
 };
 
 class ArtifactReader {

@@ -1,0 +1,172 @@
+#ifndef TOPL_STORAGE_VARINT_H_
+#define TOPL_STORAGE_VARINT_H_
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace topl {
+
+/// \brief LEB128 varint + zigzag primitives and the delta/varint stream
+/// codecs used by compressed TOPLIDX2 sections (storage/artifact.h).
+///
+/// Encoded streams are self-delimiting: every stream starts with a uvarint
+/// element count, so a decoder never trusts byte lengths alone. All decoders
+/// are fully bounds-checked and fail (return false) on truncation, overlong
+/// varints, value overflow, or trailing garbage — a corrupt artifact section
+/// must surface as Status::Corruption, never as an out-of-bounds read.
+
+/// Appends `value` to `out` as an unsigned LEB128 varint (1–10 bytes).
+inline void PutUvarint(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+/// Decodes one unsigned LEB128 varint from `in` starting at `*pos`;
+/// advances `*pos` past it. False on truncation or a varint longer than
+/// 10 bytes (the maximum for 64 bits).
+inline bool GetUvarint(std::span<const std::uint8_t> in, std::size_t* pos,
+                       std::uint64_t* value) {
+  std::uint64_t result = 0;
+  for (unsigned shift = 0; shift < 70; shift += 7) {
+    if (*pos >= in.size()) return false;
+    const std::uint8_t byte = in[(*pos)++];
+    if (shift == 63 && byte > 1) return false;  // would overflow 64 bits
+    result |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Maps signed deltas onto small unsigned varints: 0, -1, 1, -2, ... →
+/// 0, 1, 2, 3, ... Exact for every int64 value.
+inline std::uint64_t ZigZagEncode64(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t ZigZagDecode64(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+// ---------------------------------------------------------------------------
+// Stream codecs. Layout: uvarint(count) + count encoded elements.
+// ---------------------------------------------------------------------------
+
+/// Delta codec for 64-bit sequences (CSR offset arrays): each element is the
+/// zigzag varint of its difference from the previous one (implicit previous
+/// of 0). Differences are taken modulo 2^64, so the round trip is exact for
+/// arbitrary — not just monotone — sequences.
+inline std::vector<std::uint8_t> EncodeDeltaU64(
+    std::span<const std::uint64_t> values) {
+  std::vector<std::uint8_t> out;
+  out.reserve(values.size() + 8);
+  PutUvarint(out, values.size());
+  std::uint64_t prev = 0;
+  for (std::uint64_t v : values) {
+    PutUvarint(out, ZigZagEncode64(static_cast<std::int64_t>(v - prev)));
+    prev = v;
+  }
+  return out;
+}
+
+inline bool DecodeDeltaU64(std::span<const std::uint8_t> in,
+                           std::vector<std::uint64_t>* out) {
+  std::size_t pos = 0;
+  std::uint64_t count = 0;
+  if (!GetUvarint(in, &pos, &count)) return false;
+  if (count > in.size()) return false;  // every element is ≥ 1 byte
+  out->clear();
+  out->reserve(count);
+  std::uint64_t prev = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t delta = 0;
+    if (!GetUvarint(in, &pos, &delta)) return false;
+    prev += static_cast<std::uint64_t>(ZigZagDecode64(delta));
+    out->push_back(prev);
+  }
+  return pos == in.size();
+}
+
+/// Delta codec for 32-bit sequences (keyword arrays, sorted-vertex arrays):
+/// zigzag varint of consecutive differences. T must be a 32-bit integral
+/// (VertexId, KeywordId, std::uint32_t).
+template <typename T>
+inline std::vector<std::uint8_t> EncodeDeltaU32(std::span<const T> values) {
+  static_assert(std::is_integral_v<T> && sizeof(T) == 4);
+  std::vector<std::uint8_t> out;
+  out.reserve(values.size() + 8);
+  PutUvarint(out, values.size());
+  std::int64_t prev = 0;
+  for (T v : values) {
+    PutUvarint(out, ZigZagEncode64(static_cast<std::int64_t>(v) - prev));
+    prev = static_cast<std::int64_t>(v);
+  }
+  return out;
+}
+
+template <typename T>
+inline bool DecodeDeltaU32(std::span<const std::uint8_t> in,
+                           std::vector<T>* out) {
+  static_assert(std::is_integral_v<T> && sizeof(T) == 4);
+  std::size_t pos = 0;
+  std::uint64_t count = 0;
+  if (!GetUvarint(in, &pos, &count)) return false;
+  if (count > in.size()) return false;
+  out->clear();
+  out->reserve(count);
+  std::int64_t prev = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t delta = 0;
+    if (!GetUvarint(in, &pos, &delta)) return false;
+    prev += ZigZagDecode64(delta);
+    if (prev < 0 || prev > std::numeric_limits<std::uint32_t>::max()) {
+      return false;
+    }
+    out->push_back(static_cast<T>(prev));
+  }
+  return pos == in.size();
+}
+
+/// Plain varint codec for small-valued 32-bit sequences (support and truss
+/// bound arrays, whose values are tiny but not sorted).
+template <typename T>
+inline std::vector<std::uint8_t> EncodeVarintU32(std::span<const T> values) {
+  static_assert(std::is_integral_v<T> && sizeof(T) == 4);
+  std::vector<std::uint8_t> out;
+  out.reserve(values.size() + 8);
+  PutUvarint(out, values.size());
+  for (T v : values) PutUvarint(out, static_cast<std::uint64_t>(v));
+  return out;
+}
+
+template <typename T>
+inline bool DecodeVarintU32(std::span<const std::uint8_t> in,
+                            std::vector<T>* out) {
+  static_assert(std::is_integral_v<T> && sizeof(T) == 4);
+  std::size_t pos = 0;
+  std::uint64_t count = 0;
+  if (!GetUvarint(in, &pos, &count)) return false;
+  if (count > in.size()) return false;
+  out->clear();
+  out->reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t v = 0;
+    if (!GetUvarint(in, &pos, &v)) return false;
+    if (v > std::numeric_limits<std::uint32_t>::max()) return false;
+    out->push_back(static_cast<T>(v));
+  }
+  return pos == in.size();
+}
+
+}  // namespace topl
+
+#endif  // TOPL_STORAGE_VARINT_H_

@@ -46,6 +46,7 @@
 #include "graph/graph_builder.h"
 #include "graph/graph_delta.h"
 #include "graph/local_subgraph.h"
+#include "graph/reorder.h"
 #include "graph/types.h"
 #include "index/index_io.h"
 #include "index/index_update.h"
@@ -64,6 +65,7 @@
 #include "storage/artifact.h"
 #include "storage/checksum.h"
 #include "storage/mapped_file.h"
+#include "storage/varint.h"
 #include "truss/kcore.h"
 #include "truss/local_truss.h"
 #include "truss/support.h"

@@ -461,5 +461,207 @@ TEST_F(ArtifactTest, LegacyFileIsNotAnArtifact) {
   EXPECT_TRUE(ArtifactReader::Open(path).status().IsCorruption());
 }
 
+TEST_F(ArtifactTest, CompressedArtifactIsSmallerAndAnswersIdentically) {
+  const BuiltIndex built = BuildIndexFor(*graph_);
+  const std::string raw_path = Path("raw.idx");
+  const std::string packed_path = Path("packed.idx");
+  ASSERT_TRUE(
+      ArtifactWriter::Write(*graph_, built.pre(), built.tree, raw_path).ok());
+  ArtifactWriteOptions compress;
+  compress.compress = true;
+  ASSERT_TRUE(ArtifactWriter::Write(*graph_, built.pre(), built.tree,
+                                    packed_path, compress)
+                  .ok());
+  EXPECT_LT(std::filesystem::file_size(packed_path),
+            std::filesystem::file_size(raw_path));
+
+  // The raw write stays version 1 (byte-stable for old readers); compression
+  // is what opts in to version 2 and per-section encodings.
+  Result<ArtifactInfo> raw_info = ArtifactReader::Inspect(raw_path);
+  Result<ArtifactInfo> packed_info = ArtifactReader::Inspect(packed_path);
+  ASSERT_TRUE(raw_info.ok());
+  ASSERT_TRUE(packed_info.ok());
+  EXPECT_EQ(raw_info->version, 1u);
+  EXPECT_EQ(packed_info->version, 2u);
+  std::size_t encoded_sections = 0;
+  for (const ArtifactSectionInfo& s : packed_info->sections) {
+    if (s.encoding != 0) ++encoded_sections;
+  }
+  EXPECT_GT(encoded_sections, 0u);
+
+  Result<MappedIndex> raw = ArtifactReader::Open(raw_path);
+  Result<MappedIndex> packed = ArtifactReader::Open(packed_path);
+  ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+  ASSERT_TRUE(packed.ok()) << packed.status().ToString();
+  EXPECT_FALSE(raw->compressed);
+  EXPECT_TRUE(packed->compressed);
+
+  TopLDetector raw_topl(raw->graph, *raw->pre, raw->tree);
+  TopLDetector packed_topl(packed->graph, *packed->pre, packed->tree);
+  for (const Query& q : TestQueries()) {
+    Result<TopLResult> a = raw_topl.Search(q);
+    Result<TopLResult> b = packed_topl.Search(q);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    ExpectSameCommunities(b->communities, a->communities);
+  }
+}
+
+TEST_F(ArtifactTest, CompressedSectionCorruptionIsRejected) {
+  const BuiltIndex built = BuildIndexFor(*graph_);
+  const std::string path = Path("packed.idx");
+  ArtifactWriteOptions compress;
+  compress.compress = true;
+  ASSERT_TRUE(
+      ArtifactWriter::Write(*graph_, built.pre(), built.tree, path, compress)
+          .ok());
+  Result<ArtifactInfo> info = ArtifactReader::Inspect(path);
+  ASSERT_TRUE(info.ok());
+  const std::vector<char> original = ReadAll(path);
+
+  // Even with the checksum pass disabled, mangled varint payloads must fail
+  // the decode (structurally), never crash or mis-decode silently.
+  ArtifactReadOptions no_verify;
+  no_verify.verify_checksums = false;
+  std::size_t rejected = 0;
+  for (const ArtifactSectionInfo& s : info->sections) {
+    if (s.encoding == 0 || s.size == 0) continue;
+    std::vector<char> mutated = original;
+    // Truncate the stream logically: overwrite its tail with continuation
+    // bytes so the last varint never terminates.
+    for (std::size_t i = s.size > 4 ? s.size - 4 : 0; i < s.size; ++i) {
+      mutated[s.offset + i] = static_cast<char>(0x80);
+    }
+    WriteAll(path, mutated);
+    Result<MappedIndex> opened = ArtifactReader::Open(path, no_verify);
+    if (!opened.ok()) {
+      EXPECT_TRUE(opened.status().IsCorruption()) << s.name;
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0u);
+  WriteAll(path, original);
+  EXPECT_TRUE(ArtifactReader::Open(path).ok());
+}
+
+TEST_F(ArtifactTest, ExternalIdPermutationRoundTrips) {
+  const BuiltIndex built = BuildIndexFor(*graph_);
+  const std::string path = Path("extids.idx");
+  // Any bijection round-trips; reverse order exercises non-identity fully.
+  std::vector<VertexId> permutation(graph_->NumVertices());
+  for (VertexId v = 0; v < permutation.size(); ++v) {
+    permutation[v] = static_cast<VertexId>(permutation.size() - 1 - v);
+  }
+  ArtifactWriteOptions options;
+  options.external_ids = permutation;
+  ASSERT_TRUE(
+      ArtifactWriter::Write(*graph_, built.pre(), built.tree, path, options)
+          .ok());
+
+  Result<MappedIndex> mapped = ArtifactReader::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ(mapped->external_ids, permutation);
+  Result<ArtifactInfo> info = ArtifactReader::Inspect(path);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->version, 2u);
+  EXPECT_TRUE(info->has_external_ids);
+}
+
+TEST_F(ArtifactTest, WriterRejectsNonPermutationExternalIds) {
+  const BuiltIndex built = BuildIndexFor(*graph_);
+  const std::string path = Path("bad_extids.idx");
+
+  std::vector<VertexId> wrong_length(graph_->NumVertices() - 1, 0);
+  ArtifactWriteOptions options;
+  options.external_ids = wrong_length;
+  EXPECT_TRUE(
+      ArtifactWriter::Write(*graph_, built.pre(), built.tree, path, options)
+          .IsInvalidArgument());
+
+  std::vector<VertexId> duplicate(graph_->NumVertices());
+  for (VertexId v = 0; v < duplicate.size(); ++v) duplicate[v] = v;
+  duplicate[1] = duplicate[0];
+  options.external_ids = duplicate;
+  EXPECT_TRUE(
+      ArtifactWriter::Write(*graph_, built.pre(), built.tree, path, options)
+          .IsInvalidArgument());
+}
+
+TEST_F(ArtifactTest, CorruptedExternalIdSectionIsRejected) {
+  const BuiltIndex built = BuildIndexFor(*graph_);
+  const std::string path = Path("extids.idx");
+  std::vector<VertexId> permutation(graph_->NumVertices());
+  for (VertexId v = 0; v < permutation.size(); ++v) permutation[v] = v;
+  ArtifactWriteOptions options;
+  options.external_ids = permutation;
+  ASSERT_TRUE(
+      ArtifactWriter::Write(*graph_, built.pre(), built.tree, path, options)
+          .ok());
+  Result<ArtifactInfo> info = ArtifactReader::Inspect(path);
+  ASSERT_TRUE(info.ok());
+  const ArtifactSectionInfo* extids = nullptr;
+  for (const ArtifactSectionInfo& s : info->sections) {
+    if (s.name == "g.extids") extids = &s;
+  }
+  ASSERT_NE(extids, nullptr);
+  const std::vector<char> original = ReadAll(path);
+  ArtifactReadOptions no_verify;
+  no_verify.verify_checksums = false;
+
+  // A duplicated entry (no longer a bijection) must be rejected even without
+  // the checksum pass.
+  std::vector<char> duplicated = original;
+  std::memcpy(duplicated.data() + extids->offset,
+              duplicated.data() + extids->offset + sizeof(VertexId),
+              sizeof(VertexId));
+  WriteAll(path, duplicated);
+  Result<MappedIndex> opened = ArtifactReader::Open(path, no_verify);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_TRUE(opened.status().IsCorruption()) << opened.status().ToString();
+
+  // An out-of-range entry likewise.
+  std::vector<char> out_of_range = original;
+  const VertexId bogus = static_cast<VertexId>(graph_->NumVertices() + 13);
+  std::memcpy(out_of_range.data() + extids->offset, &bogus, sizeof(bogus));
+  WriteAll(path, out_of_range);
+  opened = ArtifactReader::Open(path, no_verify);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_TRUE(opened.status().IsCorruption()) << opened.status().ToString();
+
+  WriteAll(path, original);
+  EXPECT_TRUE(ArtifactReader::Open(path, no_verify).ok());
+}
+
+TEST_F(ArtifactTest, CompressedCorruptionSweepStaysRejectedWithChecksums) {
+  // The v1 flip sweep (FlippedBytesInEverySectionAreRejected) re-run over a
+  // compressed v2 artifact: per-section checksums still catch every flip.
+  const BuiltIndex built = BuildIndexFor(*graph_);
+  const std::string path = Path("packed.idx");
+  ArtifactWriteOptions compress;
+  compress.compress = true;
+  ASSERT_TRUE(
+      ArtifactWriter::Write(*graph_, built.pre(), built.tree, path, compress)
+          .ok());
+  Result<ArtifactInfo> info = ArtifactReader::Inspect(path);
+  ASSERT_TRUE(info.ok());
+  const std::vector<char> original = ReadAll(path);
+
+  std::vector<std::size_t> positions = {0};
+  for (const ArtifactSectionInfo& s : info->sections) {
+    if (s.size > 0) positions.push_back(s.offset + s.size / 2);
+  }
+  for (const std::size_t pos : positions) {
+    ASSERT_LT(pos, original.size());
+    std::vector<char> mutated = original;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x20);
+    WriteAll(path, mutated);
+    Result<MappedIndex> opened = ArtifactReader::Open(path);
+    ASSERT_FALSE(opened.ok()) << "flip at " << pos << " was accepted";
+    EXPECT_TRUE(opened.status().IsCorruption()) << opened.status().ToString();
+  }
+  WriteAll(path, original);
+  EXPECT_TRUE(ArtifactReader::Open(path).ok());
+}
+
 }  // namespace
 }  // namespace topl

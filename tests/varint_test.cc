@@ -1,0 +1,257 @@
+// The delta+varint codec under the compressed TOPLIDX2 sections: encode and
+// decode must be exact inverses on every value shape the artifact stores
+// (exhaustive small values, the 7-bit group boundaries, maximal deltas), and
+// the decoders must reject every malformed stream — truncation, overlong
+// encodings, trailing garbage, counts that overrun the payload — because
+// they run on bytes that came straight off disk.
+
+#include "storage/varint.h"
+
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace topl {
+namespace {
+
+std::vector<std::uint8_t> EncodeOne(std::uint64_t value) {
+  std::vector<std::uint8_t> out;
+  PutUvarint(out, value);
+  return out;
+}
+
+// Decodes a single uvarint and demands it consume the whole buffer.
+bool DecodeOne(const std::vector<std::uint8_t>& bytes, std::uint64_t* value) {
+  std::size_t pos = 0;
+  return GetUvarint(bytes, &pos, value) && pos == bytes.size();
+}
+
+TEST(VarintTest, RoundTripsExhaustiveSmallValues) {
+  for (std::uint64_t v = 0; v < 100000; ++v) {
+    std::uint64_t back = 0;
+    ASSERT_TRUE(DecodeOne(EncodeOne(v), &back)) << v;
+    ASSERT_EQ(back, v);
+  }
+}
+
+TEST(VarintTest, RoundTripsGroupBoundaries) {
+  // Every 7-bit group boundary (where the encoded length changes) plus the
+  // extremes of the 32- and 64-bit domains.
+  std::vector<std::uint64_t> values = {0, 1};
+  for (int shift = 7; shift < 64; shift += 7) {
+    const std::uint64_t edge = 1ULL << shift;
+    values.push_back(edge - 1);
+    values.push_back(edge);
+    values.push_back(edge + 1);
+  }
+  values.push_back(std::numeric_limits<std::uint32_t>::max());
+  values.push_back(std::numeric_limits<std::uint64_t>::max());
+  for (const std::uint64_t v : values) {
+    const std::vector<std::uint8_t> bytes = EncodeOne(v);
+    EXPECT_LE(bytes.size(), 10u);
+    std::uint64_t back = 0;
+    ASSERT_TRUE(DecodeOne(bytes, &back)) << v;
+    EXPECT_EQ(back, v);
+  }
+}
+
+TEST(VarintTest, EncodedLengthsMatchTheSevenBitGroups) {
+  EXPECT_EQ(EncodeOne(0).size(), 1u);
+  EXPECT_EQ(EncodeOne(127).size(), 1u);
+  EXPECT_EQ(EncodeOne(128).size(), 2u);
+  EXPECT_EQ(EncodeOne(16383).size(), 2u);
+  EXPECT_EQ(EncodeOne(16384).size(), 3u);
+  EXPECT_EQ(EncodeOne(std::numeric_limits<std::uint64_t>::max()).size(), 10u);
+}
+
+TEST(VarintTest, TruncatedVarintsAreRejected) {
+  for (const std::uint64_t v :
+       {std::uint64_t{128}, std::uint64_t{1} << 30, std::uint64_t{1} << 60,
+        std::numeric_limits<std::uint64_t>::max()}) {
+    const std::vector<std::uint8_t> bytes = EncodeOne(v);
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+      const std::vector<std::uint8_t> cut(bytes.begin(), bytes.begin() + len);
+      std::size_t pos = 0;
+      std::uint64_t out = 0;
+      EXPECT_FALSE(GetUvarint(cut, &pos, &out))
+          << "value " << v << " truncated to " << len << " bytes";
+    }
+  }
+}
+
+TEST(VarintTest, OverlongAndOverflowingEncodingsAreRejected) {
+  // Eleven continuation groups can never be a canonical uvarint.
+  std::vector<std::uint8_t> too_long(10, 0x80);
+  too_long.push_back(0x01);
+  std::size_t pos = 0;
+  std::uint64_t out = 0;
+  EXPECT_FALSE(GetUvarint(too_long, &pos, &out));
+
+  // Ten bytes whose final group pushes past 2^64.
+  std::vector<std::uint8_t> overflow(9, 0x80);
+  overflow.push_back(0x02);  // bit 64 set
+  pos = 0;
+  EXPECT_FALSE(GetUvarint(overflow, &pos, &out));
+
+  // The maximal value itself stays accepted (boundary of the same check).
+  ASSERT_TRUE(
+      DecodeOne(EncodeOne(std::numeric_limits<std::uint64_t>::max()), &out));
+  EXPECT_EQ(out, std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(VarintTest, ZigZagIsAnExactInvolutionOnBoundaryValues) {
+  for (const std::int64_t v :
+       {std::int64_t{0}, std::int64_t{1}, std::int64_t{-1}, std::int64_t{63},
+        std::int64_t{-64}, std::numeric_limits<std::int64_t>::max(),
+        std::numeric_limits<std::int64_t>::min()}) {
+    EXPECT_EQ(ZigZagDecode64(ZigZagEncode64(v)), v) << v;
+  }
+  // Small magnitudes map to small codes (the property delta coding exploits).
+  EXPECT_EQ(ZigZagEncode64(0), 0u);
+  EXPECT_EQ(ZigZagEncode64(-1), 1u);
+  EXPECT_EQ(ZigZagEncode64(1), 2u);
+  EXPECT_EQ(ZigZagEncode64(-2), 3u);
+}
+
+TEST(VarintTest, DeltaU32RoundTripsEdgeSequences) {
+  const std::uint32_t max32 = std::numeric_limits<std::uint32_t>::max();
+  const std::vector<std::vector<std::uint32_t>> sequences = {
+      {},                       // empty section (degenerate graph slice)
+      {0},                      // single element
+      {max32},                  // single maximal element
+      {0, max32},               // maximal positive delta
+      {max32, 0},               // maximal negative delta
+      {0, max32, 0, max32, 0},  // alternating extremes
+      {5, 5, 5, 5},             // zero deltas
+      {0, 1, 2, 3, 1000, 999},  // mixed monotone and backward steps
+  };
+  for (const auto& seq : sequences) {
+    const std::vector<std::uint8_t> bytes = EncodeDeltaU32<std::uint32_t>(seq);
+    std::vector<std::uint32_t> back;
+    ASSERT_TRUE(DecodeDeltaU32<std::uint32_t>(bytes, &back));
+    EXPECT_EQ(back, seq);
+  }
+}
+
+TEST(VarintTest, DeltaU64RoundTripsArbitrarySequences) {
+  std::mt19937_64 rng(7);
+  std::vector<std::uint64_t> seq;
+  for (int i = 0; i < 4096; ++i) {
+    // Mix of small monotone steps and full-width jumps: wrap-around deltas
+    // must still reconstruct exactly (mod-2^64 arithmetic).
+    seq.push_back(i % 7 == 0 ? rng() : (seq.empty() ? 0 : seq.back() + i));
+  }
+  const std::vector<std::uint8_t> bytes = EncodeDeltaU64(seq);
+  std::vector<std::uint64_t> back;
+  ASSERT_TRUE(DecodeDeltaU64(bytes, &back));
+  EXPECT_EQ(back, seq);
+
+  const std::vector<std::uint64_t> empty;
+  std::vector<std::uint64_t> empty_back = {1};
+  ASSERT_TRUE(DecodeDeltaU64(EncodeDeltaU64(empty), &empty_back));
+  EXPECT_TRUE(empty_back.empty());
+}
+
+TEST(VarintTest, FuzzedRandomU32SequencesRoundTrip) {
+  std::mt19937_64 rng(42);
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t len = rng() % 300;
+    std::vector<std::uint32_t> seq(len);
+    for (std::uint32_t& v : seq) {
+      // Skewed toward small values with occasional full-range outliers —
+      // the distribution CSR offsets and sorted ids actually have.
+      v = (rng() % 4 == 0) ? static_cast<std::uint32_t>(rng())
+                           : static_cast<std::uint32_t>(rng() % 1024);
+    }
+    std::vector<std::uint32_t> back;
+    ASSERT_TRUE(
+        DecodeDeltaU32<std::uint32_t>(EncodeDeltaU32<std::uint32_t>(seq), &back));
+    ASSERT_EQ(back, seq);
+    ASSERT_TRUE(DecodeVarintU32<std::uint32_t>(EncodeVarintU32<std::uint32_t>(seq),
+                                               &back));
+    ASSERT_EQ(back, seq);
+  }
+}
+
+TEST(VarintTest, StreamsWithTrailingGarbageAreRejected) {
+  const std::vector<std::uint32_t> seq = {1, 2, 3};
+  std::vector<std::uint8_t> bytes = EncodeDeltaU32<std::uint32_t>(seq);
+  bytes.push_back(0x00);
+  std::vector<std::uint32_t> out;
+  EXPECT_FALSE(DecodeDeltaU32<std::uint32_t>(bytes, &out));
+
+  bytes = EncodeVarintU32<std::uint32_t>(seq);
+  bytes.push_back(0x00);
+  EXPECT_FALSE(DecodeVarintU32<std::uint32_t>(bytes, &out));
+}
+
+TEST(VarintTest, TruncatedSequenceStreamsAreRejected) {
+  const std::vector<std::uint32_t> seq = {1000, 2000, 3000, 4000};
+  const std::vector<std::uint8_t> bytes = EncodeDeltaU32<std::uint32_t>(seq);
+  std::vector<std::uint32_t> out;
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const std::vector<std::uint8_t> cut(bytes.begin(), bytes.begin() + len);
+    EXPECT_FALSE(DecodeDeltaU32<std::uint32_t>(cut, &out)) << len;
+  }
+}
+
+TEST(VarintTest, HugeCountPrefixCannotBalloonAllocation) {
+  // count = 2^40 followed by no payload: the decoder must reject before
+  // reserving, not attempt a terabyte vector.
+  std::vector<std::uint8_t> bytes;
+  PutUvarint(bytes, std::uint64_t{1} << 40);
+  std::vector<std::uint32_t> out32;
+  std::vector<std::uint64_t> out64;
+  EXPECT_FALSE(DecodeDeltaU32<std::uint32_t>(bytes, &out32));
+  EXPECT_FALSE(DecodeVarintU32<std::uint32_t>(bytes, &out32));
+  EXPECT_FALSE(DecodeDeltaU64(bytes, &out64));
+}
+
+TEST(VarintTest, U32DecodersRejectValuesOutOfRange) {
+  // A delta stream reconstructing past UINT32_MAX (or below 0) is not a
+  // valid uint32 stream even though each varint parses.
+  const std::vector<std::uint64_t> high = {std::uint64_t{1} << 40};
+  std::vector<std::uint32_t> out;
+  EXPECT_FALSE(DecodeDeltaU32<std::uint32_t>(EncodeDeltaU64(high), &out));
+
+  std::vector<std::uint8_t> negative;
+  PutUvarint(negative, 1);                   // count = 1
+  PutUvarint(negative, ZigZagEncode64(-1));  // first prefix sum = -1
+  EXPECT_FALSE(DecodeDeltaU32<std::uint32_t>(negative, &out));
+
+  std::vector<std::uint8_t> big_plain;
+  PutUvarint(big_plain, 1);
+  PutUvarint(big_plain, std::uint64_t{1} << 40);
+  EXPECT_FALSE(DecodeVarintU32<std::uint32_t>(big_plain, &out));
+}
+
+TEST(VarintTest, FuzzedMutationsNeverCrashTheDecoders) {
+  // Random byte mutations over a valid stream: every outcome must be either
+  // a clean false or a successful decode — never a crash or out-of-bounds
+  // read (the ASan job enforces the latter).
+  std::vector<std::uint32_t> seq(64);
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    seq[i] = static_cast<std::uint32_t>(i * 2654435761u);
+  }
+  const std::vector<std::uint8_t> bytes = EncodeDeltaU32<std::uint32_t>(seq);
+  std::mt19937_64 rng(99);
+  std::vector<std::uint32_t> out;
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<std::uint8_t> mutated = bytes;
+    const int flips = 1 + static_cast<int>(rng() % 4);
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng() % mutated.size()] ^=
+          static_cast<std::uint8_t>(1 + rng() % 255);
+    }
+    if (rng() % 3 == 0) mutated.resize(rng() % (mutated.size() + 1));
+    if (DecodeDeltaU32<std::uint32_t>(mutated, &out)) {
+      EXPECT_LE(out.size(), mutated.size());  // count prefix was validated
+    }
+  }
+}
+
+}  // namespace
+}  // namespace topl

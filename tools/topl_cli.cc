@@ -4,17 +4,29 @@
 //   topl_cli generate --kind=uni --vertices=10000 --out=graph.bin
 //   topl_cli convert  --in=com-dblp.ungraph.txt --out=graph.bin
 //   topl_cli index build   --graph=graph.bin --out=index.idx
-//                          [--rmax=3 --threads=0 --format=v2|legacy]
+//                          [--rmax=3 --threads=0 --format=v2|legacy
+//                           --reorder=0 --compress=0]
 //   topl_cli index inspect --artifact=index.idx
 //   topl_cli index migrate --in=old.bin --graph=graph.bin --out=index.idx
+//                          [--compress=0]
 //   topl_cli update   --index=index.idx --delta=delta.txt --out=patched.idx
 //   topl_cli stats    --graph=graph.bin
 //
 // `index build` writes the mmap-able TOPLIDX2 artifact (graph + precompute +
-// tree in one file) unless --format=legacy asks for the old TOPLIDX1 stream;
-// `index inspect` dumps an artifact's section table and checksums;
-// `index migrate` rewrites a TOPLIDX1 file as TOPLIDX2. Bare
+// tree in one file) unless --format=legacy asks for the old TOPLIDX1 stream.
+// --reorder=1 permutes vertices into a locality-preserving order
+// (graph/reorder.h) before CSR packing and records the internal→external
+// permutation in the artifact's g.extids section, so every id the online
+// commands print is still the original graph's id; --compress=1 stores the
+// large array sections delta+varint-encoded (artifact v2). `index inspect`
+// dumps an artifact's section table, per-section encoding and checksums;
+// `index migrate` rewrites a TOPLIDX1 file — or re-encodes an existing
+// TOPLIDX2 artifact — as TOPLIDX2, honoring --compress. Bare
 // `topl_cli index --graph=... --out=...` remains an alias for `index build`.
+//
+// `convert` streams the edge list (bounded memory for the line buffer; the
+// edge set itself is what's retained) and reports progress every million
+// edges read.
 //
 // `update` applies a GraphDelta (text format of graph/delta_io.h: one
 // "e+ u v p [p]", "e- u v", "w+ v kw" or "w- v kw" per line) to a TOPLIDX2
@@ -29,6 +41,8 @@
 //   topl_cli query    --graph=graph.bin --index=index.bin
 //                     --keywords=1,8,21 --k=4 --r=2 --theta=0.2 --L=5
 //                     [--deadline-ms=0 --progressive --chunk=8]
+//                     [--mmap-populate=0 --mmap-hugepages=0
+//                      --reorder=0 --compress=0]
 //   topl_cli dtopl    ... same flags ... [--n=5 --algorithm=wp|wop|optimal]
 //   topl_cli batch    --graph=graph.bin --index=index.bin --queries=queries.txt
 //                     [--threads=0 --repeat=1 --quiet=0]
@@ -40,7 +54,12 @@
 //
 // All online subcommands accept --cache=1 [--cache-max-mb=64] to serve
 // repeated queries from the snapshot-epoch result cache (exact dirty-region
-// invalidation on update; answers stay byte-identical to uncached serving).
+// invalidation on update; answers stay byte-identical to uncached serving),
+// --mmap-populate=1 / --mmap-hugepages=1 to prefault / THP-back the mmap'd
+// artifact, and --reorder=1 / --compress=1 to apply locality reordering /
+// section compression when the index is built in-process. When the served
+// artifact carries a vertex permutation, printed community centers are
+// always the original (external) ids.
 //
 // `serve-bench` replays a deterministic mixed workload (TopL / DTopL /
 // progressive / live graph updates; named mixes read_heavy, update_heavy,
@@ -72,6 +91,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -194,6 +214,9 @@ int CmdConvert(const std::map<std::string, std::string>& flags) {
       static_cast<std::uint32_t>(IntFlag(flags, "keywords-per-vertex", 3));
   load.attribute_seed = IntFlag(flags, "seed", 42);
   load.restrict_to_largest_component = FlagOr(flags, "largest-cc", "1") == "1";
+  load.progress = [](std::size_t edges) {
+    std::fprintf(stderr, "  ... %zuM edges read\n", edges / 1000000);
+  };
   Result<Graph> graph = LoadSnapEdgeList(in, load);
   if (!graph.ok()) return Fail(graph.status());
   const Status status = WriteGraphBinary(*graph, out);
@@ -211,24 +234,43 @@ int CmdIndexBuild(const std::map<std::string, std::string>& flags) {
     return Fail(Status::InvalidArgument("unknown --format: " + format +
                                         " (expected v2 or legacy)"));
   }
+  const bool reorder = FlagOr(flags, "reorder", "0") == "1";
+  const bool compress = FlagOr(flags, "compress", "0") == "1";
+  if (format == "legacy" && (reorder || compress)) {
+    return Fail(Status::InvalidArgument(
+        "--format=legacy cannot store a vertex permutation or encoded "
+        "sections; drop --reorder/--compress or use --format=v2"));
+  }
   Result<Graph> graph = ReadGraphBinary(graph_path);
   if (!graph.ok()) return Fail(graph.status());
+  Timer timer;
+  std::vector<VertexId> external_ids;
+  if (reorder) {
+    Result<ReorderedGraph> reordered = ReorderForLocality(*graph);
+    if (!reordered.ok()) return Fail(reordered.status());
+    *graph = std::move(reordered->graph);
+    external_ids = std::move(reordered->external_ids);
+  }
   PrecomputeOptions options;
   options.r_max = static_cast<std::uint32_t>(IntFlag(flags, "rmax", 3));
   options.num_threads = IntFlag(flags, "threads", 0);
-  Timer timer;
   Result<PrecomputedData> pre = PrecomputedData::Build(*graph, options);
   if (!pre.ok()) return Fail(pre.status());
   Result<TreeIndex> tree = TreeIndex::Build(*graph, *pre);
   if (!tree.ok()) return Fail(tree.status());
-  const Status status = format == "legacy"
-                            ? IndexCodec::Write(*pre, *tree, out)
-                            : ArtifactWriter::Write(*graph, *pre, *tree, out);
+  ArtifactWriteOptions write_options;
+  write_options.compress = compress;
+  write_options.external_ids = external_ids;
+  const Status status =
+      format == "legacy"
+          ? IndexCodec::Write(*pre, *tree, out)
+          : ArtifactWriter::Write(*graph, *pre, *tree, out, write_options);
   if (!status.ok()) return Fail(status);
-  std::printf("indexed %s in %.2fs -> %s (%s, %zu tree nodes, height %u)\n",
+  std::printf("indexed %s in %.2fs -> %s (%s%s%s, %zu tree nodes, height %u)\n",
               graph_path.c_str(), timer.ElapsedSeconds(), out.c_str(),
-              format == "legacy" ? "TOPLIDX1" : "TOPLIDX2", tree->NumNodes(),
-              tree->height());
+              format == "legacy" ? "TOPLIDX1" : "TOPLIDX2",
+              reorder ? ", reordered" : "", compress ? ", compressed" : "",
+              tree->NumNodes(), tree->height());
   return 0;
 }
 
@@ -258,12 +300,15 @@ int CmdIndexInspect(const std::map<std::string, std::string>& flags) {
               info->r_max, info->num_thetas, info->signature_bits,
               static_cast<unsigned long long>(info->tree_num_nodes),
               info->tree_height);
-  std::printf("%-14s %12s %14s %6s  %s\n", "section", "offset", "bytes",
-              "elem", "xxh64");
+  std::printf("external-id permutation: %s\n",
+              info->has_external_ids ? "yes (reordered build)" : "identity");
+  std::printf("%-14s %12s %14s %6s %6s  %s\n", "section", "offset", "bytes",
+              "elem", "enc", "xxh64");
   for (const ArtifactSectionInfo& s : info->sections) {
-    std::printf("%-14s %12llu %14llu %6u  %016llx\n", s.name.c_str(),
+    std::printf("%-14s %12llu %14llu %6u %6s  %016llx\n", s.name.c_str(),
                 static_cast<unsigned long long>(s.offset),
                 static_cast<unsigned long long>(s.size), s.elem_size,
+                s.encoding == 0 ? "raw" : "dv",
                 static_cast<unsigned long long>(s.checksum));
   }
   return info->checksums_ok ? 0 : 1;
@@ -277,15 +322,34 @@ int CmdIndexMigrate(const std::map<std::string, std::string>& flags) {
     return Fail(Status::InvalidArgument(
         "index migrate needs --in=OLD_INDEX and --out=NEW_ARTIFACT"));
   }
+  ArtifactWriteOptions write_options;
+  write_options.compress = FlagOr(flags, "compress", "0") == "1";
+
+  // A TOPLIDX2 input is re-encoded in place (raw <-> compressed), keeping
+  // its embedded graph and external-id permutation; no --graph needed.
+  if (ArtifactReader::IsArtifact(in)) {
+    Result<MappedIndex> mapped = ArtifactReader::Open(in);
+    if (!mapped.ok()) return Fail(mapped.status());
+    write_options.external_ids = mapped->external_ids;
+    const Status status = ArtifactWriter::Write(mapped->graph, *mapped->pre,
+                                                mapped->tree, out, write_options);
+    if (!status.ok()) return Fail(status);
+    std::printf("migrated %s -> %s (TOPLIDX2%s, %zu tree nodes)\n", in.c_str(),
+                out.c_str(), write_options.compress ? ", compressed" : "",
+                mapped->tree.NumNodes());
+    return 0;
+  }
+
   Result<Graph> graph = ReadGraphBinary(graph_path);
   if (!graph.ok()) return Fail(graph.status());
   Result<IndexCodec::LoadedIndex> loaded = IndexCodec::Read(in, *graph);
   if (!loaded.ok()) return Fail(loaded.status());
-  const Status status =
-      ArtifactWriter::Write(*graph, *loaded->data, loaded->tree, out);
+  const Status status = ArtifactWriter::Write(*graph, *loaded->data,
+                                              loaded->tree, out, write_options);
   if (!status.ok()) return Fail(status);
-  std::printf("migrated %s -> %s (TOPLIDX2, %zu tree nodes)\n", in.c_str(),
-              out.c_str(), loaded->tree.NumNodes());
+  std::printf("migrated %s -> %s (TOPLIDX2%s, %zu tree nodes)\n", in.c_str(),
+              out.c_str(), write_options.compress ? ", compressed" : "",
+              loaded->tree.NumNodes());
   return 0;
 }
 
@@ -308,14 +372,54 @@ int CmdUpdate(const std::map<std::string, std::string>& flags) {
   Result<MappedIndex> mapped = ArtifactReader::Open(index_path);
   if (!mapped.ok()) return Fail(mapped.status());
 
+  // A reordered artifact stores vertices in internal (locality) order; the
+  // delta file speaks the original id space, so translate its vertex ids
+  // through the inverse of the stored permutation before applying.
+  if (!mapped->external_ids.empty()) {
+    std::vector<VertexId> to_internal(mapped->external_ids.size());
+    for (VertexId v = 0; v < mapped->external_ids.size(); ++v) {
+      to_internal[mapped->external_ids[v]] = v;
+    }
+    const auto remap = [&](VertexId* v) -> Status {
+      if (*v >= to_internal.size()) {
+        return Status::InvalidArgument(
+            "delta names vertex " + std::to_string(*v) +
+            " outside the graph's id space");
+      }
+      *v = to_internal[*v];
+      return Status::OK();
+    };
+    Status remapped = Status::OK();
+    for (auto& op : delta->edge_deletes) {
+      if (remapped.ok()) remapped = remap(&op.u);
+      if (remapped.ok()) remapped = remap(&op.v);
+    }
+    for (auto& op : delta->edge_inserts) {
+      if (remapped.ok()) remapped = remap(&op.u);
+      if (remapped.ok()) remapped = remap(&op.v);
+    }
+    for (auto& op : delta->keyword_adds) {
+      if (remapped.ok()) remapped = remap(&op.v);
+    }
+    for (auto& op : delta->keyword_removes) {
+      if (remapped.ok()) remapped = remap(&op.v);
+    }
+    if (!remapped.ok()) return Fail(remapped);
+  }
+
   ThreadPool pool(IntFlag(flags, "threads", 0));
   Timer timer;
   Result<UpdatedIndex> updated = IndexUpdater::Apply(
       mapped->graph, *mapped->pre, mapped->tree, *delta, &pool);
   if (!updated.ok()) return Fail(updated.status());
   const double maintain_seconds = timer.ElapsedSeconds();
-  const Status status =
-      ArtifactWriter::Write(updated->graph, *updated->pre, updated->tree, out);
+  // The patched artifact keeps the input's permutation and encoding, so a
+  // reordered/compressed index stays reordered/compressed across updates.
+  ArtifactWriteOptions write_options;
+  write_options.compress = mapped->compressed;
+  write_options.external_ids = mapped->external_ids;
+  const Status status = ArtifactWriter::Write(updated->graph, *updated->pre,
+                                              updated->tree, out, write_options);
   if (!status.ok()) return Fail(status);
   std::printf("applied %zu delta ops in %.3fs -> %s (%zu vertices, %zu edges)\n",
               delta->NumOps(), maintain_seconds, out.c_str(),
@@ -362,12 +466,15 @@ Result<Query> BuildQuery(const std::map<std::string, std::string>& flags) {
   return query;
 }
 
-void PrintCommunities(const std::vector<CommunityResult>& communities) {
+// Centers are printed in the original graph's id space: a reordered build
+// relabels vertices internally, and Engine::ExternalId undoes that.
+void PrintCommunities(const Engine& engine,
+                      const std::vector<CommunityResult>& communities) {
   for (std::size_t i = 0; i < communities.size(); ++i) {
     const CommunityResult& c = communities[i];
     std::printf("#%zu center=%u members=%zu sigma=%.3f influenced=%zu\n", i + 1,
-                c.community.center, c.community.size(), c.score(),
-                c.influence.size());
+                engine.ExternalId(c.community.center), c.community.size(),
+                c.score(), c.influence.size());
   }
 }
 
@@ -375,13 +482,23 @@ void PrintCommunities(const std::vector<CommunityResult>& communities) {
 Result<std::unique_ptr<Engine>> OpenEngine(
     const std::map<std::string, std::string>& flags) {
   EngineOptions options;
-  options.graph_path = FlagOr(flags, "graph", "graph.bin");
+  options.graph_path = FlagOr(flags, "graph", "");
+  if (options.graph_path.empty() && std::filesystem::exists("graph.bin")) {
+    // Keep the historical graph.bin default, but only when the file exists:
+    // TOPLIDX2 artifacts embed the graph, so an artifact-only invocation
+    // must not demand a graph file it never needs.
+    options.graph_path = "graph.bin";
+  }
   options.index_path = FlagOr(flags, "index", "index.bin");
   options.save_built_index = FlagOr(flags, "save-index", "0") == "1";
   options.precompute.r_max = static_cast<std::uint32_t>(IntFlag(flags, "rmax", 3));
   options.num_threads = IntFlag(flags, "threads", 0);
   options.enable_result_cache = FlagOr(flags, "cache", "0") == "1";
   options.cache_max_bytes = IntFlag(flags, "cache-max-mb", 64) << 20;
+  options.mmap_populate = FlagOr(flags, "mmap-populate", "0") == "1";
+  options.mmap_huge_pages = FlagOr(flags, "mmap-hugepages", "0") == "1";
+  options.reorder_vertices = FlagOr(flags, "reorder", "0") == "1";
+  options.compress_artifact = FlagOr(flags, "compress", "0") == "1";
   return Engine::Open(options);
 }
 
@@ -443,7 +560,7 @@ int CmdQuery(const std::map<std::string, std::string>& flags, bool diversified) 
         controlled ? (*engine)->SearchProgressive(*query, prog, on_update)
                    : (*engine)->Search(*query);
     if (!answer.ok()) return Fail(answer.status());
-    PrintCommunities(answer->communities);
+    PrintCommunities(**engine, answer->communities);
     PrintTruncation(answer->truncated, answer->score_upper_bound);
     std::printf("stats: %s\n", answer->stats.ToString().c_str());
     return 0;
@@ -457,7 +574,7 @@ int CmdQuery(const std::map<std::string, std::string>& flags, bool diversified) 
                                                     on_update)
           : (*engine)->SearchDiversified(*query, *options);
   if (!answer.ok()) return Fail(answer.status());
-  PrintCommunities(answer->communities);
+  PrintCommunities(**engine, answer->communities);
   PrintTruncation(answer->truncated, answer->score_upper_bound);
   std::printf("diversity score D(S) = %.3f (candidates %.3fs, refine %.3fs, "
               "%llu gain evaluations)\n",
