@@ -242,7 +242,7 @@ int main(int argc, char** argv) {
     // One update, applied identically to both engines (the graphs are
     // identical, so one materialized delta is valid for both).
     const GraphDelta delta =
-        MakeRandomDelta(cached->snapshot()->graph, delta_rng, delta_options);
+        MakeRandomDelta(*cached->snapshot()->graph, delta_rng, delta_options);
     if (!delta.empty()) {
       Result<RebuildScope> a = cached->ApplyUpdate(delta);
       Result<RebuildScope> b = uncached->ApplyUpdate(delta);

@@ -1,0 +1,346 @@
+// bench_sharded — share-nothing sharded serving: one engine over the whole
+// graph vs a ShardedEngine (one engine per shard, commutative cross-shard
+// top-L merge) replaying the same workload, plus the correctness witness
+// that sharded answers are byte-identical to the single engine's.
+//
+// Phase 1 (enforcement): the single engine and the sharded deployment answer
+// the same query set before and after interleaved ApplyUpdate deltas; every
+// TopL/DTopL answer is compared field-by-field. Any divergence exits
+// non-zero: sharding changes wall-clock, never answers. The per-shard
+// routed-op counts from this deterministic phase give the reported load
+// imbalance (max/mean).
+//
+// Phase 2 (throughput): closed-loop mixed runs (TopL/DTopL/progressive
+// queries + random update deltas) through loadgen::LoadInjector against each
+// deployment; reports ops_per_s for both and their ratio as
+// `sharded_speedup`. The sharded side wins on the update path — each shard
+// recomputes only the *owned, growth-dirty* precompute rows and patches only
+// its owned-subset tree, and the per-shard passes run in parallel — while
+// queries fan out only to the shards whose tree-root aggregates admit
+// candidates.
+//
+//   bench_sharded [--vertices=100000] [--seed=42] [--rmax=2] [--shards=8]
+//                 [--workers=8] [--seconds=4] [--warmup-seconds=0.5]
+//                 [--verify-rounds=2] [--verify-queries=12]
+//                 [--json=BENCH_sharded.json]
+//
+// The JSON feeds ci/check_bench_regression.py: `sharded_speedup` carries an
+// absolute --require floor (machine-relative ratios are not compared against
+// the baseline), both ops_per_s values are gated relative to the committed
+// baseline, and any mismatch fails the run itself.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "topl.h"
+
+namespace {
+
+using namespace topl;  // NOLINT(build/namespaces)
+
+struct Flags {
+  std::size_t vertices = 100000;
+  std::uint64_t seed = 42;
+  std::uint32_t rmax = 2;
+  std::uint32_t shards = 8;
+  std::size_t workers = 8;
+  double seconds = 4.0;
+  double warmup_seconds = 0.5;
+  int verify_rounds = 2;
+  int verify_queries = 12;
+  std::string json = "BENCH_sharded.json";
+  std::string mix = "mixed";
+};
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+    const std::string key = arg.substr(2, eq - 2);
+    const std::string value = arg.substr(eq + 1);
+    if (key == "vertices") {
+      flags.vertices = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "seed") {
+      flags.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "rmax") {
+      flags.rmax = static_cast<std::uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (key == "shards") {
+      flags.shards = static_cast<std::uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (key == "workers") {
+      flags.workers = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "seconds") {
+      flags.seconds = std::strtod(value.c_str(), nullptr);
+    } else if (key == "warmup-seconds") {
+      flags.warmup_seconds = std::strtod(value.c_str(), nullptr);
+    } else if (key == "verify-rounds") {
+      flags.verify_rounds = std::atoi(value.c_str());
+    } else if (key == "verify-queries") {
+      flags.verify_queries = std::atoi(value.c_str());
+    } else if (key == "json") {
+      flags.json = value;
+    } else if (key == "mix") {
+      flags.mix = value;
+    } else {
+      std::fprintf(stderr, "unknown flag: --%s\n", key.c_str());
+      std::exit(2);
+    }
+  }
+  return flags;
+}
+
+bool SameCommunities(const std::vector<CommunityResult>& a,
+                     const std::vector<CommunityResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].community.center != b[i].community.center ||
+        a[i].community.vertices != b[i].community.vertices ||
+        a[i].community.edges != b[i].community.edges ||
+        a[i].influence.vertices != b[i].influence.vertices ||
+        a[i].influence.cpp != b[i].influence.cpp ||
+        a[i].score() != b[i].score()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Graph MakeBenchGraph(const Flags& flags) {
+  SmallWorldOptions gen;
+  gen.num_vertices = flags.vertices;
+  gen.seed = flags.seed;
+  gen.keywords.domain_size = 50;
+  gen.keywords.keywords_per_vertex = 3;
+  Result<Graph> graph = MakeSmallWorld(gen);
+  TOPL_CHECK(graph.ok(), graph.status().ToString().c_str());
+  return std::move(graph).value();
+}
+
+// The mixed spec, clamped to the engines' precompute band (same clamping
+// bench_serve applies: radius within r_max, thetas snapped to the grid).
+loadgen::WorkloadSpec MixedSpec(const PrecomputedData& pre,
+                                std::uint64_t seed, const std::string& mix) {
+  Result<loadgen::WorkloadSpec> spec = loadgen::WorkloadSpec::Named(mix);
+  TOPL_CHECK(spec.ok(), spec.status().ToString().c_str());
+  spec->seed = seed;
+  std::vector<std::uint32_t> radii;
+  for (std::uint32_t r : spec->params.radius_values) {
+    if (r >= 1 && r <= pre.r_max()) radii.push_back(r);
+  }
+  if (radii.empty()) radii.push_back(1);
+  spec->params.radius_values = std::move(radii);
+  std::vector<double> thetas;
+  for (double want : spec->params.theta_values) {
+    double best = pre.thetas().front();
+    for (double have : pre.thetas()) {
+      if (std::abs(have - want) < std::abs(best - want)) best = have;
+    }
+    if (std::find(thetas.begin(), thetas.end(), best) == thetas.end()) {
+      thetas.push_back(best);
+    }
+  }
+  spec->params.theta_values = std::move(thetas);
+  return std::move(spec).value();
+}
+
+// One verification op on both deployments; sharded must match the single
+// engine field-by-field.
+bool VerifyOne(ShardedEngine* sharded, Engine* single, const Query& query,
+               bool diversified) {
+  if (diversified) {
+    Result<DTopLResult> got = sharded->SearchDiversified(query, DTopLOptions());
+    Result<DTopLResult> want = single->SearchDiversified(query, DTopLOptions());
+    if (got.ok() != want.ok()) return false;
+    if (!got.ok()) return true;  // both rejected: identical behavior
+    return SameCommunities(got->communities, want->communities) &&
+           got->diversity_score == want->diversity_score &&
+           got->truncated == want->truncated &&
+           got->score_upper_bound == want->score_upper_bound;
+  }
+  Result<TopLResult> got = sharded->Search(query);
+  Result<TopLResult> want = single->Search(query);
+  if (got.ok() != want.ok()) return false;
+  if (!got.ok()) return true;
+  return SameCommunities(got->communities, want->communities) &&
+         got->truncated == want->truncated &&
+         got->score_upper_bound == want->score_upper_bound;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = ParseFlags(argc, argv);
+
+  std::printf("== sharded serving: 1 engine vs %u shards, divergence "
+              "witness + closed-loop mixed throughput ==\n", flags.shards);
+
+  PrecomputeOptions pre_opts;
+  pre_opts.r_max = flags.rmax;
+
+  Timer offline;
+  Graph base = MakeBenchGraph(flags);
+  EngineOptions single_options;
+  single_options.precompute = pre_opts;  // num_threads = hardware default
+  Result<std::unique_ptr<Engine>> single =
+      Engine::FromGraph(base.Clone(), single_options);
+  TOPL_CHECK(single.ok(), single.status().ToString().c_str());
+
+  ShardedEngineOptions sharded_options;
+  sharded_options.num_shards = flags.shards;
+  sharded_options.engine.precompute = pre_opts;
+  sharded_options.engine.num_threads = 1;  // shards are the parallelism
+  Result<std::unique_ptr<ShardedEngine>> sharded =
+      ShardedEngine::FromGraph(std::move(base), sharded_options);
+  TOPL_CHECK(sharded.ok(), sharded.status().ToString().c_str());
+  std::printf("graph: %zu vertices, %zu edges; offline x2 %.2fs\n",
+              (*single)->graph().NumVertices(), (*single)->graph().NumEdges(),
+              offline.ElapsedSeconds());
+
+  const loadgen::WorkloadSpec spec =
+      MixedSpec((*single)->precomputed(), flags.seed, flags.mix);
+  Result<loadgen::WorkloadGenerator> generator =
+      loadgen::WorkloadGenerator::Create(spec, (*single)->graph());
+  TOPL_CHECK(generator.ok(), generator.status().ToString().c_str());
+
+  // -------------------------------------------------------------------
+  // Phase 1: byte-identical answers, before and after update deltas.
+  // -------------------------------------------------------------------
+  std::uint64_t verified_ops = 0;
+  std::uint64_t mismatches = 0;
+  std::vector<std::pair<Query, bool>> issued;  // (query, diversified)
+  Rng delta_rng(flags.seed + 7);
+  RandomDeltaOptions delta_options;
+  delta_options.keyword_domain = 50;
+  std::uint64_t op_index = 0;
+  for (int round = 0; round < flags.verify_rounds; ++round) {
+    for (int qi = 0; qi < flags.verify_queries; ++qi) {
+      loadgen::Operation op = generator->At(op_index++);
+      while (op.kind == loadgen::OpKind::kUpdate) {
+        op = generator->At(op_index++);
+      }
+      const bool diversified = op.kind == loadgen::OpKind::kDTopL;
+      if (!VerifyOne(sharded->get(), single->get(), op.query, diversified)) {
+        ++mismatches;
+      }
+      ++verified_ops;
+      issued.emplace_back(op.query, diversified);
+    }
+
+    // One update, applied identically to both deployments, including the
+    // boundary case: random deltas routinely delete and insert edges whose
+    // endpoints are owned by different shards.
+    const GraphDelta delta = MakeRandomDelta(*(*single)->snapshot()->graph,
+                                             delta_rng, delta_options);
+    if (!delta.empty()) {
+      Result<RebuildScope> a = (*single)->ApplyUpdate(delta);
+      Result<RebuildScope> b = (*sharded)->ApplyUpdate(delta);
+      TOPL_CHECK(a.ok() && b.ok(), "ApplyUpdate failed");
+    }
+
+    // Everything issued so far must still match on the new snapshots.
+    for (const auto& [query, diversified] : issued) {
+      if (!VerifyOne(sharded->get(), single->get(), query, diversified)) {
+        ++mismatches;
+      }
+      ++verified_ops;
+    }
+  }
+
+  // Deterministic routing imbalance over the verification stream.
+  const std::vector<std::uint64_t> routed = (*sharded)->ShardOps();
+  std::uint64_t routed_total = 0;
+  std::uint64_t routed_max = 0;
+  for (std::uint64_t ops : routed) {
+    routed_total += ops;
+    routed_max = std::max(routed_max, ops);
+  }
+  const double imbalance =
+      routed_total > 0 && !routed.empty()
+          ? static_cast<double>(routed_max) /
+                (static_cast<double>(routed_total) /
+                 static_cast<double>(routed.size()))
+          : 0.0;
+
+  std::printf("verify: %llu ops across %d update rounds, %llu mismatches; "
+              "routing imbalance %.3f (max/mean)\n",
+              static_cast<unsigned long long>(verified_ops),
+              flags.verify_rounds,
+              static_cast<unsigned long long>(mismatches), imbalance);
+  if (mismatches != 0) {
+    std::fprintf(stderr,
+                 "MISMATCH: sharded answers diverge from the single engine\n");
+    return 1;
+  }
+
+  // -------------------------------------------------------------------
+  // Phase 2: closed-loop mixed throughput, single vs sharded.
+  // -------------------------------------------------------------------
+  auto run = [&](loadgen::ServingTarget* target) -> loadgen::LoadReport {
+    loadgen::InjectorOptions inject;
+    inject.num_workers = flags.workers;
+    inject.duration_seconds = flags.seconds;
+    if (flags.warmup_seconds > 0.0) {
+      loadgen::InjectorOptions warmup = inject;
+      warmup.duration_seconds = flags.warmup_seconds;
+      Result<loadgen::LoadReport> ignored =
+          loadgen::LoadInjector(target, *generator, warmup).Run();
+      TOPL_CHECK(ignored.ok(), ignored.status().ToString().c_str());
+    }
+    Result<loadgen::LoadReport> report =
+        loadgen::LoadInjector(target, *generator, inject).Run();
+    TOPL_CHECK(report.ok(), report.status().ToString().c_str());
+    TOPL_CHECK(report->failed == 0, "operations failed under load");
+    return std::move(report).value();
+  };
+
+  loadgen::EngineTarget single_target(single->get());
+  loadgen::ShardedTarget sharded_target(sharded->get());
+  const loadgen::LoadReport base_report = run(&single_target);
+  const loadgen::LoadReport sharded_report = run(&sharded_target);
+  const double speedup = base_report.ops_per_s > 0.0
+                             ? sharded_report.ops_per_s / base_report.ops_per_s
+                             : 0.0;
+
+  std::printf("-- single --\n%s", base_report.ToString().c_str());
+  std::printf("-- sharded --\n%s", sharded_report.ToString().c_str());
+  std::printf("sharded_speedup: %.2fx at %u shards\n", speedup, flags.shards);
+
+  std::FILE* json = std::fopen(flags.json.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", flags.json.c_str());
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n"
+               "  \"benchmark\": \"sharded\",\n"
+               "  \"shards\": %u,\n"
+               "  \"verified_ops\": %llu,\n"
+               "  \"mismatches\": %llu,\n"
+               "  \"shard_imbalance\": %.4f,\n"
+               "  \"single\": {\"ops_per_s\": %.3f, \"p99_ms\": %.4f,"
+               " \"count\": %llu},\n"
+               "  \"sharded\": {\"ops_per_s\": %.3f, \"p99_ms\": %.4f,"
+               " \"count\": %llu},\n"
+               "  \"sharded_speedup\": %.4f\n"
+               "}\n",
+               flags.shards, static_cast<unsigned long long>(verified_ops),
+               static_cast<unsigned long long>(mismatches), imbalance,
+               base_report.ops_per_s, base_report.overall.p99_ms,
+               static_cast<unsigned long long>(base_report.ops_total),
+               sharded_report.ops_per_s, sharded_report.overall.p99_ms,
+               static_cast<unsigned long long>(sharded_report.ops_total),
+               speedup);
+  std::fclose(json);
+  std::printf("wrote %s\n", flags.json.c_str());
+  return 0;
+}

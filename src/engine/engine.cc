@@ -12,7 +12,26 @@
 
 namespace topl {
 
-Engine::Engine(Graph graph, std::unique_ptr<PrecomputedData> pre, TreeIndex tree,
+namespace {
+
+/// Wraps a value-owned maintenance result into the shared-ownership install
+/// form. The tree's internal pointer into `*pre` survives: the pointee
+/// addresses are unchanged by the unique_ptr→shared_ptr / move conversions.
+SharedUpdate ShareUpdatedIndex(UpdatedIndex updated) {
+  SharedUpdate shared;
+  shared.graph = std::make_shared<const Graph>(std::move(updated.graph));
+  shared.pre = std::shared_ptr<const PrecomputedData>(std::move(updated.pre));
+  shared.tree = std::make_shared<const TreeIndex>(std::move(updated.tree));
+  shared.scope = updated.scope;
+  shared.dirty_center_ids = std::move(updated.dirty_center_ids);
+  return shared;
+}
+
+}  // namespace
+
+Engine::Engine(std::shared_ptr<const Graph> graph,
+               std::shared_ptr<const PrecomputedData> pre,
+               std::shared_ptr<const TreeIndex> tree,
                const EngineOptions& options)
     : options_(options), pool_(options.num_threads) {
   auto snapshot = std::make_shared<EngineSnapshot>();
@@ -38,18 +57,29 @@ Result<std::unique_ptr<Engine>> Engine::Create(Graph graph,
                                                std::unique_ptr<PrecomputedData> pre,
                                                TreeIndex tree,
                                                const EngineOptions& options) {
+  return Create(std::make_shared<const Graph>(std::move(graph)),
+                std::shared_ptr<const PrecomputedData>(std::move(pre)),
+                std::make_shared<const TreeIndex>(std::move(tree)), options);
+}
+
+Result<std::unique_ptr<Engine>> Engine::Create(
+    std::shared_ptr<const Graph> graph, std::shared_ptr<const PrecomputedData> pre,
+    std::shared_ptr<const TreeIndex> tree, const EngineOptions& options) {
+  if (graph == nullptr) {
+    return Status::InvalidArgument("Engine::Create needs a non-null Graph");
+  }
   if (pre == nullptr) {
     return Status::InvalidArgument("Engine::Create needs non-null PrecomputedData");
   }
-  if (pre->num_vertices() != graph.NumVertices()) {
+  if (pre->num_vertices() != graph->NumVertices()) {
     return Status::InvalidArgument(
         "PrecomputedData was built over a different graph (vertex count "
         "mismatch)");
   }
-  if (tree.NumNodes() == 0) {
+  if (tree == nullptr || tree->NumNodes() == 0) {
     return Status::InvalidArgument("Engine::Create needs a built TreeIndex");
   }
-  if (&tree.precomputed() != pre.get()) {
+  if (&tree->precomputed() != pre.get()) {
     return Status::InvalidArgument(
         "TreeIndex references different PrecomputedData than the one handed "
         "to Engine::Create");
@@ -258,7 +288,7 @@ Result<DTopLResult> Engine::SearchDiversifiedOnContext(
     const DTopLOptions& options, const SearchControl& control) {
   if (!context->dtopl.has_value()) {
     const EngineSnapshot& snapshot = *context->snapshot;
-    context->dtopl.emplace(snapshot.graph, *snapshot.pre, snapshot.tree);
+    context->dtopl.emplace(*snapshot.graph, *snapshot.pre, *snapshot.tree);
   }
   Timer timer;
   Result<DTopLResult> result = context->dtopl->Search(query, options, control);
@@ -445,13 +475,32 @@ Result<RebuildScope> Engine::ApplyUpdate(const GraphDelta& delta) {
   std::lock_guard<std::mutex> update_lock(update_mu_);
   std::shared_ptr<const EngineSnapshot> base = snapshot();
   Result<UpdatedIndex> updated =
-      IndexUpdater::Apply(base->graph, *base->pre, base->tree, delta, &pool_);
+      IndexUpdater::Apply(*base->graph, *base->pre, *base->tree, delta, &pool_);
   if (!updated.ok()) return updated.status();
+  return InstallUpdateLocked(std::move(base), ShareUpdatedIndex(std::move(*updated)));
+}
+
+Result<RebuildScope> Engine::InstallUpdate(UpdatedIndex updated) {
+  return InstallUpdate(ShareUpdatedIndex(std::move(updated)));
+}
+
+Result<RebuildScope> Engine::InstallUpdate(SharedUpdate updated) {
+  std::lock_guard<std::mutex> update_lock(update_mu_);
+  return InstallUpdateLocked(snapshot(), std::move(updated));
+}
+
+Result<RebuildScope> Engine::InstallUpdateLocked(
+    std::shared_ptr<const EngineSnapshot> base, SharedUpdate updated) {
+  if (updated.graph == nullptr || updated.pre == nullptr ||
+      updated.tree == nullptr) {
+    return Status::InvalidArgument(
+        "InstallUpdate needs a graph, precompute, and tree");
+  }
 
   auto next = std::make_shared<EngineSnapshot>();
-  next->graph = std::move(updated->graph);
-  next->pre = std::move(updated->pre);
-  next->tree = std::move(updated->tree);
+  next->graph = std::move(updated.graph);
+  next->pre = std::move(updated.pre);
+  next->tree = std::move(updated.tree);
   next->epoch = base->epoch + 1;
   const std::shared_ptr<const EngineSnapshot> installed = next;
 
@@ -477,14 +526,14 @@ Result<RebuildScope> Engine::ApplyUpdate(const GraphDelta& delta) {
     // still under update_mu_ (so epochs reach the cache in order): erase
     // exactly the entries this delta's dirty-center set could have changed
     // and rebase the provably clean ones to the new epoch.
-    cache_->OnUpdate(updated->dirty_center_ids, base->graph, installed->graph,
+    cache_->OnUpdate(updated.dirty_center_ids, *base->graph, *installed->graph,
                      *installed->pre, installed->epoch);
   }
 
   updates_applied_.fetch_add(1, std::memory_order_relaxed);
-  update_dirty_centers_.fetch_add(updated->scope.dirty_centers,
+  update_dirty_centers_.fetch_add(updated.scope.dirty_centers,
                                   std::memory_order_relaxed);
-  return updated->scope;
+  return updated.scope;
 }
 
 EngineStats Engine::Stats() const {

@@ -27,15 +27,37 @@ namespace topl {
 /// over it. Engines swap whole snapshots atomically (MVCC), so a snapshot is
 /// never mutated after construction — queries pin one via shared_ptr and
 /// read it lock-free for their entire lifetime, even while newer snapshots
-/// are installed. `tree` holds a raw pointer to `*pre`, so the members must
-/// move together (the struct guarantees that).
+/// are installed. `tree` holds a raw pointer to `*pre`, so the two must be
+/// installed together.
+///
+/// The pieces are individually shared so distinct snapshots can alias them:
+/// a sharded deployment keeps ONE graph and ONE precompute across all shard
+/// engines, and an update that leaves a shard's owned rows untouched
+/// installs a snapshot that shares the old pre/tree and only swaps in the
+/// new graph — O(1) instead of O(n) per shard.
 struct EngineSnapshot {
-  Graph graph;
-  std::unique_ptr<PrecomputedData> pre;
-  TreeIndex tree;
+  std::shared_ptr<const Graph> graph;
+  std::shared_ptr<const PrecomputedData> pre;
+  std::shared_ptr<const TreeIndex> tree;
   /// Monotone update counter: 0 for the open-time snapshot, +1 per applied
   /// delta.
   std::uint64_t epoch = 0;
+};
+
+/// Shared-ownership maintenance result for Engine::InstallUpdate: the same
+/// contract as UpdatedIndex, but the pieces may alias the engine's current
+/// snapshot (or another engine's). The sharded coordinator uses this to hand
+/// every shard one shared post-delta graph, and to re-install a shard's
+/// existing pre/tree untouched when the delta dirtied none of its owned
+/// centers.
+struct SharedUpdate {
+  std::shared_ptr<const Graph> graph;
+  std::shared_ptr<const PrecomputedData> pre;
+  std::shared_ptr<const TreeIndex> tree;
+  RebuildScope scope;
+  /// Sorted ids of every owned center whose serving state changed; drives
+  /// exact cache invalidation (empty = rebase-only).
+  std::vector<VertexId> dirty_center_ids;
 };
 
 /// \brief Thread-safe service facade over the TopL/DTopL online phase.
@@ -86,6 +108,14 @@ class Engine {
                                                 std::unique_ptr<PrecomputedData> pre,
                                                 TreeIndex tree,
                                                 const EngineOptions& options = {});
+
+  /// Shared-ownership Create: the engine serves `graph`/`pre`/`tree` without
+  /// taking sole ownership, so several engines can alias one graph and one
+  /// precompute (each with its own tree). Same validation as Create.
+  static Result<std::unique_ptr<Engine>> Create(
+      std::shared_ptr<const Graph> graph,
+      std::shared_ptr<const PrecomputedData> pre,
+      std::shared_ptr<const TreeIndex> tree, const EngineOptions& options = {});
 
   /// Runs the offline phase (Algorithm 2 + index build) on `graph` with
   /// options.precompute / options.tree, then serves it.
@@ -155,6 +185,22 @@ class Engine {
   /// Returns the RebuildScope work report.
   Result<RebuildScope> ApplyUpdate(const GraphDelta& delta);
 
+  /// Installs an externally computed maintenance result as the next snapshot:
+  /// the swap / context-retirement / cache-invalidation tail of ApplyUpdate
+  /// without the IndexUpdater pass. `updated` must have been derived from
+  /// this engine's *current* snapshot (the caller is the single writer, as
+  /// with ApplyUpdate — concurrent calls serialize on the same lock), with
+  /// `dirty_center_ids` covering every center whose serving state changed.
+  /// The sharded coordinator uses this to apply one shared maintenance
+  /// computation to each shard engine with per-shard epochs and caches.
+  Result<RebuildScope> InstallUpdate(UpdatedIndex updated);
+
+  /// InstallUpdate over shared pieces: `updated.graph`/`pre`/`tree` may alias
+  /// the current snapshot's members. An untouched shard installs
+  /// {new graph, same pre, same tree} in O(1) — no copy, no recompute, and
+  /// (with `dirty_center_ids` empty) a rebase-only cache pass.
+  Result<RebuildScope> InstallUpdate(SharedUpdate updated);
+
   /// Cumulative service counters (snapshot; never blocks queries).
   EngineStats Stats() const;
 
@@ -165,9 +211,9 @@ class Engine {
   /// Convenience views into the *current* snapshot. The references stay
   /// valid until the next ApplyUpdate retires that snapshot — callers that
   /// race updates must pin via snapshot() instead.
-  const Graph& graph() const { return snapshot()->graph; }
+  const Graph& graph() const { return *snapshot()->graph; }
   const PrecomputedData& precomputed() const { return *snapshot()->pre; }
-  const TreeIndex& tree() const { return snapshot()->tree; }
+  const TreeIndex& tree() const { return *snapshot()->tree; }
   std::size_t num_threads() const { return pool_.num_threads(); }
 
   /// Which load path Open took (kInMemory for Create/FromGraph engines).
@@ -205,7 +251,7 @@ class Engine {
   struct WorkerContext {
     explicit WorkerContext(std::shared_ptr<const EngineSnapshot> snap)
         : snapshot(std::move(snap)),
-          topl(snapshot->graph, *snapshot->pre, snapshot->tree) {}
+          topl(*snapshot->graph, *snapshot->pre, *snapshot->tree) {}
 
     std::shared_ptr<const EngineSnapshot> snapshot;
     TopLDetector topl;
@@ -228,8 +274,9 @@ class Engine {
     WorkerContext* context_;
   };
 
-  Engine(Graph graph, std::unique_ptr<PrecomputedData> pre, TreeIndex tree,
-         const EngineOptions& options);
+  Engine(std::shared_ptr<const Graph> graph,
+         std::shared_ptr<const PrecomputedData> pre,
+         std::shared_ptr<const TreeIndex> tree, const EngineOptions& options);
 
   WorkerContext* AcquireContext();
   void ReleaseContext(WorkerContext* context);
@@ -260,6 +307,12 @@ class Engine {
   /// Translates engine-level progressive options into a detector control.
   SearchControl MakeControl(const ProgressiveOptions& options,
                             ProgressiveCallback on_update);
+
+  /// Shared tail of ApplyUpdate / InstallUpdate: snapshot swap, idle-context
+  /// retirement, cache invalidation, counters. Caller holds update_mu_;
+  /// `base` is the snapshot `updated` was computed from.
+  Result<RebuildScope> InstallUpdateLocked(
+      std::shared_ptr<const EngineSnapshot> base, SharedUpdate updated);
 
   /// Folds `context`'s stats into the retired accumulators and extracts it
   /// from contexts_, returning ownership. Caller holds contexts_mu_ and must

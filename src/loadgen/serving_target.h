@@ -1,0 +1,107 @@
+#ifndef TOPL_LOADGEN_SERVING_TARGET_H_
+#define TOPL_LOADGEN_SERVING_TARGET_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/engine.h"
+#include "shard/sharded_engine.h"
+
+namespace topl {
+namespace loadgen {
+
+/// \brief What the load injector drives: the serving surface an Engine and a
+/// ShardedEngine have in common.
+///
+/// The injector is deliberately agnostic about what is behind the interface —
+/// the same deterministic operation stream replays against a single engine
+/// and against a sharded deployment, which is exactly how bench_sharded
+/// compares the two. Shard-aware accounting (NumShards / ShardOps) defaults
+/// to the single-shard trivial answers so the adapters stay thin.
+class ServingTarget {
+ public:
+  virtual ~ServingTarget() = default;
+
+  virtual Result<TopLResult> Search(const Query& query) = 0;
+  virtual Result<DTopLResult> SearchDiversified(const Query& query,
+                                                const DTopLOptions& options) = 0;
+  virtual Result<TopLResult> SearchProgressive(
+      const Query& query, const ProgressiveOptions& options) = 0;
+  virtual Result<RebuildScope> ApplyUpdate(const GraphDelta& delta) = 0;
+
+  /// The current graph view the injector draws update deltas against.
+  virtual std::shared_ptr<const EngineSnapshot> snapshot() const = 0;
+  virtual EngineStats Stats() const = 0;
+
+  virtual std::uint32_t NumShards() const { return 1; }
+  /// Cumulative per-shard routed-operation counters (empty when the target
+  /// has no routing layer — a single engine serves every operation).
+  virtual std::vector<std::uint64_t> ShardOps() const { return {}; }
+};
+
+/// Serves straight off one Engine.
+class EngineTarget final : public ServingTarget {
+ public:
+  explicit EngineTarget(Engine* engine) : engine_(engine) {}
+
+  Result<TopLResult> Search(const Query& query) override {
+    return engine_->Search(query);
+  }
+  Result<DTopLResult> SearchDiversified(const Query& query,
+                                        const DTopLOptions& options) override {
+    return engine_->SearchDiversified(query, options);
+  }
+  Result<TopLResult> SearchProgressive(
+      const Query& query, const ProgressiveOptions& options) override {
+    return engine_->SearchProgressive(query, options);
+  }
+  Result<RebuildScope> ApplyUpdate(const GraphDelta& delta) override {
+    return engine_->ApplyUpdate(delta);
+  }
+  std::shared_ptr<const EngineSnapshot> snapshot() const override {
+    return engine_->snapshot();
+  }
+  EngineStats Stats() const override { return engine_->Stats(); }
+
+ private:
+  Engine* engine_;
+};
+
+/// Serves through a ShardedEngine's route → search → merge coordinator.
+class ShardedTarget final : public ServingTarget {
+ public:
+  explicit ShardedTarget(ShardedEngine* engine) : engine_(engine) {}
+
+  Result<TopLResult> Search(const Query& query) override {
+    return engine_->Search(query);
+  }
+  Result<DTopLResult> SearchDiversified(const Query& query,
+                                        const DTopLOptions& options) override {
+    return engine_->SearchDiversified(query, options);
+  }
+  Result<TopLResult> SearchProgressive(
+      const Query& query, const ProgressiveOptions& options) override {
+    return engine_->SearchProgressive(query, options);
+  }
+  Result<RebuildScope> ApplyUpdate(const GraphDelta& delta) override {
+    return engine_->ApplyUpdate(delta);
+  }
+  std::shared_ptr<const EngineSnapshot> snapshot() const override {
+    return engine_->snapshot();
+  }
+  EngineStats Stats() const override { return engine_->Stats(); }
+  std::uint32_t NumShards() const override { return engine_->num_shards(); }
+  std::vector<std::uint64_t> ShardOps() const override {
+    return engine_->ShardOps();
+  }
+
+ private:
+  ShardedEngine* engine_;
+};
+
+}  // namespace loadgen
+}  // namespace topl
+
+#endif  // TOPL_LOADGEN_SERVING_TARGET_H_

@@ -1,0 +1,161 @@
+#include "shard/shard_partition.h"
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "graph/reorder.h"
+
+namespace topl {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void FnvMix32(std::uint64_t* h, std::uint32_t word) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    *h ^= (word >> shift) & 0xffU;
+    *h *= kFnvPrime;
+  }
+}
+
+std::uint64_t PartitionDigest(std::uint32_t num_shards,
+                              const std::vector<std::uint32_t>& owner) {
+  std::uint64_t h = kFnvOffset;
+  FnvMix32(&h, num_shards);
+  for (std::uint32_t o : owner) FnvMix32(&h, o);
+  return h;
+}
+
+constexpr std::size_t kManifestHeaderWords = 4;
+
+}  // namespace
+
+Result<ShardPartition> ShardPartition::Compute(const Graph& g,
+                                               std::uint32_t num_shards) {
+  const std::size_t n = g.NumVertices();
+  if (num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be at least 1");
+  }
+  if (num_shards > n) {
+    return Status::InvalidArgument(
+        "num_shards (" + std::to_string(num_shards) +
+        ") exceeds the vertex count (" + std::to_string(n) + ")");
+  }
+  // Equal-size contiguous cuts of the locality order: position i of the
+  // order lands on shard i*S/n, so shard sizes differ by at most one and
+  // each shard's centers are one BFS-clustered run.
+  const std::vector<VertexId> order = ComputeLocalityOrder(g);
+  std::vector<std::uint32_t> owner(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    owner[order[i]] = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(i) * num_shards / n);
+  }
+  return FromOwner(std::move(owner), num_shards);
+}
+
+Result<ShardPartition> ShardPartition::FromOwner(
+    std::vector<std::uint32_t> owner, std::uint32_t num_shards) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be at least 1");
+  }
+  ShardPartition part;
+  part.num_shards = num_shards;
+  part.owned.resize(num_shards);
+  for (std::size_t v = 0; v < owner.size(); ++v) {
+    if (owner[v] >= num_shards) {
+      return Status::InvalidArgument("vertex " + std::to_string(v) +
+                                     " is owned by a non-existent shard");
+    }
+    part.owned[owner[v]].push_back(static_cast<VertexId>(v));
+  }
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    if (part.owned[s].empty()) {
+      return Status::InvalidArgument("shard " + std::to_string(s) +
+                                     " owns no vertices");
+    }
+  }
+  part.digest = PartitionDigest(num_shards, owner);
+  part.owner = std::move(owner);
+  return part;
+}
+
+std::vector<std::uint32_t> ShardPartition::EncodeManifest(
+    std::uint32_t shard_index) const {
+  std::vector<std::uint32_t> out;
+  out.reserve(kManifestHeaderWords + owned[shard_index].size());
+  out.push_back(num_shards);
+  out.push_back(shard_index);
+  out.push_back(static_cast<std::uint32_t>(digest));
+  out.push_back(static_cast<std::uint32_t>(digest >> 32));
+  for (VertexId v : owned[shard_index]) out.push_back(v);
+  return out;
+}
+
+Result<ShardPartition> ShardPartition::DecodeManifests(
+    const std::vector<std::vector<std::uint32_t>>& manifests) {
+  if (manifests.empty()) {
+    return Status::InvalidArgument("no shard manifests given");
+  }
+  const std::uint32_t num_shards = static_cast<std::uint32_t>(manifests.size());
+  std::uint64_t digest = 0;
+  std::size_t total_owned = 0;
+  for (std::uint32_t k = 0; k < num_shards; ++k) {
+    const std::vector<std::uint32_t>& m = manifests[k];
+    if (m.size() <= kManifestHeaderWords) {
+      return Status::InvalidArgument("shard manifest " + std::to_string(k) +
+                                     " is too small");
+    }
+    if (m[0] != num_shards) {
+      return Status::InvalidArgument(
+          "shard manifest " + std::to_string(k) + " expects " +
+          std::to_string(m[0]) + " shards, family has " +
+          std::to_string(num_shards));
+    }
+    if (m[1] != k) {
+      return Status::InvalidArgument(
+          "shard manifest at position " + std::to_string(k) +
+          " identifies as shard " + std::to_string(m[1]));
+    }
+    const std::uint64_t d =
+        static_cast<std::uint64_t>(m[2]) |
+        (static_cast<std::uint64_t>(m[3]) << 32);
+    if (k == 0) {
+      digest = d;
+    } else if (d != digest) {
+      return Status::InvalidArgument(
+          "shard manifests carry different partition digests — the "
+          "artifacts were not cut from the same partition");
+    }
+    total_owned += m.size() - kManifestHeaderWords;
+  }
+  std::vector<std::uint32_t> owner(total_owned, num_shards);
+  for (std::uint32_t k = 0; k < num_shards; ++k) {
+    const std::vector<std::uint32_t>& m = manifests[k];
+    VertexId prev = 0;
+    for (std::size_t i = kManifestHeaderWords; i < m.size(); ++i) {
+      const VertexId v = m[i];
+      if (i > kManifestHeaderWords && v <= prev) {
+        return Status::InvalidArgument("shard manifest " + std::to_string(k) +
+                                       " owned set is not strictly ascending");
+      }
+      prev = v;
+      if (v >= owner.size() || owner[v] != num_shards) {
+        return Status::InvalidArgument(
+            "shard manifests do not partition the vertex set");
+      }
+      owner[v] = k;
+    }
+  }
+  Result<ShardPartition> part = FromOwner(std::move(owner), num_shards);
+  if (!part.ok()) return part.status();
+  if (part->digest != digest) {
+    return Status::InvalidArgument(
+        "shard manifest digest disagrees with the decoded owner assignment");
+  }
+  return part;
+}
+
+}  // namespace topl

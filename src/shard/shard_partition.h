@@ -1,0 +1,59 @@
+#ifndef TOPL_SHARD_SHARD_PARTITION_H_
+#define TOPL_SHARD_SHARD_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace topl {
+
+/// \brief A deterministic assignment of every vertex to exactly one shard.
+///
+/// The partition decides *candidate ownership*, not data placement: every
+/// shard of a ShardedEngine serves a full graph replica, and the partition
+/// only splits the candidate-center universe so that each center is searched
+/// (and its precompute row maintained) by exactly one shard. Compute derives
+/// the assignment from the PR-8 locality order — contiguous runs of the
+/// BFS-clustered order become shards, so a shard's owned centers share
+/// neighborhoods and its subset tree keeps tight aggregate bounds.
+///
+/// `digest` is an FNV-1a hash over (num_shards, owner[]) used to verify that
+/// the members of an on-disk artifact family were cut from the same
+/// partition before they are served together.
+struct ShardPartition {
+  std::uint32_t num_shards = 1;
+  /// owner[v] = shard that searches and maintains center v.
+  std::vector<std::uint32_t> owner;
+  /// Per-shard owned centers, strictly ascending; the concatenation is a
+  /// permutation of [0, n) and owned[s] is never empty.
+  std::vector<std::vector<VertexId>> owned;
+  std::uint64_t digest = 0;
+
+  /// Locality-order partition of `g` into `num_shards` non-empty contiguous
+  /// runs. Deterministic for a given graph. Fails when num_shards is 0 or
+  /// exceeds the vertex count.
+  static Result<ShardPartition> Compute(const Graph& g,
+                                        std::uint32_t num_shards);
+
+  /// Rebuilds the derived fields (owned lists, digest) from an owner
+  /// assignment, validating that every shard is non-empty.
+  static Result<ShardPartition> FromOwner(std::vector<std::uint32_t> owner,
+                                          std::uint32_t num_shards);
+
+  /// The "shard.map" section payload for shard `shard_index`:
+  /// [num_shards, shard_index, digest_lo, digest_hi, owned ids…].
+  std::vector<std::uint32_t> EncodeManifest(std::uint32_t shard_index) const;
+
+  /// Splits a manifest back into its fields; rejects malformed payloads.
+  /// The digest is the *writer's* partition digest — callers compare it
+  /// across an artifact family and against FromOwner's recomputed value.
+  static Result<ShardPartition> DecodeManifests(
+      const std::vector<std::vector<std::uint32_t>>& manifests);
+};
+
+}  // namespace topl
+
+#endif  // TOPL_SHARD_SHARD_PARTITION_H_

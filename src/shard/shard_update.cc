@@ -1,0 +1,51 @@
+#include "shard/shard_update.h"
+
+#include <algorithm>
+#include <iterator>
+
+#include "index/index_update.h"
+
+namespace topl {
+
+Result<ShardDirtyClasses> ClassifyShardDirty(const Graph& base,
+                                             const Graph& updated,
+                                             const GraphDelta& delta,
+                                             std::uint32_t r_max,
+                                             double theta_min) {
+  ShardDirtyClasses out;
+  out.all = IndexUpdater::DirtyCenters(base, updated, delta, r_max, theta_min,
+                                       &out.influence_frontier);
+  if (delta.edge_inserts.empty() && delta.keyword_adds.empty()) {
+    // Pure shrinkage: every stored row stays a valid upper bound, nothing
+    // needs recomputing.
+    out.recompute.clear();
+    return out;
+  }
+  GraphDelta grow;
+  grow.edge_inserts = delta.edge_inserts;
+  grow.keyword_adds = delta.keyword_adds;
+  Result<Graph> grown = ApplyDelta(base, grow);
+  if (!grown.ok()) {
+    // The grow ops depend on the delta's deletions (delete+reinsert or
+    // remove+re-add), so the grow sub-delta cannot be replayed on the base
+    // alone. Fall back to recomputing every dirty row.
+    out.recompute = out.all;
+    out.grow_exact = false;
+    return out;
+  }
+  const std::vector<VertexId> grow_dirty =
+      IndexUpdater::DirtyCenters(base, *grown, grow, r_max, theta_min);
+  out.recompute = IntersectSorted(out.all, grow_dirty);
+  return out;
+}
+
+std::vector<VertexId> IntersectSorted(const std::vector<VertexId>& a,
+                                      const std::vector<VertexId>& b) {
+  std::vector<VertexId> out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+}  // namespace topl

@@ -1,0 +1,58 @@
+#ifndef TOPL_SHARD_SHARD_UPDATE_H_
+#define TOPL_SHARD_SHARD_UPDATE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "graph/graph_delta.h"
+#include "graph/types.h"
+
+namespace topl {
+
+/// \brief The two dirty-center sets a sharded update splits work by.
+///
+/// `all` is IndexUpdater's exact dirty set between the base and the updated
+/// graph: outside it every precompute row is byte-identical, so it drives
+/// per-shard cache invalidation.
+///
+/// `recompute` ⊆ `all` is the subset whose rows a shard must actually redo
+/// to keep serving sound. A row is an upper-bound bundle (signature
+/// superset, support/truss/score upper bounds), and every bound is monotone
+/// non-decreasing in edges and keywords. Deletions and keyword removals only
+/// shrink the true row, so a stale stored row stays a valid upper bound and
+/// pruning stays safe — candidates that a fresh bound would have pruned
+/// refine exactly on the new graph and lose in the total-order collector.
+/// Only the *growth* part of a delta (edge inserts, keyword adds) can push a
+/// true row above its stored bound, so `recompute` is `all` intersected with
+/// the dirty set of the grow-only sub-delta applied to the base. When the
+/// grow sub-delta is not valid against the base on its own (delete+reinsert
+/// probability replacement, remove+re-add of a keyword), the classification
+/// falls back to `recompute = all`; `grow_exact` records which case ran.
+struct ShardDirtyClasses {
+  std::vector<VertexId> all;        ///< sorted ascending
+  std::vector<VertexId> recompute;  ///< sorted ascending, subset of `all`
+  bool grow_exact = true;
+  std::size_t influence_frontier = 0;
+};
+
+/// Classifies `delta` between `base` and `updated` (which must equal
+/// ApplyDelta(base, delta)). `r_max` / `theta_min` are the index parameters
+/// the dirty expansion is exact for. Costs one extra ApplyDelta plus one
+/// DirtyCenters pass over the grow sub-delta — independent of shard count.
+Result<ShardDirtyClasses> ClassifyShardDirty(const Graph& base,
+                                             const Graph& updated,
+                                             const GraphDelta& delta,
+                                             std::uint32_t r_max,
+                                             double theta_min);
+
+/// Ascending intersection of two sorted vertex lists (the per-shard
+/// `∩ owned` step of the coordinator).
+std::vector<VertexId> IntersectSorted(const std::vector<VertexId>& a,
+                                      const std::vector<VertexId>& b);
+
+}  // namespace topl
+
+#endif  // TOPL_SHARD_SHARD_UPDATE_H_

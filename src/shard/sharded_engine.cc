@@ -1,0 +1,550 @@
+#include "shard/sharded_engine.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <span>
+#include <thread>
+#include <utility>
+
+#include "common/status.h"
+#include "common/timer.h"
+#include "core/community_result.h"
+#include "index/index_update.h"
+#include "index/precompute.h"
+#include "index/tree_index.h"
+#include "shard/shard_update.h"
+#include "storage/artifact.h"
+
+namespace topl {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+std::size_t CoordinatorThreads(std::uint32_t num_shards) {
+  const std::size_t hw = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  return std::min<std::size_t>(num_shards, hw);
+}
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(ShardedEngineOptions options,
+                             ShardPartition partition,
+                             std::vector<std::unique_ptr<Engine>> engines)
+    : options_(std::move(options)),
+      partition_(std::move(partition)),
+      engines_(std::move(engines)),
+      update_pool_(CoordinatorThreads(options_.num_shards)) {
+  ops_routed_.reserve(engines_.size());
+  for (std::size_t s = 0; s < engines_.size(); ++s) {
+    ops_routed_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+  }
+}
+
+std::string ShardedEngine::ShardArtifactPath(const std::string& prefix,
+                                             std::uint32_t k) {
+  return prefix + ".s" + std::to_string(k);
+}
+
+Result<std::unique_ptr<ShardedEngine>> ShardedEngine::FromGraph(
+    Graph graph, const ShardedEngineOptions& options) {
+  Result<ShardPartition> part = ShardPartition::Compute(graph, options.num_shards);
+  if (!part.ok()) return part.status();
+
+  // One offline pass serves every shard: rows are per-vertex, so the same
+  // PrecomputedData is correct on every shard regardless of ownership. Both
+  // the graph and the precompute are installed *shared* — N shards cost one
+  // graph plus one row table, not N replicas; only the (owned-subset) tree
+  // is per-shard.
+  Result<PrecomputedData> pre =
+      PrecomputedData::Build(graph, options.engine.precompute);
+  if (!pre.ok()) return pre.status();
+  auto shared_graph = std::make_shared<const Graph>(std::move(graph));
+  auto shared_pre =
+      std::make_shared<const PrecomputedData>(std::move(pre).value());
+
+  std::vector<std::unique_ptr<Engine>> engines(options.num_shards);
+  for (std::uint32_t s = 0; s < options.num_shards; ++s) {
+    TreeIndexOptions tree_options = options.engine.tree;
+    tree_options.candidates = part->owned[s];
+    Result<TreeIndex> tree =
+        TreeIndex::Build(*shared_graph, *shared_pre, tree_options);
+    if (!tree.ok()) return tree.status();
+    Result<std::unique_ptr<Engine>> engine = Engine::Create(
+        shared_graph, shared_pre,
+        std::make_shared<const TreeIndex>(std::move(*tree)), options.engine);
+    if (!engine.ok()) return engine.status();
+    engines[s] = std::move(*engine);
+  }
+  return std::unique_ptr<ShardedEngine>(new ShardedEngine(
+      options, std::move(*part), std::move(engines)));
+}
+
+Status ShardedEngine::BuildArtifacts(const Graph& graph,
+                                     const ShardedEngineOptions& options,
+                                     const std::string& prefix, bool compress) {
+  Result<ShardPartition> part = ShardPartition::Compute(graph, options.num_shards);
+  if (!part.ok()) return part.status();
+  Result<PrecomputedData> pre =
+      PrecomputedData::Build(graph, options.engine.precompute);
+  if (!pre.ok()) return pre.status();
+  for (std::uint32_t s = 0; s < options.num_shards; ++s) {
+    TreeIndexOptions tree_options = options.engine.tree;
+    tree_options.candidates = part->owned[s];
+    Result<TreeIndex> tree = TreeIndex::Build(graph, *pre, tree_options);
+    if (!tree.ok()) return tree.status();
+    const std::vector<std::uint32_t> manifest = part->EncodeManifest(s);
+    ArtifactWriteOptions write_options;
+    write_options.compress = compress;
+    write_options.shard_manifest = manifest;
+    TOPL_RETURN_IF_ERROR(ArtifactWriter::Write(
+        graph, *pre, *tree, ShardArtifactPath(prefix, s), write_options));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
+    const std::string& prefix, const ShardedEngineOptions& options) {
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be at least 1");
+  }
+  ArtifactReadOptions read_options;
+  read_options.verify_checksums = options.engine.verify_artifact_checksums;
+  read_options.populate = options.engine.mmap_populate;
+  read_options.huge_pages = options.engine.mmap_huge_pages;
+
+  std::vector<std::vector<std::uint32_t>> manifests(options.num_shards);
+  std::vector<std::unique_ptr<Engine>> engines(options.num_shards);
+  for (std::uint32_t s = 0; s < options.num_shards; ++s) {
+    const std::string path = ShardArtifactPath(prefix, s);
+    Result<MappedIndex> mapped = ArtifactReader::Open(path, read_options);
+    if (!mapped.ok()) return mapped.status();
+    if (mapped->shard_manifest.empty()) {
+      return Status::InvalidArgument(
+          path + " carries no shard manifest; rebuild with --shards");
+    }
+    if (!mapped->external_ids.empty()) {
+      return Status::InvalidArgument(
+          path + " was built with vertex reordering; sharded artifacts keep "
+                 "identity external ids");
+    }
+    manifests[s] = std::move(mapped->shard_manifest);
+    Result<std::unique_ptr<Engine>> engine =
+        Engine::Create(std::move(mapped->graph), std::move(mapped->pre),
+                       std::move(mapped->tree), options.engine);
+    if (!engine.ok()) return engine.status();
+    engines[s] = std::move(*engine);
+  }
+
+  Result<ShardPartition> part = ShardPartition::DecodeManifests(manifests);
+  if (!part.ok()) return part.status();
+  for (std::uint32_t s = 0; s < options.num_shards; ++s) {
+    if (engines[s]->snapshot()->graph->NumVertices() != part->owner.size()) {
+      return Status::InvalidArgument(
+          ShardArtifactPath(prefix, s) +
+          " replica size disagrees with the shard manifest's vertex count");
+    }
+  }
+  return std::unique_ptr<ShardedEngine>(new ShardedEngine(
+      options, std::move(*part), std::move(engines)));
+}
+
+bool ShardedEngine::RootAdmits(const EngineSnapshot& snap, const Query& query,
+                               const QueryOptions& options, int z,
+                               const BitVector& query_bv, double* bound) {
+  const TreeIndex& tree = *snap.tree;
+  const std::uint32_t root = tree.root();
+  const std::uint32_t r = query.radius;
+  // Root aggregates are exact folds (OR / max) over every owned descendant
+  // row, so a root that fails a test has no descendant that passes it — the
+  // detector itself would answer empty from this shard.
+  if (options.use_keyword_pruning &&
+      !tree.SignatureIntersects(root, r, query_bv)) {
+    return false;
+  }
+  const std::uint32_t required_support = query.k >= 2 ? query.k - 2 : 0;
+  if (options.use_support_pruning &&
+      (tree.SupportBound(root, r) < required_support ||
+       (options.use_center_truss_bound &&
+        tree.CenterTrussBound(root) < query.k))) {
+    return false;
+  }
+  *bound = z >= 0 ? tree.ScoreBound(root, r, static_cast<std::uint32_t>(z))
+                  : std::numeric_limits<double>::infinity();
+  return true;
+}
+
+Result<TopLResult> ShardedEngine::SearchMerged(
+    const Query& query, const QueryOptions& options,
+    const ProgressiveOptions* progressive) {
+  TOPL_RETURN_IF_ERROR(query.Validate());
+  Timer timer;
+
+  // Pin every shard's snapshot up front so one query routes and searches
+  // against a consistent per-shard view even while updates land.
+  std::vector<std::shared_ptr<const EngineSnapshot>> snaps(engines_.size());
+  for (std::size_t s = 0; s < engines_.size(); ++s) {
+    snaps[s] = engines_[s]->snapshot();
+  }
+  const PrecomputedData& pre0 = *snaps[0]->pre;
+  if (query.radius > pre0.r_max()) {
+    return Status::InvalidArgument(
+        "query radius exceeds the index's r_max; rebuild the index with a "
+        "larger PrecomputeOptions::r_max");
+  }
+  const int z = pre0.ThresholdIndex(query.theta);
+  const BitVector query_bv =
+      BitVector::FromKeywords(query.keywords, pre0.signature_bits());
+  const bool score_pruning = options.use_score_pruning && z >= 0;
+
+  struct Route {
+    std::uint32_t shard;
+    double bound;
+  };
+  std::vector<Route> routes;
+  routes.reserve(engines_.size());
+  for (std::uint32_t s = 0; s < engines_.size(); ++s) {
+    double bound = kNegInf;
+    if (RootAdmits(*snaps[s], query, options, z, query_bv, &bound)) {
+      routes.push_back({s, bound});
+    }
+  }
+  // Best-bound-first: early shards are the likeliest to raise the σ_L floor
+  // that routes the rest away. Stable so equal bounds keep shard order.
+  std::stable_sort(routes.begin(), routes.end(),
+                   [](const Route& a, const Route& b) { return a.bound > b.bound; });
+
+  const bool seeded = options.initial_threshold > kNegInf;
+  const DeadlineClock deadline(progressive ? progressive->deadline_seconds : 0.0);
+
+  TopLResult merged;
+  double upper = kNegInf;
+  for (const Route& route : routes) {
+    const bool pool_full = merged.communities.size() >= query.top_l;
+    double floor = options.initial_threshold;
+    if (pool_full) {
+      floor = std::max(floor, merged.communities.back().score());
+    }
+    // Strict <, mirroring the detector's termination test: a shard whose
+    // best possible score ties the floor can still win a center tiebreak.
+    if (score_pruning && (pool_full || seeded) && route.bound < floor) {
+      continue;
+    }
+    if (progressive &&
+        (deadline.Expired() || progressive->cancel.cancelled())) {
+      // Budget spent mid-family: the unvisited shards' root bounds are the
+      // honest cap on what the truncated answer might be missing.
+      merged.truncated = true;
+      upper = std::max(upper, route.bound);
+      continue;
+    }
+
+    Result<TopLResult> shard_result = TopLResult{};
+    if (progressive) {
+      ProgressiveOptions po = *progressive;
+      po.query = options;
+      if (pool_full || seeded) {
+        po.query.initial_threshold = std::max(po.query.initial_threshold, floor);
+      }
+      if (progressive->deadline_seconds > 0.0) {
+        po.deadline_seconds = std::max(
+            1e-9, progressive->deadline_seconds - timer.ElapsedSeconds());
+      }
+      // Per-shard intermediate streams are suppressed: they would expose
+      // non-merged prefixes. The wrapper emits one merged update at the end.
+      shard_result =
+          engines_[route.shard]->SearchProgressive(query, po, nullptr);
+    } else {
+      QueryOptions shard_options = options;
+      if (pool_full || seeded) {
+        shard_options.initial_threshold =
+            std::max(shard_options.initial_threshold, floor);
+      }
+      shard_result = engines_[route.shard]->Search(query, shard_options);
+    }
+    if (!shard_result.ok()) return shard_result.status();
+    ops_routed_[route.shard]->fetch_add(1, std::memory_order_relaxed);
+
+    merged.stats += shard_result->stats;
+    merged.truncated |= shard_result->truncated;
+    upper = std::max(upper, shard_result->score_upper_bound);
+    merged.communities.insert(merged.communities.end(),
+                              shard_result->communities.begin(),
+                              shard_result->communities.end());
+    // Shards own disjoint centers, so the concatenation has no duplicates;
+    // the canonical sort + truncation is the whole commutative merge.
+    SortCommunityResults(&merged.communities);
+    if (merged.communities.size() > query.top_l) {
+      merged.communities.resize(query.top_l);
+    }
+  }
+  if (merged.truncated) merged.score_upper_bound = upper;
+  merged.stats.elapsed_seconds = timer.ElapsedSeconds();
+  return merged;
+}
+
+Result<TopLResult> ShardedEngine::Search(const Query& query,
+                                         const QueryOptions& options) {
+  return SearchMerged(query, options, nullptr);
+}
+
+Result<TopLResult> ShardedEngine::SearchProgressive(
+    const Query& query, const ProgressiveOptions& options,
+    ProgressiveCallback on_update) {
+  Result<TopLResult> result = SearchMerged(query, options.query, &options);
+  if (result.ok() && on_update) {
+    ProgressiveUpdate update;
+    update.communities =
+        std::span<const CommunityResult>(result->communities);
+    update.upper_bound = result->score_upper_bound;
+    update.wave = result->stats.waves;
+    update.candidates_refined = result->stats.candidates_refined;
+    on_update(update);
+  }
+  return result;
+}
+
+Result<DTopLResult> ShardedEngine::SearchDiversified(
+    const Query& query, const DTopLOptions& options) {
+  if (options.n_factor < 1) {
+    return Status::InvalidArgument("n_factor must be >= 1");
+  }
+
+  // Phase 1: the top-(nL) candidate pool, merged across shards with floor
+  // propagation at pool size nL.
+  Timer candidate_timer;
+  Query pool_query = query;
+  pool_query.top_l = query.top_l * options.n_factor;
+  Result<TopLResult> pool =
+      SearchMerged(pool_query, options.topl_options, nullptr);
+  if (!pool.ok()) return pool.status();
+
+  DTopLResult result;
+  result.truncated = pool->truncated;
+  result.score_upper_bound = pool->score_upper_bound;
+  result.candidate_stats = pool->stats;
+  result.candidate_seconds = candidate_timer.ElapsedSeconds();
+  result.pool_centers.reserve(pool->communities.size());
+  for (const CommunityResult& c : pool->communities) {
+    result.pool_centers.push_back(c.community.center);
+  }
+  if (!pool->communities.empty()) {
+    result.pool_floor = pool->communities.back().score();
+  }
+  result.pool_full = pool->communities.size() >= pool_query.top_l;
+
+  // Phase 2: the diversified selection runs once over the merged pool —
+  // identical input to the single-engine detector, identical selection.
+  Timer refine_timer;
+  const std::vector<CommunityResult>& candidates = pool->communities;
+  std::vector<std::size_t> selection;
+  switch (options.algorithm) {
+    case DTopLAlgorithm::kGreedyWithPruning:
+      selection = SelectDiversifiedGreedyWP(candidates, query.top_l,
+                                            &result.gain_evaluations);
+      break;
+    case DTopLAlgorithm::kGreedyWithoutPruning:
+      selection = SelectDiversifiedGreedyWoP(candidates, query.top_l,
+                                             &result.gain_evaluations);
+      break;
+    case DTopLAlgorithm::kOptimal: {
+      Result<std::vector<std::size_t>> optimal = SelectDiversifiedOptimal(
+          candidates, query.top_l, options.max_optimal_subsets);
+      if (!optimal.ok()) return optimal.status();
+      selection = std::move(optimal).value();
+      break;
+    }
+  }
+  result.diversity_score = DiversityOfSelection(candidates, selection);
+  result.communities.reserve(selection.size());
+  for (std::size_t idx : selection) {
+    result.communities.push_back(candidates[idx]);
+  }
+  result.refine_seconds = refine_timer.ElapsedSeconds();
+  return result;
+}
+
+Result<RebuildScope> ShardedEngine::ApplyUpdate(const GraphDelta& delta) {
+  std::lock_guard<std::mutex> lock(update_mu_);
+
+  const std::shared_ptr<const EngineSnapshot> base = engines_[0]->snapshot();
+  Result<Graph> updated = ApplyDelta(*base->graph, delta);
+  if (!updated.ok()) return updated.status();
+
+  const PrecomputedData& pre0 = *base->pre;
+  Result<ShardDirtyClasses> dirty = ClassifyShardDirty(
+      *base->graph, *updated, delta, pre0.r_max(), pre0.thetas().front());
+  if (!dirty.ok()) return dirty.status();
+
+  const std::size_t n = base->graph->NumVertices();
+  const std::size_t touched = delta.TouchedVertices().size();
+  const std::uint32_t num_shards = options_.num_shards;
+  // ONE shared post-delta graph serves every shard (exact refinement reads
+  // it, so even untouched shards must swap it in). Cloning it per shard —
+  // the pre-refactor design — made every update O(n·shards) no matter how
+  // local the dirty region was.
+  const auto new_graph = std::make_shared<const Graph>(std::move(*updated));
+
+  // Plan phase: fork a copy-on-write precompute only for shards that own
+  // grow-dirty rows. The delta's dirty ball is local (radius ≤ r_max) and
+  // the partition is locality-major, so most updates touch one or two
+  // shards; the rest re-install their existing pre/tree pointers untouched.
+  struct ShardPlan {
+    std::shared_ptr<const EngineSnapshot> snap;
+    std::vector<VertexId> rows;       ///< owned grow-dirty rows to recompute
+    std::vector<VertexId> dirty_ids;  ///< owned centers for cache invalidation
+    std::shared_ptr<PrecomputedData> pre;  ///< forked iff rows is non-empty
+  };
+  std::vector<ShardPlan> plans(num_shards);
+  std::vector<std::pair<std::uint32_t, VertexId>> jobs;
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    ShardPlan& plan = plans[s];
+    plan.snap = engines_[s]->snapshot();
+    plan.rows = IntersectSorted(dirty->recompute, partition_.owned[s]);
+    plan.dirty_ids = IntersectSorted(dirty->all, partition_.owned[s]);
+    if (!plan.rows.empty()) {
+      // Induct from the shard's *own* rows: its owned rows are exact (or
+      // valid upper bounds) for its previous graph, so recomputing only the
+      // owned grow-dirty rows re-establishes the invariant.
+      plan.pre = std::make_shared<PrecomputedData>(*plan.snap->pre);
+      for (VertexId v : plan.rows) jobs.emplace_back(s, v);
+    }
+  }
+
+  // Row recompute, flattened across shards: owned sets are disjoint and
+  // Recompute writes only the target vertex's rows, so every (shard, row)
+  // job is independent. Parallelism scales with the number of dirty rows,
+  // not with how few shards the delta happens to touch.
+  if (!jobs.empty() && update_pool_.num_threads() > 1 && jobs.size() > 1) {
+    std::vector<std::optional<VertexPrecomputer>> precomputers(
+        update_pool_.num_threads() + 1);
+    update_pool_.ParallelForWithWorker(
+        0, jobs.size(),
+        [&](std::size_t worker, std::size_t i) {
+          std::optional<VertexPrecomputer>& precomputer = precomputers[worker];
+          if (!precomputer.has_value()) precomputer.emplace(*new_graph);
+          precomputer->Recompute(jobs[i].second, plans[jobs[i].first].pre.get());
+        },
+        /*grain=*/1);
+  } else if (!jobs.empty()) {
+    VertexPrecomputer precomputer(*new_graph);
+    for (const auto& [s, v] : jobs) precomputer.Recompute(v, plans[s].pre.get());
+  }
+
+  // Patch + install per shard. Untouched shards install {new graph, same
+  // pre, same tree} — O(1), no recompute, rebase-only cache pass.
+  std::vector<Status> statuses(num_shards, Status::OK());
+  std::vector<RebuildScope> scopes(num_shards);
+  auto finish_shard = [&](std::size_t s) {
+    ShardPlan& plan = plans[s];
+    SharedUpdate next;
+    next.graph = new_graph;
+    next.scope.num_vertices = n;
+    next.scope.touched_vertices = touched;
+    next.scope.influence_frontier = dirty->influence_frontier;
+    next.scope.dirty_centers = plan.rows.size();
+    next.scope.tree_nodes_total = plan.snap->tree->NumNodes();
+    if (plan.pre != nullptr) {
+      std::vector<char> dirty_mask(n, 0);
+      for (VertexId v : plan.rows) dirty_mask[v] = 1;
+      auto patched = std::make_shared<TreeIndex>();
+      next.scope.tree_nodes_patched = IndexUpdater::PatchTree(
+          *plan.snap->tree, plan.pre.get(), dirty_mask, patched.get());
+      next.pre = plan.pre;
+      next.tree = std::move(patched);
+    } else {
+      next.pre = plan.snap->pre;
+      next.tree = plan.snap->tree;
+    }
+    next.dirty_center_ids = std::move(plan.dirty_ids);
+    Result<RebuildScope> installed = engines_[s]->InstallUpdate(std::move(next));
+    if (installed.ok()) {
+      scopes[s] = *installed;
+    } else {
+      statuses[s] = installed.status();
+    }
+  };
+  if (update_pool_.num_threads() > 1 && num_shards > 1) {
+    update_pool_.ParallelFor(0, num_shards, finish_shard, /*grain=*/1);
+  } else {
+    for (std::uint32_t s = 0; s < num_shards; ++s) finish_shard(s);
+  }
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    TOPL_RETURN_IF_ERROR(statuses[s]);
+  }
+
+  // The owned row sets partition dirty->recompute exactly, so the sums
+  // report the fleet-wide maintenance work for this delta.
+  RebuildScope total;
+  total.num_vertices = n;
+  total.touched_vertices = touched;
+  total.influence_frontier = dirty->influence_frontier;
+  for (const RebuildScope& scope : scopes) {
+    total.dirty_centers += scope.dirty_centers;
+    total.tree_nodes_patched += scope.tree_nodes_patched;
+    total.tree_nodes_total += scope.tree_nodes_total;
+  }
+  return total;
+}
+
+EngineStats ShardedEngine::Stats() const {
+  EngineStats total = engines_[0]->Stats();
+  for (std::size_t s = 1; s < engines_.size(); ++s) {
+    const EngineStats stats = engines_[s]->Stats();
+    total.queries_total += stats.queries_total;
+    total.topl_queries += stats.topl_queries;
+    total.dtopl_queries += stats.dtopl_queries;
+    total.failed_queries += stats.failed_queries;
+    total.batches += stats.batches;
+    total.progressive_queries += stats.progressive_queries;
+    total.truncated_queries += stats.truncated_queries;
+    // updates_applied is a coordinator count (every shard installs once per
+    // ApplyUpdate) — shard 0's value already reports it; dirty centers sum.
+    total.update_dirty_centers += stats.update_dirty_centers;
+    total.snapshot_epoch = std::max(total.snapshot_epoch, stats.snapshot_epoch);
+    total.live_snapshots += stats.live_snapshots;
+    total.retired_contexts += stats.retired_contexts;
+    total.cache_enabled |= stats.cache_enabled;
+    total.cache_hits += stats.cache_hits;
+    total.cache_misses += stats.cache_misses;
+    total.cache_coalesced += stats.cache_coalesced;
+    total.cache_invalidated += stats.cache_invalidated;
+    total.cache_evicted += stats.cache_evicted;
+    total.cache_entries += stats.cache_entries;
+    total.cache_bytes += stats.cache_bytes;
+    total.query_stats += stats.query_stats;
+    for (std::size_t k = 0; k < total.latency.size(); ++k) {
+      const LatencySummary& shard = stats.latency[k];
+      LatencySummary& merged = total.latency[k];
+      merged.count += shard.count;
+      // Cross-shard percentiles are not recoverable from summaries; keep
+      // the conservative max so the merged figures never under-report.
+      merged.p50_seconds = std::max(merged.p50_seconds, shard.p50_seconds);
+      merged.p99_seconds = std::max(merged.p99_seconds, shard.p99_seconds);
+      merged.p999_seconds = std::max(merged.p999_seconds, shard.p999_seconds);
+      merged.max_seconds = std::max(merged.max_seconds, shard.max_seconds);
+    }
+    total.p50_latency_seconds =
+        std::max(total.p50_latency_seconds, stats.p50_latency_seconds);
+    total.p99_latency_seconds =
+        std::max(total.p99_latency_seconds, stats.p99_latency_seconds);
+    total.p999_latency_seconds =
+        std::max(total.p999_latency_seconds, stats.p999_latency_seconds);
+    total.max_latency_seconds =
+        std::max(total.max_latency_seconds, stats.max_latency_seconds);
+  }
+  return total;
+}
+
+std::vector<std::uint64_t> ShardedEngine::ShardOps() const {
+  std::vector<std::uint64_t> ops(ops_routed_.size());
+  for (std::size_t s = 0; s < ops_routed_.size(); ++s) {
+    ops[s] = ops_routed_[s]->load(std::memory_order_relaxed);
+  }
+  return ops;
+}
+
+}  // namespace topl

@@ -1,0 +1,187 @@
+#ifndef TOPL_SHARD_SHARDED_ENGINE_H_
+#define TOPL_SHARD_SHARDED_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/dtopl_detector.h"
+#include "core/search_control.h"
+#include "core/topl_detector.h"
+#include "engine/engine.h"
+#include "engine/engine_options.h"
+#include "engine/engine_stats.h"
+#include "graph/graph.h"
+#include "graph/graph_delta.h"
+#include "shard/shard_partition.h"
+
+namespace topl {
+
+struct ShardedEngineOptions {
+  /// Number of shard engines. 1 degenerates to a single engine behind the
+  /// coordinator's routing/merge layer (useful as a like-for-like scaling
+  /// baseline).
+  std::uint32_t num_shards = 1;
+  /// Per-shard engine configuration, applied identically to every shard
+  /// (thread-pool size, result cache, precompute/tree parameters for
+  /// FromGraph builds). Path fields are ignored — the coordinator does its
+  /// own artifact I/O. Note num_threads is *per shard*: the default (0 =
+  /// hardware concurrency) oversubscribes with many shards, so sharded
+  /// serving normally wants a small explicit value.
+  EngineOptions engine;
+};
+
+/// \brief Share-nothing sharded serving: one independent Engine per shard,
+/// commutative cross-shard top-L merge.
+///
+/// Partitioning. The candidate-center universe is split by
+/// ShardPartition::Compute (contiguous runs of the PR-8 locality order), and
+/// every shard serves a *full replica* of the graph and precompute rows but
+/// owns only its partition slice of candidate centers: its tree index is
+/// built over exactly the owned subset (TreeIndexOptions::candidates), so a
+/// shard can never answer with — or spend refinement on — a center it does
+/// not own. The full replica is the halo taken to its closed form: a
+/// community around an owned center may reach any vertex within radius r,
+/// and its influence set any vertex reachable with propagation probability
+/// ≥ θ, so the only residency invariant that survives every delta without
+/// re-partitioning is "everything is resident"; what is partitioned is the
+/// *work* (candidate search, row maintenance), which is what serialized a
+/// single engine.
+///
+/// Query path. A query is routed to the shards whose tree-root aggregates
+/// admit candidates — the same keyword/support/score tests the detector
+/// applies to an index node, so a skipped shard is one the detector itself
+/// would have answered empty. Admitted shards are visited in descending
+/// root-score-bound order; after the merged pool holds L communities, later
+/// shards inherit the merged σ_L floor through
+/// QueryOptions::initial_threshold, so they prune exactly as if they shared
+/// the earlier shards' collector. Per-shard answers merge through the
+/// canonical total order (σ desc, center asc; strict-< pruning), which makes
+/// the merge commutative and the final answer byte-identical to a single
+/// engine over the whole graph — the equivalence sweep in
+/// tests/sharded_engine_test.cc enforces this across shard counts and
+/// interleaved update streams.
+///
+/// Update path. ApplyUpdate materializes the new graph once, classifies the
+/// delta's dirty centers (shard/shard_update.h) once, then fans per-shard
+/// maintenance out in parallel: each shard clones the new replica, copies
+/// *its own* current precompute, recomputes only the rows it owns from the
+/// grow-dirty set, patches its owned-subset tree, and installs the result
+/// through Engine::InstallUpdate — its own epoch bump and its own result
+/// cache invalidated with the shard-local dirty set (dirty ∩ owned). There
+/// is no global epoch and no cross-shard lock on the query path; shards
+/// advance independently, and queries racing an update may observe
+/// different epochs on different shards (each shard is individually
+/// consistent; quiescent answers are byte-identical to a single engine).
+///
+/// Thread-safety matches Engine: all search entry points are callable from
+/// any thread; ApplyUpdate calls serialize on the coordinator's writer lock.
+class ShardedEngine {
+ public:
+  /// Runs the offline phase once over `graph` (one global precompute), then
+  /// builds the partition and the per-shard replicas/subset trees/engines.
+  static Result<std::unique_ptr<ShardedEngine>> FromGraph(
+      Graph graph, const ShardedEngineOptions& options);
+
+  /// Opens the artifact family `<prefix>.s0 … <prefix>.s{N-1}` written by
+  /// BuildArtifacts. Every member must carry a shard manifest agreeing on
+  /// shard count and partition digest and identifying its own position —
+  /// mixing members of different builds is rejected before serving.
+  static Result<std::unique_ptr<ShardedEngine>> Open(
+      const std::string& prefix, const ShardedEngineOptions& options);
+
+  /// Offline build: one precompute over `graph`, one owned-subset tree per
+  /// shard, one TOPLIDX2 version-3 artifact per shard at `<prefix>.s<k>`.
+  static Status BuildArtifacts(const Graph& graph,
+                               const ShardedEngineOptions& options,
+                               const std::string& prefix, bool compress);
+
+  /// Per-shard artifact path of shard `k`.
+  static std::string ShardArtifactPath(const std::string& prefix,
+                                       std::uint32_t k);
+
+  /// Answers one TopL query through route → per-shard search → merge.
+  Result<TopLResult> Search(const Query& query, const QueryOptions& options = {});
+
+  /// Answers one DTopL query: the top-(nL) candidate pool is merged across
+  /// shards (with floor propagation at pool size), then the diversified
+  /// selection runs once over the merged pool.
+  Result<DTopLResult> SearchDiversified(const Query& query,
+                                        const DTopLOptions& options = {});
+
+  /// Anytime TopL across shards: shards are visited best-bound-first under
+  /// the shared deadline/cancel budget; a deadline that expires mid-family
+  /// truncates the remaining shards. `on_update` receives one final merged
+  /// update (per-shard intermediate streams are not interleaved — they
+  /// would expose non-merged prefixes).
+  Result<TopLResult> SearchProgressive(const Query& query,
+                                       const ProgressiveOptions& options = {},
+                                       ProgressiveCallback on_update = nullptr);
+
+  /// Applies one delta across every shard (see class comment). Returns the
+  /// aggregated work report: dirty_centers / tree_nodes_* sum the per-shard
+  /// passes, so precompute_avoided() reports the fleet-wide avoided work
+  /// relative to n.
+  Result<RebuildScope> ApplyUpdate(const GraphDelta& delta);
+
+  /// Sums the per-shard engines' counters. snapshot_epoch reports the
+  /// coordinator's update count (every shard's epoch equals it once an
+  /// update completes); latency percentiles are merged per kind with the
+  /// conservative max for max_seconds.
+  EngineStats Stats() const;
+
+  /// Operations routed to each shard since construction (search entry
+  /// points only; updates touch every shard). The loadgen layer derives its
+  /// load-imbalance metric from this.
+  std::vector<std::uint64_t> ShardOps() const;
+
+  std::uint32_t num_shards() const { return options_.num_shards; }
+  const ShardPartition& partition() const { return partition_; }
+  Engine& shard(std::uint32_t s) { return *engines_[s]; }
+  const Engine& shard(std::uint32_t s) const { return *engines_[s]; }
+
+  /// Shard 0's current snapshot — a full replica, so callers that need "the
+  /// graph right now" (workload generation, delta synthesis) use this.
+  /// Racing an in-flight ApplyUpdate, it may be one epoch behind another
+  /// shard's view; it is itself immutable and internally consistent.
+  std::shared_ptr<const EngineSnapshot> snapshot() const {
+    return engines_[0]->snapshot();
+  }
+
+ private:
+  ShardedEngine(ShardedEngineOptions options, ShardPartition partition,
+                std::vector<std::unique_ptr<Engine>> engines);
+
+  /// Mirrors the detector's index-node admission tests (keyword signature,
+  /// support, center-trussness) against a shard's tree root; fills `*bound`
+  /// with the root score bound (+∞ when θ is below the precompute grid).
+  static bool RootAdmits(const EngineSnapshot& snap, const Query& query,
+                         const QueryOptions& options, int z,
+                         const BitVector& query_bv, double* bound);
+
+  /// Shared route → per-shard TopL → canonical merge driver. `deadline`
+  /// carries the progressive budget (0 = none).
+  Result<TopLResult> SearchMerged(const Query& query,
+                                  const QueryOptions& options,
+                                  const ProgressiveOptions* progressive);
+
+  ShardedEngineOptions options_;
+  ShardPartition partition_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> ops_routed_;
+
+  /// Serializes coordinator updates (each shard additionally has its own
+  /// writer lock, uncontended here because this one is held first).
+  std::mutex update_mu_;
+  /// Coordinator thread pool for the per-shard maintenance fan-out.
+  ThreadPool update_pool_;
+};
+
+}  // namespace topl
+
+#endif  // TOPL_SHARD_SHARDED_ENGINE_H_

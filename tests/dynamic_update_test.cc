@@ -353,7 +353,7 @@ TEST(DynamicUpdateTest, EngineSnapshotIsolationAndStats) {
 
   // The pinned snapshot still answers exactly like before the update.
   {
-    TopLDetector old_detector(pinned->graph, *pinned->pre, pinned->tree);
+    TopLDetector old_detector(*pinned->graph, *pinned->pre, *pinned->tree);
     Result<TopLResult> pinned_answer = old_detector.Search(q);
     ASSERT_TRUE(pinned_answer.ok());
     ExpectSameCommunities(pinned_answer->communities, before->communities,
@@ -500,7 +500,7 @@ TEST(DynamicUpdateTest, ConcurrentApplyUpdateAndSearch) {
     // thread is the only writer, so the snapshot cannot change under it.
     std::shared_ptr<const EngineSnapshot> current = (*engine)->snapshot();
     Rng update_rng(500 + u);
-    const GraphDelta delta = MakeSweepDelta(current->graph, update_rng, 4);
+    const GraphDelta delta = MakeSweepDelta(*current->graph, update_rng, 4);
     Result<RebuildScope> scope = (*engine)->ApplyUpdate(delta);
     ASSERT_TRUE(scope.ok()) << scope.status().ToString();
   }

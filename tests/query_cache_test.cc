@@ -410,7 +410,7 @@ TEST(QueryCacheEngineTest, SweepCachedAnswersMatchUncachedAcrossUpdates) {
                          context);
       }
       const GraphDelta delta =
-          MakeRandomDelta((*cached)->snapshot()->graph, rng, delta_options);
+          MakeRandomDelta(*(*cached)->snapshot()->graph, rng, delta_options);
       if (delta.empty()) continue;
       ASSERT_TRUE((*cached)->ApplyUpdate(delta).ok());
       ASSERT_TRUE((*uncached)->ApplyUpdate(delta).ok());
@@ -517,7 +517,7 @@ TEST(QueryCacheEngineTest, ConcurrentSearchUpdateEvictionIsRaceFree) {
     delta_options.keyword_domain = 12;
     for (int u = 0; u < 6; ++u) {
       const GraphDelta delta =
-          MakeRandomDelta((*engine)->snapshot()->graph, rng, delta_options);
+          MakeRandomDelta(*(*engine)->snapshot()->graph, rng, delta_options);
       if (delta.empty()) continue;
       if (!(*engine)->ApplyUpdate(delta).ok()) failures.fetch_add(1);
     }

@@ -5,7 +5,7 @@
 //   topl_cli convert  --in=com-dblp.ungraph.txt --out=graph.bin
 //   topl_cli index build   --graph=graph.bin --out=index.idx
 //                          [--rmax=3 --threads=0 --format=v2|legacy
-//                           --reorder=0 --compress=0]
+//                           --reorder=0 --compress=0 --shards=0]
 //   topl_cli index inspect --artifact=index.idx
 //   topl_cli index migrate --in=old.bin --graph=graph.bin --out=index.idx
 //                          [--compress=0]
@@ -51,6 +51,17 @@
 //                      --warmup-seconds=0.5 --seed=42 --popularity=zipf
 //                      --zipf=0 --signatures=0 --deadline-ms=0
 //                      --slo-qps=0 --slo-p99-ms=0 --slo-p999-ms=0 --json=]
+//
+// All online subcommands also accept --shards=N to serve through a
+// share-nothing ShardedEngine: N independent engines over the
+// `<index>.s0..s{N-1}` artifact family written by `index build --shards=N`
+// (built in-process from --graph when the family is missing), with queries
+// routed by shard-root admission and merged in the canonical order — answers
+// are byte-identical to unsharded serving. `--shards` composes with --cache
+// (per-shard result caches with shard-local invalidation); it rejects
+// --reorder, since sharded artifacts keep identity external ids. query/dtopl
+// print the per-shard routed-op fan-out, and serve-bench's report/JSON gains
+// per-shard routed-op counts plus the max/mean load-imbalance ratio.
 //
 // All online subcommands accept --cache=1 [--cache-max-mb=64] to serve
 // repeated queries from the snapshot-epoch result cache (exact dirty-region
@@ -240,6 +251,38 @@ int CmdIndexBuild(const std::map<std::string, std::string>& flags) {
     return Fail(Status::InvalidArgument(
         "--format=legacy cannot store a vertex permutation or encoded "
         "sections; drop --reorder/--compress or use --format=v2"));
+  }
+  const std::uint32_t shards =
+      static_cast<std::uint32_t>(IntFlag(flags, "shards", 0));
+  if (shards > 0) {
+    // Sharded build: one offline phase, one artifact per shard at
+    // <out>.s<k>. Sharded artifacts keep identity external ids — the
+    // partition already follows the locality order, so a vertex permutation
+    // on top would only re-split the shards' contiguous runs.
+    if (format == "legacy") {
+      return Fail(Status::InvalidArgument(
+          "--shards requires --format=v2 (TOPLIDX1 has no shard manifest)"));
+    }
+    if (reorder) {
+      return Fail(Status::InvalidArgument(
+          "--shards and --reorder are mutually exclusive: sharded artifacts "
+          "keep identity external ids"));
+    }
+    Result<Graph> graph = ReadGraphBinary(graph_path);
+    if (!graph.ok()) return Fail(graph.status());
+    Timer timer;
+    ShardedEngineOptions options;
+    options.num_shards = shards;
+    options.engine.precompute.r_max =
+        static_cast<std::uint32_t>(IntFlag(flags, "rmax", 3));
+    options.engine.precompute.num_threads = IntFlag(flags, "threads", 0);
+    const Status status =
+        ShardedEngine::BuildArtifacts(*graph, options, out, compress);
+    if (!status.ok()) return Fail(status);
+    std::printf("indexed %s in %.2fs -> %s.s0..s%u (TOPLIDX2 sharded%s)\n",
+                graph_path.c_str(), timer.ElapsedSeconds(), out.c_str(),
+                shards - 1, compress ? ", compressed" : "");
+    return 0;
   }
   Result<Graph> graph = ReadGraphBinary(graph_path);
   if (!graph.ok()) return Fail(graph.status());
@@ -502,6 +545,43 @@ Result<std::unique_ptr<Engine>> OpenEngine(
   return Engine::Open(options);
 }
 
+// Sharded deployments: opens the artifact family `<index>.s0..s{N-1}` when
+// present, otherwise builds the shards in-process from --graph (like
+// Engine::Open's missing-index path, but nothing is persisted — use
+// `index build --shards` to write the family). Path fields of EngineOptions
+// are ignored by the coordinator; the remaining online flags apply per shard.
+Result<std::unique_ptr<ShardedEngine>> OpenShardedEngine(
+    const std::map<std::string, std::string>& flags, std::uint32_t num_shards) {
+  ShardedEngineOptions options;
+  options.num_shards = num_shards;
+  options.engine.precompute.r_max =
+      static_cast<std::uint32_t>(IntFlag(flags, "rmax", 3));
+  options.engine.num_threads = IntFlag(flags, "threads", 0);
+  options.engine.enable_result_cache = FlagOr(flags, "cache", "0") == "1";
+  options.engine.cache_max_bytes = IntFlag(flags, "cache-max-mb", 64) << 20;
+  options.engine.mmap_populate = FlagOr(flags, "mmap-populate", "0") == "1";
+  options.engine.mmap_huge_pages = FlagOr(flags, "mmap-hugepages", "0") == "1";
+  const std::string prefix = FlagOr(flags, "index", "index.bin");
+  if (std::filesystem::exists(ShardedEngine::ShardArtifactPath(prefix, 0))) {
+    return ShardedEngine::Open(prefix, options);
+  }
+  const std::string graph_path = FlagOr(flags, "graph", "graph.bin");
+  Result<Graph> graph = ReadGraphBinary(graph_path);
+  if (!graph.ok()) return graph.status();
+  return ShardedEngine::FromGraph(std::move(*graph), options);
+}
+
+// Sharded artifacts keep identity external ids (Open enforces it), so the
+// centers a sharded deployment returns are already in the original id space.
+void PrintCommunitiesRaw(const std::vector<CommunityResult>& communities) {
+  for (std::size_t i = 0; i < communities.size(); ++i) {
+    const CommunityResult& c = communities[i];
+    std::printf("#%zu center=%u members=%zu sigma=%.3f influenced=%zu\n", i + 1,
+                c.community.center, c.community.size(), c.score(),
+                c.influence.size());
+  }
+}
+
 Result<DTopLOptions> BuildDTopLOptions(
     const std::map<std::string, std::string>& flags) {
   DTopLOptions options;
@@ -525,7 +605,67 @@ void PrintTruncation(bool truncated, double upper_bound) {
               "remaining score upper bound %.3f\n", upper_bound);
 }
 
+// query/dtopl against a sharded deployment: route → per-shard search →
+// commutative merge; answers are byte-identical to a single engine over the
+// same graph, so the printed output only differs by the routing line.
+int CmdQuerySharded(const std::map<std::string, std::string>& flags,
+                    bool diversified, std::uint32_t shards) {
+  Result<std::unique_ptr<ShardedEngine>> engine =
+      OpenShardedEngine(flags, shards);
+  if (!engine.ok()) return Fail(engine.status());
+  Result<Query> query = BuildQuery(flags);
+  if (!query.ok()) return Fail(query.status());
+
+  const double deadline_ms = DoubleFlag(flags, "deadline-ms", 0.0);
+  const bool progressive = FlagOr(flags, "progressive", "0") == "1";
+  const bool controlled = progressive || deadline_ms > 0.0;
+
+  if (!diversified) {
+    Result<TopLResult> answer(TopLResult{});
+    if (controlled) {
+      ProgressiveOptions prog;
+      prog.deadline_seconds = deadline_ms / 1000.0;
+      prog.chunk_size = static_cast<std::uint32_t>(IntFlag(flags, "chunk", 8));
+      answer = (*engine)->SearchProgressive(*query, prog);
+    } else {
+      answer = (*engine)->Search(*query);
+    }
+    if (!answer.ok()) return Fail(answer.status());
+    PrintCommunitiesRaw(answer->communities);
+    PrintTruncation(answer->truncated, answer->score_upper_bound);
+  } else {
+    if (controlled) {
+      return Fail(Status::InvalidArgument(
+          "--progressive/--deadline-ms are not supported for dtopl with "
+          "--shards; drop the budget flags or serve unsharded"));
+    }
+    Result<DTopLOptions> options = BuildDTopLOptions(flags);
+    if (!options.ok()) return Fail(options.status());
+    Result<DTopLResult> answer = (*engine)->SearchDiversified(*query, *options);
+    if (!answer.ok()) return Fail(answer.status());
+    PrintCommunitiesRaw(answer->communities);
+    PrintTruncation(answer->truncated, answer->score_upper_bound);
+    std::printf("diversity score D(S) = %.3f\n", answer->diversity_score);
+  }
+
+  const std::vector<std::uint64_t> routed = (*engine)->ShardOps();
+  std::printf("routed to %zu/%u shards [",
+              static_cast<std::size_t>(
+                  std::count_if(routed.begin(), routed.end(),
+                                [](std::uint64_t ops) { return ops > 0; })),
+              (*engine)->num_shards());
+  for (std::size_t s = 0; s < routed.size(); ++s) {
+    std::printf("%s%llu", s == 0 ? "" : ", ",
+                static_cast<unsigned long long>(routed[s]));
+  }
+  std::printf("]\n");
+  return 0;
+}
+
 int CmdQuery(const std::map<std::string, std::string>& flags, bool diversified) {
+  const std::uint32_t shards =
+      static_cast<std::uint32_t>(IntFlag(flags, "shards", 0));
+  if (shards > 0) return CmdQuerySharded(flags, diversified, shards);
   Result<std::unique_ptr<Engine>> engine = OpenEngine(flags);
   if (!engine.ok()) return Fail(engine.status());
   Result<Query> query = BuildQuery(flags);
@@ -742,8 +882,30 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
 }
 
 int CmdServeBench(const std::map<std::string, std::string>& flags) {
-  Result<std::unique_ptr<Engine>> engine = OpenEngine(flags);
-  if (!engine.ok()) return Fail(engine.status());
+  // --shards=N swaps the served deployment: the workload, injection, and
+  // report are identical, shard(0)'s full replica stands in for the single
+  // engine's graph/precompute when deriving the stream, and the report grows
+  // the per-shard routed-op counts + imbalance.
+  const std::uint32_t shards =
+      static_cast<std::uint32_t>(IntFlag(flags, "shards", 0));
+  std::unique_ptr<Engine> engine;
+  std::unique_ptr<ShardedEngine> sharded;
+  std::unique_ptr<loadgen::ServingTarget> target;
+  const Engine* probe = nullptr;
+  if (shards > 0) {
+    Result<std::unique_ptr<ShardedEngine>> opened =
+        OpenShardedEngine(flags, shards);
+    if (!opened.ok()) return Fail(opened.status());
+    sharded = std::move(*opened);
+    target = std::make_unique<loadgen::ShardedTarget>(sharded.get());
+    probe = &sharded->shard(0);
+  } else {
+    Result<std::unique_ptr<Engine>> opened = OpenEngine(flags);
+    if (!opened.ok()) return Fail(opened.status());
+    engine = std::move(*opened);
+    target = std::make_unique<loadgen::EngineTarget>(engine.get());
+    probe = engine.get();
+  }
 
   Result<loadgen::WorkloadSpec> spec =
       loadgen::WorkloadSpec::Named(FlagOr(flags, "mix", "mixed"));
@@ -768,7 +930,7 @@ int CmdServeBench(const std::map<std::string, std::string>& flags) {
   // band to r_max and snap thetas to the precompute grid, preserving the
   // mix's own band shape (repeat_heavy pins single values so cache keys
   // repeat; overwriting its bands with the full grid would destroy that).
-  const PrecomputedData& pre = (*engine)->precomputed();
+  const PrecomputedData& pre = probe->precomputed();
   std::vector<std::uint32_t> radii;
   for (std::uint32_t r : spec->params.radius_values) {
     if (r >= 1 && r <= pre.r_max()) radii.push_back(r);
@@ -791,7 +953,7 @@ int CmdServeBench(const std::map<std::string, std::string>& flags) {
   }
   spec->params.theta_values = std::move(thetas);
   Result<loadgen::WorkloadGenerator> generator =
-      loadgen::WorkloadGenerator::Create(*spec, (*engine)->graph());
+      loadgen::WorkloadGenerator::Create(*spec, probe->graph());
   if (!generator.ok()) return Fail(generator.status());
 
   loadgen::InjectorOptions inject;
@@ -808,12 +970,12 @@ int CmdServeBench(const std::map<std::string, std::string>& flags) {
     warmup.duration_seconds = warmup_seconds;
     warmup.max_ops = 0;
     Result<loadgen::LoadReport> ignored =
-        loadgen::LoadInjector(engine->get(), *generator, warmup).Run();
+        loadgen::LoadInjector(target.get(), *generator, warmup).Run();
     if (!ignored.ok()) return Fail(ignored.status());
   }
 
   Result<loadgen::LoadReport> report =
-      loadgen::LoadInjector(engine->get(), *generator, inject).Run();
+      loadgen::LoadInjector(target.get(), *generator, inject).Run();
   if (!report.ok()) return Fail(report.status());
   report->stream_digest = generator->StreamDigest(4096);
   std::printf("%s", report->ToString().c_str());
