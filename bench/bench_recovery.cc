@@ -1,0 +1,295 @@
+// bench_recovery — durability-path costs and the recovery exactness witness,
+// on one fixed-seed synthetic graph.
+//
+// Three measured phases:
+//   1. journal append throughput: UpdateJournal::Append (checksummed record
+//      + fsync per delta) on a standalone journal;
+//   2. the live journaled update path: Engine::ApplyUpdate with a journal
+//      attached (append + fsync + incremental index maintenance per delta);
+//   3. recovery: Engine::Recover over the untouched base artifact + journal,
+//      replaying every record.
+//
+// After recovery the binary answers the same query battery on the recovered
+// engine and on the live engine that acknowledged the updates; any
+// field-level mismatch (centers, member lists, scores) makes it exit
+// non-zero — the benchmark doubles as the divergence witness for the
+// journal contract: a crash-recovered engine serves byte-identical answers.
+//
+//   bench_recovery [--vertices=1000] [--seed=42] [--rmax=2] [--deltas=50]
+//                  [--appends=1000] [--ops=4] [--queries=4]
+//                  [--json=BENCH_recovery.json]
+//
+// Emits a human summary on stdout and a machine-readable JSON file
+// (journal ops/s, journaled update rate, recovery rate and ms-per-1k-deltas)
+// consumed by the CI regression gate.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <unistd.h>
+
+#include "topl.h"
+
+namespace {
+
+using namespace topl;  // NOLINT(build/namespaces)
+
+struct Flags {
+  std::size_t vertices = 1000;
+  std::uint64_t seed = 42;
+  std::uint32_t rmax = 2;
+  int deltas = 50;
+  int appends = 1000;
+  int ops = 4;
+  int queries = 4;
+  std::string json = "BENCH_recovery.json";
+};
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+    const std::string key = arg.substr(2, eq - 2);
+    const std::string value = arg.substr(eq + 1);
+    if (key == "vertices") {
+      flags.vertices = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "seed") {
+      flags.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "rmax") {
+      flags.rmax =
+          static_cast<std::uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (key == "deltas") {
+      flags.deltas = std::atoi(value.c_str());
+    } else if (key == "appends") {
+      flags.appends = std::atoi(value.c_str());
+    } else if (key == "ops") {
+      flags.ops = std::atoi(value.c_str());
+    } else if (key == "queries") {
+      flags.queries = std::atoi(value.c_str());
+    } else if (key == "json") {
+      flags.json = value;
+    } else {
+      std::fprintf(stderr, "unknown flag: --%s\n", key.c_str());
+      std::exit(2);
+    }
+  }
+  return flags;
+}
+
+// Population-weighted query keywords, deterministic per seed.
+std::vector<KeywordId> QueryKeywords(const Graph& g, std::uint32_t count,
+                                     std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<KeywordId> out;
+  for (int guard = 0; out.size() < count && guard < 100000; ++guard) {
+    const VertexId v = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+    const auto kws = g.Keywords(v);
+    if (kws.empty()) continue;
+    const KeywordId w = kws[rng.NextBounded(kws.size())];
+    if (std::find(out.begin(), out.end(), w) == out.end()) out.push_back(w);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool SameCommunities(const std::vector<CommunityResult>& a,
+                     const std::vector<CommunityResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].community.center != b[i].community.center ||
+        a[i].community.vertices != b[i].community.vertices ||
+        a[i].community.edges != b[i].community.edges ||
+        a[i].score() != b[i].score()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = ParseFlags(argc, argv);
+
+  std::printf("== durability: journal append / journaled updates / recovery "
+              "replay ==\n");
+  SmallWorldOptions gen;
+  gen.num_vertices = flags.vertices;
+  gen.seed = flags.seed;
+  gen.keywords.domain_size = 50;
+  gen.keywords.keywords_per_vertex = 3;
+  Result<Graph> built = MakeSmallWorld(gen);
+  TOPL_CHECK(built.ok(), built.status().ToString().c_str());
+  const Graph& graph = *built;
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("topl_bench_recovery_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const std::string artifact = (dir / "base.idx").string();
+  const std::string journal_path = (dir / "wal.jrn").string();
+
+  {
+    PrecomputeOptions pre_opts;
+    pre_opts.r_max = flags.rmax;
+    Result<PrecomputedData> pre = PrecomputedData::Build(graph, pre_opts);
+    TOPL_CHECK(pre.ok(), pre.status().ToString().c_str());
+    Result<TreeIndex> tree = TreeIndex::Build(graph, *pre);
+    TOPL_CHECK(tree.ok(), tree.status().ToString().c_str());
+    TOPL_CHECK(ArtifactWriter::Write(graph, *pre, *tree, artifact).ok(),
+               "artifact write failed");
+  }
+  std::printf("graph: %zu vertices, %zu edges; artifact %s\n",
+              graph.NumVertices(), graph.NumEdges(), artifact.c_str());
+
+  // Sequentially-valid delta stream (each delta drawn against the graph the
+  // previous ones produced).
+  std::vector<GraphDelta> deltas;
+  {
+    RandomDeltaOptions delta_options;
+    delta_options.num_ops = flags.ops;
+    delta_options.keyword_domain = gen.keywords.domain_size;
+    std::unique_ptr<Graph> evolved;
+    const Graph* current = &graph;
+    Rng rng(flags.seed + 1);
+    while (deltas.size() < static_cast<std::size_t>(flags.deltas)) {
+      GraphDelta d = MakeRandomDelta(*current, rng, delta_options);
+      if (d.empty()) continue;
+      Result<Graph> next = ApplyDelta(*current, d);
+      TOPL_CHECK(next.ok(), next.status().ToString().c_str());
+      evolved = std::make_unique<Graph>(std::move(*next));
+      current = evolved.get();
+      deltas.push_back(std::move(d));
+    }
+  }
+
+  // Phase 1: raw journal append throughput (record encode + write + fsync),
+  // cycling the delta stream up to `appends` records on a throwaway journal.
+  double append_seconds = 0.0;
+  std::uint64_t append_bytes = 0;
+  {
+    const std::string path = (dir / "throughput.jrn").string();
+    Result<std::unique_ptr<UpdateJournal>> journal = UpdateJournal::Open(path);
+    TOPL_CHECK(journal.ok(), journal.status().ToString().c_str());
+    Timer timer;
+    for (int i = 0; i < flags.appends; ++i) {
+      const Status appended =
+          (*journal)->Append(deltas[static_cast<std::size_t>(i) %
+                                    deltas.size()]);
+      TOPL_CHECK(appended.ok(), appended.ToString().c_str());
+    }
+    append_seconds = timer.ElapsedSeconds();
+    append_bytes = std::filesystem::file_size(path);
+  }
+  const double appends_per_s =
+      append_seconds > 0.0 ? flags.appends / append_seconds : 0.0;
+  std::printf("journal append: %d records in %.3fs (%.0f ops/s, %llu bytes)\n",
+              flags.appends, append_seconds, appends_per_s,
+              static_cast<unsigned long long>(append_bytes));
+
+  // Phase 2: the live journaled update path — what a serving engine pays per
+  // acknowledged delta (journal append + fsync + incremental maintenance).
+  EngineOptions options;
+  options.index_path = artifact;
+  options.journal_path = journal_path;
+  options.num_threads = 2;
+  Result<std::unique_ptr<Engine>> live = Engine::Open(options);
+  TOPL_CHECK(live.ok(), live.status().ToString().c_str());
+  Timer apply_timer;
+  for (const GraphDelta& delta : deltas) {
+    Result<RebuildScope> applied = (*live)->ApplyUpdate(delta);
+    TOPL_CHECK(applied.ok(), applied.status().ToString().c_str());
+  }
+  const double apply_seconds = apply_timer.ElapsedSeconds();
+  const double apply_per_s =
+      apply_seconds > 0.0 ? flags.deltas / apply_seconds : 0.0;
+  std::printf("journaled updates: %d deltas in %.3fs (%.1f updates/s)\n",
+              flags.deltas, apply_seconds, apply_per_s);
+
+  // Phase 3: crash recovery — a fresh engine over the untouched artifact +
+  // journal replays every record.
+  RecoveryInfo info;
+  Timer recover_timer;
+  Result<std::unique_ptr<Engine>> recovered = Engine::Recover(options, &info);
+  const double recovery_seconds = recover_timer.ElapsedSeconds();
+  TOPL_CHECK(recovered.ok(), recovered.status().ToString().c_str());
+  TOPL_CHECK(info.records_replayed == deltas.size(),
+             "recovery did not replay every journal record");
+  const double recovery_per_s =
+      recovery_seconds > 0.0 ? flags.deltas / recovery_seconds : 0.0;
+  const double ms_per_1k =
+      recovery_seconds * 1000.0 * (1000.0 / flags.deltas);
+  std::printf("recovery: %llu records in %.3fs (%.1f updates/s, "
+              "%.0f ms per 1k deltas)\n",
+              static_cast<unsigned long long>(info.records_replayed),
+              recovery_seconds, recovery_per_s, ms_per_1k);
+
+  // Divergence witness: recovered answers vs the live engine that
+  // acknowledged the stream, field by field.
+  bool exact = true;
+  for (int qi = 0; qi < flags.queries; ++qi) {
+    Query q;
+    q.keywords = QueryKeywords(graph, 5, flags.seed + 100 + qi);
+    q.k = 4;
+    q.radius = std::min<std::uint32_t>(2, flags.rmax);
+    q.theta = 0.2;
+    q.top_l = 5;
+    Result<TopLResult> got = (*recovered)->Search(q);
+    Result<TopLResult> want = (*live)->Search(q);
+    TOPL_CHECK(got.ok() && want.ok(), "witness query failed");
+    if (!SameCommunities(got->communities, want->communities)) {
+      exact = false;
+      std::fprintf(stderr,
+                   "MISMATCH: query %d diverges between recovered and live "
+                   "engines\n",
+                   qi);
+    }
+  }
+  std::printf("divergence witness: %d queries, %s\n", flags.queries,
+              exact ? "exact" : "MISMATCH");
+
+  std::FILE* json = std::fopen(flags.json.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", flags.json.c_str());
+    return 1;
+  }
+  std::fprintf(
+      json,
+      "{\n"
+      "  \"benchmark\": \"recovery\",\n"
+      "  \"vertices\": %zu,\n"
+      "  \"seed\": %llu,\n"
+      "  \"num_deltas\": %d,\n"
+      "  \"ops_per_delta\": %d,\n"
+      "  \"exact_match\": %s,\n"
+      "  \"journal\": {\"appends\": %d, \"total_seconds\": %.6f,\n"
+      "              \"ops_per_s\": %.3f, \"bytes\": %llu},\n"
+      "  \"apply\": {\"total_seconds\": %.6f, \"updates_per_s\": %.3f},\n"
+      "  \"recovery\": {\"records_replayed\": %llu, \"total_seconds\": %.6f,\n"
+      "               \"updates_per_s\": %.3f, \"ms_per_1k_deltas\": %.3f,\n"
+      "               \"torn_bytes_discarded\": %llu}\n"
+      "}\n",
+      flags.vertices, static_cast<unsigned long long>(flags.seed), flags.deltas,
+      flags.ops, exact ? "true" : "false", flags.appends, append_seconds,
+      appends_per_s, static_cast<unsigned long long>(append_bytes),
+      apply_seconds, apply_per_s,
+      static_cast<unsigned long long>(info.records_replayed), recovery_seconds,
+      recovery_per_s, ms_per_1k,
+      static_cast<unsigned long long>(info.torn_bytes_discarded));
+  std::fclose(json);
+  std::printf("wrote %s\n", flags.json.c_str());
+
+  std::filesystem::remove_all(dir);
+  return exact ? 0 : 1;
+}

@@ -1,0 +1,99 @@
+#include "common/fault_injection.h"
+
+#if defined(TOPL_ENABLE_FAULT_INJECTION)
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+namespace topl {
+namespace fault {
+
+namespace {
+
+// The closed registry. Grouped by subsystem; crash_torture_test sweeps the
+// subset reachable from the update/journal/rewrite path and asserts every
+// one of these names is actually hit by an uninterrupted run, so adding a
+// call site without a registry entry (or the reverse) fails loudly.
+constexpr const char* kAllPoints[] = {
+    // atomic_file.cc — the write-temp → fsync → rename → fsync-dir ladder.
+    "atomic.open",
+    "atomic.write",
+    "atomic.fsync",
+    "atomic.rename",
+    "atomic.fsync_dir",
+    // update_journal.cc — append and open/replay.
+    "journal.open",
+    "journal.append",
+    "journal.fsync",
+    "journal.replay",
+    // artifact.cc / mapped_file.cc — artifact rewrite and open.
+    "artifact.write",
+    "mapped_file.open",
+};
+
+// Fast path: sites load this and bail when nothing is armed.
+std::atomic<bool> g_armed{false};
+
+std::mutex g_mu;
+std::string g_point;          // guarded by g_mu
+Action g_action = Action::kNone;  // guarded by g_mu
+std::uint64_t g_fire_on_hit = 1;  // guarded by g_mu
+std::uint64_t g_hits = 0;         // hits of the armed point, guarded by g_mu
+std::vector<std::string> g_hit_log;  // guarded by g_mu
+
+void LogHit(const char* point) {
+  if (std::find(g_hit_log.begin(), g_hit_log.end(), point) == g_hit_log.end()) {
+    g_hit_log.emplace_back(point);
+  }
+}
+
+}  // namespace
+
+void Arm(const std::string& point, Action action, std::uint64_t fire_on_hit) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_point = point;
+  g_action = action;
+  g_fire_on_hit = fire_on_hit == 0 ? 1 : fire_on_hit;
+  g_hits = 0;
+  g_armed.store(true, std::memory_order_release);
+}
+
+void Disarm() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_point.clear();
+  g_action = Action::kNone;
+  g_hits = 0;
+  g_hit_log.clear();
+  g_armed.store(false, std::memory_order_release);
+}
+
+std::vector<std::string> AllPoints() {
+  return {std::begin(kAllPoints), std::end(kAllPoints)};
+}
+
+std::vector<std::string> HitPoints() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return g_hit_log;
+}
+
+Action Check(const char* point) {
+  if (!g_armed.load(std::memory_order_acquire)) return Action::kNone;
+  std::lock_guard<std::mutex> lock(g_mu);
+  LogHit(point);
+  if (g_action == Action::kNone || g_point != point) return Action::kNone;
+  if (++g_hits != g_fire_on_hit) return Action::kNone;
+  if (g_action == Action::kCrash) {
+    // Simulated SIGKILL: no stream flush, no atexit, no destructors — the
+    // on-disk state is exactly what the kernel had at this instant.
+    ::_exit(137);
+  }
+  return g_action;
+}
+
+}  // namespace fault
+}  // namespace topl
+
+#endif  // TOPL_ENABLE_FAULT_INJECTION

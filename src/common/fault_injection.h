@@ -1,0 +1,113 @@
+#ifndef TOPL_COMMON_FAULT_INJECTION_H_
+#define TOPL_COMMON_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace topl {
+namespace fault {
+
+/// \brief Named failure points for crash/IO-fault testing of the storage
+/// layer.
+///
+/// Every durability-critical syscall site (artifact rewrite, journal append,
+/// recovery replay, mmap open) names a fault point and asks this registry
+/// what to do before performing the real operation. In normal operation the
+/// check is a single relaxed atomic load of a global counter (zero when no
+/// point is armed); when `TOPL_ENABLE_FAULT_INJECTION` is not defined the
+/// hooks compile to nothing and `Enabled()` is `false`, so release builds
+/// carry no fault-injection surface at all.
+///
+/// The point names are a closed, centrally registered set (`AllPoints()`),
+/// not ad-hoc strings: the crash-torture test iterates the registry, arms
+/// each point in crash mode, forks a child that runs the update/journal/
+/// rewrite path, and asserts the parent can recover with no divergence. A
+/// debug-only hit log (`HitPoints()`) lets tests assert the registry and the
+/// call sites have not drifted apart.
+///
+/// Arming is process-local state inherited across fork(), which is exactly
+/// what the torture test needs: the parent arms, forks, and the child dies
+/// at the armed point while the parent's on-disk state is what a real crash
+/// would leave behind.
+
+/// What an armed fault point does when it fires.
+enum class Action : std::uint8_t {
+  kNone = 0,    // not armed / armed for a different point
+  kIOError,     // site returns an injected Status::IOError
+  kShortWrite,  // site persists a prefix of the payload, then fails
+  kCrash,       // process exits immediately (simulated SIGKILL, no flush)
+};
+
+/// Compile-time switch; false in builds without TOPL_ENABLE_FAULT_INJECTION.
+constexpr bool Enabled() {
+#if defined(TOPL_ENABLE_FAULT_INJECTION)
+  return true;
+#else
+  return false;
+#endif
+}
+
+#if defined(TOPL_ENABLE_FAULT_INJECTION)
+
+/// Arms `point` to perform `action` on its `fire_on_hit`-th execution
+/// (1 = first). Only one point is armed at a time; re-arming replaces the
+/// previous arming. Thread-safe.
+void Arm(const std::string& point, Action action, std::uint64_t fire_on_hit = 1);
+
+/// Disarms whatever is armed and clears the hit log.
+void Disarm();
+
+/// The closed set of registered fault-point names. A name used by a call
+/// site but absent here (or vice versa) is a bug; see
+/// crash_torture_test.cc's coverage assertion.
+std::vector<std::string> AllPoints();
+
+/// Every distinct point name executed since the last Disarm(), in first-hit
+/// order. Lets tests assert a code path actually crossed the points the
+/// sweep relies on.
+std::vector<std::string> HitPoints();
+
+/// Called by instrumented sites: records the hit and returns the action to
+/// take (kCrash never returns — the process exits with code 137).
+Action Check(const char* point);
+
+/// Convenience for kIOError sites.
+inline Status InjectedError(const char* point) {
+  return Status::IOError(std::string("injected fault at ") + point);
+}
+
+#else
+
+inline void Arm(const std::string&, Action, std::uint64_t = 1) {}
+inline void Disarm() {}
+inline std::vector<std::string> AllPoints() { return {}; }
+inline std::vector<std::string> HitPoints() { return {}; }
+inline Action Check(const char*) { return Action::kNone; }
+inline Status InjectedError(const char*) { return Status::OK(); }
+
+#endif  // TOPL_ENABLE_FAULT_INJECTION
+
+}  // namespace fault
+
+/// Hook macro for Status- or Result-returning functions: evaluates the named
+/// point and early-returns an injected IOError when armed so. kCrash exits
+/// inside Check(); kShortWrite must be handled explicitly by sites that can
+/// express a torn write (see atomic_file.cc / update_journal.cc).
+#if defined(TOPL_ENABLE_FAULT_INJECTION)
+#define TOPL_FAULT_POINT(name)                                        \
+  do {                                                                \
+    if (::topl::fault::Check(name) == ::topl::fault::Action::kIOError) \
+      return ::topl::fault::InjectedError(name);                      \
+  } while (false)
+#else
+#define TOPL_FAULT_POINT(name) \
+  do {                         \
+  } while (false)
+#endif
+
+}  // namespace topl
+
+#endif  // TOPL_COMMON_FAULT_INJECTION_H_

@@ -22,6 +22,8 @@ const char* CodeName(Status::Code code) {
       return "Unimplemented";
     case Status::Code::kInternal:
       return "Internal";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

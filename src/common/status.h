@@ -25,6 +25,10 @@ class Status {
     kOutOfRange = 5,
     kUnimplemented = 6,
     kInternal = 7,
+    /// Transient inability to serve: admission control shed the request or
+    /// the component is shut down. Unlike the other codes this one invites a
+    /// retry (with backoff) — see loadgen::LoadInjector.
+    kUnavailable = 8,
   };
 
   /// Default-constructed Status is OK.
@@ -52,6 +56,9 @@ class Status {
     return Status(Code::kUnimplemented, msg);
   }
   static Status Internal(std::string_view msg) { return Status(Code::kInternal, msg); }
+  static Status Unavailable(std::string_view msg) {
+    return Status(Code::kUnavailable, msg);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
@@ -61,6 +68,7 @@ class Status {
   bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
   bool IsUnimplemented() const { return code_ == Code::kUnimplemented; }
   bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
 
   Code code() const { return code_; }
 

@@ -14,13 +14,22 @@ ThreadPool::ThreadPool(std::size_t num_threads) : num_threads_(num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
+  std::vector<std::thread> workers;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     stopping_ = true;
+    workers.swap(queue_workers_);  // empty on a second call: idempotent
   }
   queue_cv_.notify_all();
-  for (auto& worker : queue_workers_) worker.join();
+  for (auto& worker : workers) worker.join();
+}
+
+bool ThreadPool::is_shutdown() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return stopping_;
 }
 
 void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
@@ -58,9 +67,13 @@ void ThreadPool::ParallelForWithWorker(
   for (auto& t : threads) t.join();
 }
 
-void ThreadPool::Enqueue(std::function<void()> task) {
+bool ThreadPool::Enqueue(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
+    // A task queued after shutdown began would never be claimed (workers are
+    // gone or draining) and respawning workers here would race the joins —
+    // reject it instead; Submit turns the rejection into a typed error.
+    if (stopping_) return false;
     if (queue_workers_.empty()) {
       queue_workers_.reserve(num_threads_);
       for (std::size_t t = 0; t < num_threads_; ++t) {
@@ -71,6 +84,7 @@ void ThreadPool::Enqueue(std::function<void()> task) {
     in_flight_.fetch_add(1, std::memory_order_relaxed);
   }
   queue_cv_.notify_one();
+  return true;
 }
 
 void ThreadPool::QueueWorkerLoop() {

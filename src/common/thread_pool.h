@@ -9,6 +9,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -43,13 +44,26 @@ class ThreadPool {
   explicit ThreadPool(std::size_t num_threads = 0);
 
   /// Drains nothing: queued tasks not yet started are still executed, then
-  /// the queue workers are joined.
+  /// the queue workers are joined (equivalent to Shutdown()).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   std::size_t num_threads() const { return num_threads_; }
+
+  /// Stops accepting Submit tasks, runs everything already queued, and joins
+  /// the queue workers. Idempotent; safe to race with concurrent Submit
+  /// calls (they either make it into the queue and run, or their future
+  /// fails with the typed shutdown error). Must not be called from a pool
+  /// task. After Shutdown, Submit never deadlocks and never leaves a broken
+  /// promise: the returned future throws std::runtime_error on get().
+  void Shutdown();
+
+  /// True once Shutdown() (or the destructor) has begun. Advisory — a false
+  /// return can be stale by the time the caller acts on it; Submit itself is
+  /// always safe either way.
+  bool is_shutdown() const;
 
   /// Runs body(i) for every i in [begin, end), distributing chunks of
   /// `grain` consecutive indices over the workers. Blocks until all
@@ -68,13 +82,34 @@ class ThreadPool {
       std::size_t grain = 64);
 
   /// Runs fn() on a persistent queue worker and returns a future for its
-  /// result. Exceptions propagate through the future.
+  /// result. Exceptions propagate through the future. After Shutdown() the
+  /// task is rejected: it never runs, and the future throws
+  /// std::runtime_error("ThreadPool is shut down") from get() — a defined,
+  /// typed failure instead of UB or a deadlock.
   template <typename F>
   auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
     using R = std::invoke_result_t<std::decay_t<F>>;
-    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
-    std::future<R> future = task->get_future();
-    Enqueue([task]() { (*task)(); });
+    auto promise = std::make_shared<std::promise<R>>();
+    std::future<R> future = promise->get_future();
+    // fn lives in a shared_ptr so the enqueued closure stays copyable
+    // (std::function) even for move-only callables.
+    auto body = std::make_shared<std::decay_t<F>>(std::forward<F>(fn));
+    const bool accepted = Enqueue([promise, body]() {
+      try {
+        if constexpr (std::is_void_v<R>) {
+          (*body)();
+          promise->set_value();
+        } else {
+          promise->set_value((*body)());
+        }
+      } catch (...) {
+        promise->set_exception(std::current_exception());
+      }
+    });
+    if (!accepted) {
+      promise->set_exception(std::make_exception_ptr(
+          std::runtime_error("ThreadPool is shut down")));
+    }
     return future;
   }
 
@@ -117,7 +152,8 @@ class ThreadPool {
  private:
   friend class TaskGroup;
 
-  void Enqueue(std::function<void()> task);
+  /// False when the pool is shut down (the task was not queued).
+  bool Enqueue(std::function<void()> task);
   void QueueWorkerLoop();
 
   std::size_t num_threads_;

@@ -46,6 +46,13 @@ struct TopLResult {
   /// exact); for truncated answers this bounds how much better a missed
   /// community could be — the anytime quality gap.
   double score_upper_bound = -std::numeric_limits<double>::infinity();
+
+  /// True when admission control shed the full-work path and served this
+  /// answer as a best-effort anytime result instead (engine/engine.h
+  /// overload handling). Implies `truncated` semantics: `communities` is a
+  /// valid prefix of the exact answer and `score_upper_bound` still bounds
+  /// what was missed.
+  bool degraded = false;
 };
 
 /// Sorts `communities` into canonical answer order (see BetterCommunity).

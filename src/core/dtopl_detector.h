@@ -56,6 +56,12 @@ struct DTopLResult {
   /// when the pool is exact.
   double score_upper_bound = -std::numeric_limits<double>::infinity();
 
+  /// True when admission control shed the full-work path and served this
+  /// answer as a best-effort anytime result (engine/engine.h overload
+  /// handling); the candidate pool is then whatever was explored in the
+  /// degraded budget, with `score_upper_bound` still a valid gap bound.
+  bool degraded = false;
+
   /// Centers of the full top-(nL) candidate pool the selection was refined
   /// from (selection order of the pool, i.e. σ desc / center asc). The
   /// diversified answer is a deterministic function of this pool, so result

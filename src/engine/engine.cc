@@ -1,7 +1,9 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
+#include <string>
 #include <utility>
 
 #include "common/timer.h"
@@ -46,7 +48,51 @@ Engine::Engine(std::shared_ptr<const Graph> graph,
   }
 }
 
-Engine::~Engine() = default;
+Engine::~Engine() { Shutdown(); }
+
+void Engine::Shutdown() {
+  shutdown_.store(true, std::memory_order_release);
+  // Wake queries parked on the admission gate so they fail fast with the
+  // shutdown status instead of timing out as shed.
+  admission_cv_.notify_all();
+  pool_.Shutdown();
+}
+
+Engine::Admission Engine::Admit() {
+  if (shutdown_.load(std::memory_order_acquire)) return Admission::kShutdown;
+  const std::size_t max = options_.max_in_flight_queries;
+  std::unique_lock<std::mutex> lock(admission_mu_);
+  if (max == 0 || in_flight_queries_ < max) {
+    ++in_flight_queries_;
+    return Admission::kAdmitted;
+  }
+  if (options_.admission_queue_wait_seconds > 0.0) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(options_.admission_queue_wait_seconds));
+    while (in_flight_queries_ >= max &&
+           !shutdown_.load(std::memory_order_acquire)) {
+      if (admission_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        break;
+      }
+    }
+    if (shutdown_.load(std::memory_order_acquire)) return Admission::kShutdown;
+    if (in_flight_queries_ < max) {
+      ++in_flight_queries_;
+      return Admission::kAdmitted;
+    }
+  }
+  return Admission::kShed;
+}
+
+void Engine::ReleaseAdmission() {
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    --in_flight_queries_;
+  }
+  admission_cv_.notify_one();
+}
 
 std::shared_ptr<const EngineSnapshot> Engine::snapshot() const {
   std::lock_guard<std::mutex> lock(contexts_mu_);
@@ -110,6 +156,53 @@ Result<std::unique_ptr<Engine>> Engine::FromGraph(Graph graph,
 }
 
 Result<std::unique_ptr<Engine>> Engine::Open(const EngineOptions& options) {
+  Result<std::unique_ptr<Engine>> engine = OpenFiles(options);
+  if (engine.ok() && !options.journal_path.empty()) {
+    Status attached = (*engine)->AttachJournal(options.journal_path);
+    if (!attached.ok()) return attached;
+  }
+  return engine;
+}
+
+Result<std::unique_ptr<Engine>> Engine::Recover(const EngineOptions& options,
+                                                RecoveryInfo* info) {
+  if (options.journal_path.empty()) {
+    return Status::InvalidArgument(
+        "Engine::Recover needs EngineOptions::journal_path");
+  }
+  Result<std::unique_ptr<Engine>> engine = Open(options);
+  if (engine.ok() && info != nullptr) *info = (*engine)->recovery_info();
+  return engine;
+}
+
+Status Engine::AttachJournal(const std::string& path) {
+  UpdateJournal::OpenInfo info;
+  Result<std::unique_ptr<UpdateJournal>> journal = UpdateJournal::Open(path, &info);
+  if (!journal.ok()) return journal.status();
+  Result<std::vector<GraphDelta>> deltas = UpdateJournal::Replay(path);
+  if (!deltas.ok()) return deltas.status();
+  // Replay through the regular update path; journal_ is still null, so the
+  // replayed deltas are not appended a second time. A committed record that
+  // no longer applies means the journal belongs to a different base image —
+  // refuse to serve rather than diverge silently.
+  for (std::size_t i = 0; i < deltas->size(); ++i) {
+    Result<RebuildScope> applied = ApplyUpdate((*deltas)[i]);
+    if (!applied.ok()) {
+      return Status::Corruption(
+          "journal replay failed at record " + std::to_string(i + 1) + "/" +
+          std::to_string(deltas->size()) + ": " +
+          applied.status().ToString() +
+          " (journal " + path + " does not match this index)");
+    }
+  }
+  journal_ = std::move(*journal);
+  recovery_info_.records_replayed = deltas->size();
+  recovery_info_.torn_bytes_discarded = info.torn_bytes_discarded;
+  recovery_info_.journal_created = info.created;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Engine>> Engine::OpenFiles(const EngineOptions& options) {
   const bool have_index_file =
       !options.index_path.empty() && std::filesystem::exists(options.index_path);
 
@@ -390,19 +483,85 @@ Result<DTopLResult> Engine::CachedSearchDiversified(QueryKind kind,
   return result;
 }
 
+namespace {
+
+Status ShutdownStatus() { return Status::Unavailable("engine is shut down"); }
+
+}  // namespace
+
+Status Engine::ShedStatus() const {
+  return Status::Unavailable(
+      "query shed: engine at max_in_flight_queries=" +
+      std::to_string(options_.max_in_flight_queries) +
+      " (retry with backoff)");
+}
+
 Result<TopLResult> Engine::Search(const Query& query, const QueryOptions& options) {
+  AdmissionGuard admit(this);
+  if (admit.result() == Admission::kShutdown) return ShutdownStatus();
+  if (admit.result() == Admission::kShed) {
+    shed_queries_.fetch_add(1, std::memory_order_relaxed);
+    return ShedStatus();
+  }
   return CachedSearch(QueryKind::kSearch, query, options, /*context=*/nullptr);
 }
 
 Result<DTopLResult> Engine::SearchDiversified(const Query& query,
                                               const DTopLOptions& options) {
+  AdmissionGuard admit(this);
+  if (admit.result() == Admission::kShutdown) return ShutdownStatus();
+  if (admit.result() == Admission::kShed) {
+    shed_queries_.fetch_add(1, std::memory_order_relaxed);
+    return ShedStatus();
+  }
   return CachedSearchDiversified(QueryKind::kDiversified, query, options,
                                  /*context=*/nullptr);
+}
+
+Result<TopLResult> Engine::DegradedSearch(const Query& query,
+                                          const ProgressiveOptions& options) {
+  // The caller brought a deadline, so it already accepts anytime answers:
+  // run the progressive search with an immediately-expiring deadline and no
+  // pool fan-out. The detector stops at the first wave boundary, returning a
+  // valid truncated prefix plus the score upper bound — wave-boundary cost
+  // instead of full-query cost, without taking an admission slot.
+  ProgressiveOptions degraded = options;
+  degraded.deadline_seconds = 1e-9;
+  degraded.parallel = false;
+  ContextLease lease(this);
+  Result<TopLResult> result =
+      SearchOnContext(lease.get(), QueryKind::kProgressive, query,
+                      degraded.query, MakeControl(degraded, nullptr));
+  degraded_queries_.fetch_add(1, std::memory_order_relaxed);
+  if (result.ok()) result->degraded = true;
+  return result;
+}
+
+Result<DTopLResult> Engine::DegradedSearchDiversified(
+    const Query& query, const DTopLOptions& dtopl_options,
+    const ProgressiveOptions& options) {
+  ProgressiveOptions degraded = options;
+  degraded.deadline_seconds = 1e-9;
+  degraded.parallel = false;
+  ContextLease lease(this);
+  Result<DTopLResult> result = SearchDiversifiedOnContext(
+      lease.get(), QueryKind::kProgressive, query, dtopl_options,
+      MakeControl(degraded, nullptr));
+  degraded_queries_.fetch_add(1, std::memory_order_relaxed);
+  if (result.ok()) result->degraded = true;
+  return result;
 }
 
 Result<TopLResult> Engine::SearchProgressive(const Query& query,
                                              const ProgressiveOptions& options,
                                              ProgressiveCallback on_update) {
+  AdmissionGuard admit(this);
+  if (admit.result() == Admission::kShutdown) return ShutdownStatus();
+  if (admit.result() == Admission::kShed) {
+    if (options.deadline_seconds > 0.0) return DegradedSearch(query, options);
+    shed_queries_.fetch_add(1, std::memory_order_relaxed);
+    return ShedStatus();
+  }
   ContextLease lease(this);
   return SearchOnContext(lease.get(), QueryKind::kProgressive, query,
                          options.query, MakeControl(options, std::move(on_update)));
@@ -411,6 +570,15 @@ Result<TopLResult> Engine::SearchProgressive(const Query& query,
 Result<DTopLResult> Engine::SearchDiversifiedProgressive(
     const Query& query, const DTopLOptions& dtopl_options,
     const ProgressiveOptions& options, ProgressiveCallback on_update) {
+  AdmissionGuard admit(this);
+  if (admit.result() == Admission::kShutdown) return ShutdownStatus();
+  if (admit.result() == Admission::kShed) {
+    if (options.deadline_seconds > 0.0) {
+      return DegradedSearchDiversified(query, dtopl_options, options);
+    }
+    shed_queries_.fetch_add(1, std::memory_order_relaxed);
+    return ShedStatus();
+  }
   ContextLease lease(this);
   // Pruning toggles come from dtopl_options.topl_options, exactly as in
   // SearchDiversified — ProgressiveOptions::query applies to the TopL entry
@@ -422,6 +590,21 @@ Result<DTopLResult> Engine::SearchDiversifiedProgressive(
 
 std::vector<Result<TopLResult>> Engine::SearchBatch(std::span<const Query> queries,
                                                     const QueryOptions& options) {
+  // One admission slot covers the whole batch: the fan-out below already
+  // bounds its own parallelism by the pool width, so per-query slots would
+  // only let one batch starve every interactive query.
+  AdmissionGuard admit(this);
+  if (admit.result() != Admission::kAdmitted) {
+    if (admit.result() == Admission::kShed) {
+      shed_queries_.fetch_add(1, std::memory_order_relaxed);
+    }
+    const Status status =
+        admit.result() == Admission::kShutdown ? ShutdownStatus() : ShedStatus();
+    std::vector<Result<TopLResult>> rejected;
+    rejected.reserve(queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) rejected.emplace_back(status);
+    return rejected;
+  }
   batches_.fetch_add(1, std::memory_order_relaxed);
   std::vector<Result<TopLResult>> results;
   results.reserve(queries.size());
@@ -457,6 +640,14 @@ std::vector<Result<TopLResult>> Engine::SearchBatch(std::span<const Query> queri
 }
 
 std::future<Result<TopLResult>> Engine::Submit(Query query, QueryOptions options) {
+  // Post-shutdown submission resolves to the typed status instead of the
+  // pool's std::runtime_error (the task body would return it anyway; this
+  // skips the detour through an exception for the common case).
+  if (shutdown_.load(std::memory_order_acquire)) {
+    std::promise<Result<TopLResult>> promise;
+    promise.set_value(ShutdownStatus());
+    return promise.get_future();
+  }
   return pool_.Submit([this, query = std::move(query), options]() {
     return Search(query, options);
   });
@@ -464,12 +655,18 @@ std::future<Result<TopLResult>> Engine::Submit(Query query, QueryOptions options
 
 std::future<Result<DTopLResult>> Engine::SubmitDiversified(Query query,
                                                            DTopLOptions options) {
+  if (shutdown_.load(std::memory_order_acquire)) {
+    std::promise<Result<DTopLResult>> promise;
+    promise.set_value(ShutdownStatus());
+    return promise.get_future();
+  }
   return pool_.Submit([this, query = std::move(query), options]() {
     return SearchDiversified(query, options);
   });
 }
 
 Result<RebuildScope> Engine::ApplyUpdate(const GraphDelta& delta) {
+  if (shutdown_.load(std::memory_order_acquire)) return ShutdownStatus();
   // Single writer at a time; queries keep flowing against the current
   // snapshot for the whole (potentially long) maintenance pass.
   std::lock_guard<std::mutex> update_lock(update_mu_);
@@ -477,6 +674,15 @@ Result<RebuildScope> Engine::ApplyUpdate(const GraphDelta& delta) {
   Result<UpdatedIndex> updated =
       IndexUpdater::Apply(*base->graph, *base->pre, *base->tree, delta, &pool_);
   if (!updated.ok()) return updated.status();
+  // Durability before visibility: commit the delta to the write-ahead
+  // journal (checksummed + fsync-ed) before installing the snapshot. A crash
+  // after the append replays the delta at recovery; a crash during it leaves
+  // a torn record that recovery discards — matching the fact that no caller
+  // was ever told the update succeeded. An append failure rejects the update
+  // outright so memory never runs ahead of the durable state.
+  if (journal_ != nullptr) {
+    TOPL_RETURN_IF_ERROR(journal_->Append(delta));
+  }
   return InstallUpdateLocked(std::move(base), ShareUpdatedIndex(std::move(*updated)));
 }
 
@@ -563,6 +769,8 @@ EngineStats Engine::Stats() const {
   total.update_dirty_centers =
       update_dirty_centers_.load(std::memory_order_relaxed);
   total.retired_contexts = retired_contexts_.load(std::memory_order_relaxed);
+  total.queries_shed = shed_queries_.load(std::memory_order_relaxed);
+  total.queries_degraded = degraded_queries_.load(std::memory_order_relaxed);
   total.queries_total = total.topl_queries + total.dtopl_queries;
   if (cache_ != nullptr) {
     total.cache_enabled = true;

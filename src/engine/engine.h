@@ -1,11 +1,13 @@
 #ifndef TOPL_ENGINE_ENGINE_H_
 #define TOPL_ENGINE_ENGINE_H_
 
+#include <condition_variable>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "cache/query_cache.h"
@@ -20,8 +22,21 @@
 #include "index/index_update.h"
 #include "index/precompute.h"
 #include "index/tree_index.h"
+#include "storage/update_journal.h"
 
 namespace topl {
+
+/// Report of the write-ahead journal replay performed when an engine opens
+/// with EngineOptions::journal_path set (see Engine::Recover).
+struct RecoveryInfo {
+  /// Committed journal records replayed on top of the artifact at open.
+  std::uint64_t records_replayed = 0;
+  /// Bytes of torn (partially written, never acknowledged) trailing record
+  /// discarded while opening the journal.
+  std::uint64_t torn_bytes_discarded = 0;
+  /// True when the journal file did not exist and was created empty.
+  bool journal_created = false;
+};
 
 /// \brief One immutable serving epoch: a graph plus the offline phase built
 /// over it. Engines swap whole snapshots atomically (MVCC), so a snapshot is
@@ -130,9 +145,25 @@ class Engine {
   /// options.save_built_index).
   static Result<std::unique_ptr<Engine>> Open(const EngineOptions& options);
 
+  /// Open with a mandatory write-ahead journal: identical to Open except that
+  /// options.journal_path must be non-empty, and the replay report is copied
+  /// into `*info` (when non-null). A recovered engine is byte-identical to
+  /// one that applied the same acknowledged deltas live: the journal holds
+  /// exactly the committed (checksummed, fsync-ed) records, and a torn tail —
+  /// an update that was never acknowledged — is discarded.
+  static Result<std::unique_ptr<Engine>> Recover(const EngineOptions& options,
+                                                 RecoveryInfo* info = nullptr);
+
   ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
+
+  /// Stops serving: every entry point called after this returns (or resolves
+  /// its future to) Status::Unavailable("engine is shut down"), queued async
+  /// tasks still run to completion, and the pool workers are joined.
+  /// Idempotent; must not be called from inside a query callback or pool
+  /// task. The destructor implies Shutdown.
+  void Shutdown();
 
   /// Answers one TopL-ICDE query. Thread-safe.
   Result<TopLResult> Search(const Query& query, const QueryOptions& options = {});
@@ -203,6 +234,15 @@ class Engine {
 
   /// Cumulative service counters (snapshot; never blocks queries).
   EngineStats Stats() const;
+
+  /// Journal replay report from open time; all zeros when the engine was
+  /// opened without a journal.
+  const RecoveryInfo& recovery_info() const { return recovery_info_; }
+
+  /// True once Shutdown() has begun (advisory).
+  bool is_shutdown() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
 
   /// Pins the snapshot currently serving new queries. Hold the returned
   /// pointer to keep graph/precompute/tree alive across ApplyUpdate calls.
@@ -308,6 +348,57 @@ class Engine {
   SearchControl MakeControl(const ProgressiveOptions& options,
                             ProgressiveCallback on_update);
 
+  /// Outcome of the overload admission gate (max_in_flight_queries).
+  enum class Admission {
+    kAdmitted,  ///< a slot was taken; the guard releases it
+    kShed,      ///< gate full past the queue-wait budget — reject or degrade
+    kShutdown,  ///< Shutdown() has begun
+  };
+
+  /// Takes one admission slot, waiting up to
+  /// options_.admission_queue_wait_seconds when the gate is full. With
+  /// max_in_flight_queries == 0 admission always succeeds (the slot count is
+  /// still maintained so Shutdown stays uniform).
+  Admission Admit();
+  void ReleaseAdmission();
+  Status ShedStatus() const;
+
+  /// RAII admission slot: queries hold one for their whole execution.
+  class AdmissionGuard {
+   public:
+    explicit AdmissionGuard(Engine* engine)
+        : engine_(engine), result_(engine->Admit()) {}
+    ~AdmissionGuard() {
+      if (result_ == Admission::kAdmitted) engine_->ReleaseAdmission();
+    }
+    AdmissionGuard(const AdmissionGuard&) = delete;
+    AdmissionGuard& operator=(const AdmissionGuard&) = delete;
+    Admission result() const { return result_; }
+
+   private:
+    Engine* engine_;
+    Admission result_;
+  };
+
+  /// Overloaded-but-deadline-bearing queries take this path instead of being
+  /// shed: the search runs with an immediately-expiring deadline, so it
+  /// returns a valid truncated anytime answer (correct communities prefix +
+  /// score upper bound) at wave-boundary cost instead of full-query cost.
+  Result<TopLResult> DegradedSearch(const Query& query,
+                                    const ProgressiveOptions& options);
+  Result<DTopLResult> DegradedSearchDiversified(
+      const Query& query, const DTopLOptions& dtopl_options,
+      const ProgressiveOptions& options);
+
+  /// Opens/creates the journal, replays its committed records through the
+  /// normal update path (no re-append: journal_ is attached only afterwards)
+  /// and records the replay report. Called from Open before the engine is
+  /// shared, so the replay is single-threaded.
+  Status AttachJournal(const std::string& path);
+
+  /// The file-loading paths of Open, minus the journal attach.
+  static Result<std::unique_ptr<Engine>> OpenFiles(const EngineOptions& options);
+
   /// Shared tail of ApplyUpdate / InstallUpdate: snapshot swap, idle-context
   /// retirement, cache invalidation, counters. Caller holds update_mu_;
   /// `base` is the snapshot `updated` was computed from.
@@ -332,9 +423,25 @@ class Engine {
   std::atomic<std::uint64_t> updates_applied_{0};
   std::atomic<std::uint64_t> update_dirty_centers_{0};
   std::atomic<std::uint64_t> retired_contexts_{0};
+  std::atomic<std::uint64_t> shed_queries_{0};
+  std::atomic<std::uint64_t> degraded_queries_{0};
+
+  /// Set by Shutdown(); checked by the admission gate and ApplyUpdate.
+  std::atomic<bool> shutdown_{false};
+
+  /// Admission gate state (see EngineOptions::max_in_flight_queries).
+  std::mutex admission_mu_;
+  std::condition_variable admission_cv_;
+  std::size_t in_flight_queries_ = 0;
 
   /// Serializes ApplyUpdate writers; never held while queries run.
   std::mutex update_mu_;
+
+  /// Write-ahead delta journal; null when opened without one. Guarded by
+  /// update_mu_ (appends happen only inside ApplyUpdate); attached before
+  /// the engine is shared.
+  std::unique_ptr<UpdateJournal> journal_;
+  RecoveryInfo recovery_info_;
 
   mutable std::mutex contexts_mu_;
   /// Serving state for *new* queries; swapped wholesale by ApplyUpdate.

@@ -108,6 +108,27 @@ struct EngineOptions {
   /// Byte budget of the result cache (LRU-evicted per shard); ignored unless
   /// `enable_result_cache`.
   std::size_t cache_max_bytes = 64ull << 20;
+
+  /// Write-ahead update journal (storage/update_journal.h). When non-empty,
+  /// Engine::Open replays any committed deltas found in the journal on top
+  /// of the artifact (crash recovery), then ApplyUpdate appends each delta —
+  /// checksummed and fsync-ed — *before* installing the new snapshot, so a
+  /// crash at any point loses no acknowledged update. Empty = no journal
+  /// (updates are durable only once the artifact is rewritten).
+  std::string journal_path;
+
+  /// Overload admission: maximum number of queries executing concurrently
+  /// inside the engine; 0 = unbounded (no admission control). When the gate
+  /// is full, a query waits up to `admission_queue_wait_seconds` for a slot;
+  /// on timeout it is shed with Status::Unavailable — unless the caller
+  /// supplied a deadline (progressive entry points), in which case the
+  /// engine degrades it to a truncated anytime answer instead of failing.
+  std::size_t max_in_flight_queries = 0;
+
+  /// How long a query may wait for an admission slot before being shed;
+  /// 0 = shed immediately when the gate is full. Ignored when
+  /// `max_in_flight_queries` is 0.
+  double admission_queue_wait_seconds = 0.0;
 };
 
 }  // namespace topl

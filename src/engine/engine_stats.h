@@ -66,6 +66,15 @@ struct EngineStats {
   /// progressive early stop.
   std::uint64_t truncated_queries = 0;
 
+  /// Queries rejected by admission control with Status::Unavailable
+  /// (engine_options.h max_in_flight_queries) — not counted in
+  /// queries_total, which tracks executions.
+  std::uint64_t queries_shed = 0;
+  /// Queries the overloaded engine served as truncated anytime answers
+  /// instead of shedding (the caller had a deadline). Also counted in
+  /// queries_total and truncated_queries.
+  std::uint64_t queries_degraded = 0;
+
   /// Graph deltas installed via Engine::ApplyUpdate.
   std::uint64_t updates_applied = 0;
   /// Cumulative dirty centers re-precomputed across all updates (the
@@ -121,7 +130,9 @@ struct EngineStats {
         " dtopl=" + std::to_string(dtopl_queries) +
         " failed=" + std::to_string(failed_queries) +
         " truncated=" + std::to_string(truncated_queries) +
-        ") batches=" + std::to_string(batches) +
+        ") shed=" + std::to_string(queries_shed) +
+        " degraded=" + std::to_string(queries_degraded) +
+        " batches=" + std::to_string(batches) +
         " p50=" + std::to_string(p50_latency_seconds) + "s" +
         " p99=" + std::to_string(p99_latency_seconds) + "s" +
         " p999=" + std::to_string(p999_latency_seconds) + "s" +

@@ -21,6 +21,41 @@ double Seconds(Clock::duration d) {
   return std::chrono::duration<double>(d).count();
 }
 
+/// Retry policy for shed (Status::Unavailable) responses: the engine's
+/// admission gate explicitly invites a retry with backoff, and a loadgen
+/// that gives up on the first rejection under-reports the achievable
+/// goodput. Bounded attempts keep a saturated engine from turning the
+/// injector into an unbounded retry storm.
+constexpr int kMaxAttempts = 3;
+constexpr double kBackoffBaseSeconds = 200e-6;
+
+/// Runs `call` with up to kMaxAttempts tries, sleeping an exponentially
+/// growing, jittered backoff between shed responses. Counts every
+/// Unavailable response in `*shed` and every re-issued attempt in
+/// `*retried`; non-Unavailable failures are terminal.
+template <typename Call, typename Outcome>
+void RunWithRetry(Call&& call, Rng* rng, std::uint64_t* shed,
+                  std::uint64_t* retried, Outcome&& outcome) {
+  for (int attempt = 0;; ++attempt) {
+    auto r = call();
+    if (r.ok()) {
+      outcome(/*ok=*/true, r->truncated, r->degraded);
+      return;
+    }
+    if (r.status().IsUnavailable()) ++*shed;
+    if (!r.status().IsUnavailable() || attempt + 1 >= kMaxAttempts) {
+      outcome(/*ok=*/false, false, false);
+      return;
+    }
+    ++*retried;
+    // Full jitter in [0.5, 1.5)x so synchronized workers don't re-collide on
+    // the admission gate at the same instant.
+    const double backoff = kBackoffBaseSeconds * static_cast<double>(1 << attempt) *
+                           (0.5 + rng->NextDouble());
+    std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+  }
+}
+
 }  // namespace
 
 LoadInjector::LoadInjector(Engine* engine, const WorkloadGenerator& generator,
@@ -70,7 +105,9 @@ Result<LoadReport> LoadInjector::Run() {
   progressive.parallel = options_.progressive_parallel;
   progressive.deadline_seconds = options_.progressive_deadline_ms / 1e3;
 
-  auto worker = [&](LoadRecorder* recorder) {
+  auto worker = [&](LoadRecorder* recorder, std::size_t worker_index) {
+    // Per-worker deterministic jitter source for retry backoff.
+    Rng backoff_rng(0x9E3779B97F4A7C15ull ^ worker_index);
     for (;;) {
       const std::uint64_t i =
           next_index.fetch_add(1, std::memory_order_relaxed);
@@ -96,28 +133,34 @@ Result<LoadReport> LoadInjector::Run() {
       const Clock::time_point begin = Clock::now();
       bool ok = true;
       bool truncated = false;
+      bool degraded = false;
+      std::uint64_t shed = 0;
+      std::uint64_t retried = 0;
+      auto outcome = [&](bool call_ok, bool call_truncated, bool call_degraded) {
+        ok = call_ok;
+        truncated = call_truncated;
+        degraded = call_degraded;
+      };
       switch (op.kind) {
-        case OpKind::kTopL: {
-          Result<TopLResult> r = target_->Search(op.query);
-          ok = r.ok();
-          truncated = ok && r->truncated;
+        case OpKind::kTopL:
+          RunWithRetry([&] { return target_->Search(op.query); }, &backoff_rng,
+                       &shed, &retried, outcome);
           break;
-        }
-        case OpKind::kDTopL: {
-          Result<DTopLResult> r =
-              target_->SearchDiversified(op.query, DTopLOptions());
-          ok = r.ok();
-          truncated = ok && r->truncated;
+        case OpKind::kDTopL:
+          RunWithRetry(
+              [&] { return target_->SearchDiversified(op.query, DTopLOptions()); },
+              &backoff_rng, &shed, &retried, outcome);
           break;
-        }
-        case OpKind::kProgressive: {
-          Result<TopLResult> r =
-              target_->SearchProgressive(op.query, progressive);
-          ok = r.ok();
-          truncated = ok && r->truncated;
+        case OpKind::kProgressive:
+          // A deadline-bearing progressive query is degraded (not shed) by an
+          // overloaded engine, so retries only fire in the no-deadline case.
+          RunWithRetry(
+              [&] { return target_->SearchProgressive(op.query, progressive); },
+              &backoff_rng, &shed, &retried, outcome);
           break;
-        }
         case OpKind::kUpdate: {
+          // Updates are not retried: they serialize on update_mu anyway, and
+          // the admission gate covers queries, not maintenance.
           std::lock_guard<std::mutex> lock(update_mu);
           const std::shared_ptr<const EngineSnapshot> snap =
               target_->snapshot();
@@ -132,14 +175,15 @@ Result<LoadReport> LoadInjector::Run() {
       }
       const Clock::time_point done = Clock::now();
       recorder->Record(op.kind, Seconds(done - intended),
-                       Seconds(done - begin), ok, truncated);
+                       Seconds(done - begin), ok, truncated, degraded, shed,
+                       retried);
     }
   };
 
   std::vector<std::thread> threads;
   threads.reserve(options_.num_workers);
   for (std::size_t w = 0; w < options_.num_workers; ++w) {
-    threads.emplace_back(worker, &recorders[w]);
+    threads.emplace_back(worker, &recorders[w], w);
   }
   for (std::thread& thread : threads) thread.join();
   const double wall = Seconds(Clock::now() - start);

@@ -31,17 +31,28 @@ struct LoadRecorder {
     LatencyHistogram service;
     std::uint64_t failed = 0;
     std::uint64_t truncated = 0;
+    /// Unavailable responses the engine's admission gate returned for this
+    /// kind (each rejected attempt counts, whether or not a retry landed).
+    std::uint64_t shed = 0;
+    /// Operations answered as degraded anytime results under overload.
+    std::uint64_t degraded = 0;
+    /// Re-issued attempts after a shed response (jittered backoff).
+    std::uint64_t retried = 0;
   };
 
   std::array<Slot, kNumOpKinds> per_kind{};
 
   void Record(OpKind kind, double reported_seconds, double service_seconds,
-              bool ok, bool truncated) {
+              bool ok, bool truncated, bool degraded = false,
+              std::uint64_t shed = 0, std::uint64_t retried = 0) {
     Slot& slot = per_kind[static_cast<std::size_t>(kind)];
     slot.latency.AddSeconds(reported_seconds);
     slot.service.AddSeconds(service_seconds);
     if (!ok) ++slot.failed;
     if (truncated) ++slot.truncated;
+    if (degraded) ++slot.degraded;
+    slot.shed += shed;
+    slot.retried += retried;
   }
 
   void Merge(const LoadRecorder& other) {
@@ -50,6 +61,9 @@ struct LoadRecorder {
       per_kind[k].service.Merge(other.per_kind[k].service);
       per_kind[k].failed += other.per_kind[k].failed;
       per_kind[k].truncated += other.per_kind[k].truncated;
+      per_kind[k].shed += other.per_kind[k].shed;
+      per_kind[k].degraded += other.per_kind[k].degraded;
+      per_kind[k].retried += other.per_kind[k].retried;
     }
   }
 

@@ -64,6 +64,9 @@ LoadReport BuildReport(std::span<const LoadRecorder> recorders,
     report.ops_total += slot.latency.count;
     report.failed += slot.failed;
     report.truncated += slot.truncated;
+    report.shed += slot.shed;
+    report.degraded += slot.degraded;
+    report.retried += slot.retried;
     all.latency.Merge(slot.latency);
     all.service.Merge(slot.service);
     all.failed += slot.failed;
@@ -117,6 +120,12 @@ std::string LoadReport::ToString() const {
           mix.c_str(), open_loop ? "open" : "closed", target_qps, achieved_qps,
           wall_seconds, ops_total, failed, truncated, updates_applied,
           snapshot_epoch);
+  if (shed + degraded + retried > 0) {
+    AppendF(&out,
+            "overload: %" PRIu64 " shed, %" PRIu64 " degraded, %" PRIu64
+            " retried\n",
+            shed, degraded, retried);
+  }
   if (cache_hits + cache_misses + cache_coalesced > 0) {
     AppendF(&out,
             "cache: %.1f%% hit rate (%" PRIu64 " hits, %" PRIu64
@@ -159,6 +168,9 @@ std::string LoadReport::ToJson() const {
   AppendF(&out, "  \"ops_total\": %" PRIu64 ",\n", ops_total);
   AppendF(&out, "  \"failed\": %" PRIu64 ",\n", failed);
   AppendF(&out, "  \"truncated\": %" PRIu64 ",\n", truncated);
+  AppendF(&out, "  \"shed\": %" PRIu64 ",\n", shed);
+  AppendF(&out, "  \"degraded\": %" PRIu64 ",\n", degraded);
+  AppendF(&out, "  \"retried\": %" PRIu64 ",\n", retried);
   AppendF(&out, "  \"updates_applied\": %" PRIu64 ",\n", updates_applied);
   AppendF(&out, "  \"snapshot_epoch\": %" PRIu64 ",\n", snapshot_epoch);
   AppendF(&out, "  \"stream_digest\": \"%016" PRIx64 "\",\n", stream_digest);

@@ -49,6 +49,12 @@ struct LoadReport {
   std::uint64_t ops_total = 0;
   std::uint64_t failed = 0;
   std::uint64_t truncated = 0;
+  /// Overload accounting (engine admission gate + injector retry policy):
+  /// Unavailable responses observed, operations served as degraded anytime
+  /// answers, and re-issued attempts after a shed response.
+  std::uint64_t shed = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t retried = 0;
   std::uint64_t updates_applied = 0;
   std::uint64_t snapshot_epoch = 0;
   std::uint64_t stream_digest = 0;

@@ -148,8 +148,51 @@ Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
           " replica size disagrees with the shard manifest's vertex count");
     }
   }
-  return std::unique_ptr<ShardedEngine>(new ShardedEngine(
+  auto sharded = std::unique_ptr<ShardedEngine>(new ShardedEngine(
       options, std::move(*part), std::move(engines)));
+  if (!options.journal_path.empty()) {
+    Status attached = sharded->AttachJournal(options.journal_path);
+    if (!attached.ok()) return attached;
+  }
+  return sharded;
+}
+
+Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Recover(
+    const std::string& prefix, const ShardedEngineOptions& options,
+    RecoveryInfo* info) {
+  if (options.journal_path.empty()) {
+    return Status::InvalidArgument(
+        "ShardedEngine::Recover needs ShardedEngineOptions::journal_path");
+  }
+  Result<std::unique_ptr<ShardedEngine>> sharded = Open(prefix, options);
+  if (sharded.ok() && info != nullptr) *info = (*sharded)->recovery_info();
+  return sharded;
+}
+
+Status ShardedEngine::AttachJournal(const std::string& path) {
+  UpdateJournal::OpenInfo info;
+  Result<std::unique_ptr<UpdateJournal>> journal = UpdateJournal::Open(path, &info);
+  if (!journal.ok()) return journal.status();
+  Result<std::vector<GraphDelta>> deltas = UpdateJournal::Replay(path);
+  if (!deltas.ok()) return deltas.status();
+  // Replay through the regular coordinator update path; journal_ is still
+  // null, so nothing is re-appended. A committed record that no longer
+  // applies means the journal belongs to a different artifact family.
+  for (std::size_t i = 0; i < deltas->size(); ++i) {
+    Result<RebuildScope> applied = ApplyUpdate((*deltas)[i]);
+    if (!applied.ok()) {
+      return Status::Corruption(
+          "journal replay failed at record " + std::to_string(i + 1) + "/" +
+          std::to_string(deltas->size()) + ": " +
+          applied.status().ToString() +
+          " (journal " + path + " does not match this artifact family)");
+    }
+  }
+  journal_ = std::move(*journal);
+  recovery_info_.records_replayed = deltas->size();
+  recovery_info_.torn_bytes_discarded = info.torn_bytes_discarded;
+  recovery_info_.journal_created = info.created;
+  return Status::OK();
 }
 
 bool ShardedEngine::RootAdmits(const EngineSnapshot& snap, const Query& query,
@@ -434,6 +477,15 @@ Result<RebuildScope> ShardedEngine::ApplyUpdate(const GraphDelta& delta) {
     for (const auto& [s, v] : jobs) precomputer.Recompute(v, plans[s].pre.get());
   }
 
+  // Durability before visibility: every per-shard computation above is
+  // derived state, so committing the delta to the coordinator journal here —
+  // after the compute succeeded, before any shard installs — means a crash
+  // never leaves an acknowledged update unrecoverable, and a failed append
+  // rejects the update with every shard still serving the old epoch.
+  if (journal_ != nullptr) {
+    TOPL_RETURN_IF_ERROR(journal_->Append(delta));
+  }
+
   // Patch + install per shard. Untouched shards install {new graph, same
   // pre, same tree} — O(1), no recompute, rebase-only cache pass.
   std::vector<Status> statuses(num_shards, Status::OK());
@@ -501,6 +553,8 @@ EngineStats ShardedEngine::Stats() const {
     total.batches += stats.batches;
     total.progressive_queries += stats.progressive_queries;
     total.truncated_queries += stats.truncated_queries;
+    total.queries_shed += stats.queries_shed;
+    total.queries_degraded += stats.queries_degraded;
     // updates_applied is a coordinator count (every shard installs once per
     // ApplyUpdate) — shard 0's value already reports it; dirty centers sum.
     total.update_dirty_centers += stats.update_dirty_centers;

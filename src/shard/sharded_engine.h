@@ -28,12 +28,22 @@ struct ShardedEngineOptions {
   /// baseline).
   std::uint32_t num_shards = 1;
   /// Per-shard engine configuration, applied identically to every shard
-  /// (thread-pool size, result cache, precompute/tree parameters for
-  /// FromGraph builds). Path fields are ignored — the coordinator does its
-  /// own artifact I/O. Note num_threads is *per shard*: the default (0 =
-  /// hardware concurrency) oversubscribes with many shards, so sharded
-  /// serving normally wants a small explicit value.
+  /// (thread-pool size, result cache, admission gate, precompute/tree
+  /// parameters for FromGraph builds). Path fields — including
+  /// EngineOptions::journal_path — are ignored: the coordinator does its own
+  /// artifact I/O and owns the single fleet-wide journal below. Note
+  /// num_threads is *per shard*: the default (0 = hardware concurrency)
+  /// oversubscribes with many shards, so sharded serving normally wants a
+  /// small explicit value.
   EngineOptions engine;
+
+  /// Coordinator write-ahead journal (storage/update_journal.h). When
+  /// non-empty, Open replays committed deltas on top of the artifact family
+  /// before serving, and ApplyUpdate appends each delta — once, at the
+  /// coordinator — before any shard installs it. One journal covers the whole
+  /// fleet because updates are coordinator-serialized and deterministic: the
+  /// same delta stream reproduces every shard's state. Ignored by FromGraph.
+  std::string journal_path;
 };
 
 /// \brief Share-nothing sharded serving: one independent Engine per shard,
@@ -95,6 +105,14 @@ class ShardedEngine {
   static Result<std::unique_ptr<ShardedEngine>> Open(
       const std::string& prefix, const ShardedEngineOptions& options);
 
+  /// Open with a mandatory coordinator journal: identical to Open except
+  /// that options.journal_path must be non-empty, and the replay report is
+  /// copied into `*info` (when non-null). The recovered fleet is
+  /// byte-identical to one that applied the same acknowledged deltas live.
+  static Result<std::unique_ptr<ShardedEngine>> Recover(
+      const std::string& prefix, const ShardedEngineOptions& options,
+      RecoveryInfo* info = nullptr);
+
   /// Offline build: one precompute over `graph`, one owned-subset tree per
   /// shard, one TOPLIDX2 version-3 artifact per shard at `<prefix>.s<k>`.
   static Status BuildArtifacts(const Graph& graph,
@@ -140,6 +158,10 @@ class ShardedEngine {
   /// load-imbalance metric from this.
   std::vector<std::uint64_t> ShardOps() const;
 
+  /// Coordinator journal replay report from open time; all zeros when the
+  /// fleet was opened without a journal.
+  const RecoveryInfo& recovery_info() const { return recovery_info_; }
+
   std::uint32_t num_shards() const { return options_.num_shards; }
   const ShardPartition& partition() const { return partition_; }
   Engine& shard(std::uint32_t s) { return *engines_[s]; }
@@ -170,6 +192,11 @@ class ShardedEngine {
                                   const QueryOptions& options,
                                   const ProgressiveOptions* progressive);
 
+  /// Opens/creates the coordinator journal, replays its committed records
+  /// through ApplyUpdate (journal_ is attached only afterwards, so replay
+  /// never re-appends), and records the replay report.
+  Status AttachJournal(const std::string& path);
+
   ShardedEngineOptions options_;
   ShardPartition partition_;
   std::vector<std::unique_ptr<Engine>> engines_;
@@ -178,6 +205,10 @@ class ShardedEngine {
   /// Serializes coordinator updates (each shard additionally has its own
   /// writer lock, uncontended here because this one is held first).
   std::mutex update_mu_;
+  /// Coordinator write-ahead journal; null when opened without one. Guarded
+  /// by update_mu_ (appends happen only inside ApplyUpdate).
+  std::unique_ptr<UpdateJournal> journal_;
+  RecoveryInfo recovery_info_;
   /// Coordinator thread pool for the per-shard maintenance fan-out.
   ThreadPool update_pool_;
 };

@@ -8,6 +8,8 @@
 #include <fstream>
 #include <limits>
 
+#include "common/fault_injection.h"
+#include "storage/atomic_file.h"
 #include "storage/checksum.h"
 #include "storage/mapped_file.h"
 #include "storage/varint.h"
@@ -946,42 +948,25 @@ Status ArtifactWriter::Write(const Graph& g, const PrecomputedData& pre,
   header.file_size = cursor;
   header.table_checksum = XXH64(table, table_bytes);
 
-  // Write to a temp file and rename: `path` may be the very artifact the
-  // payload spans are mapped from (in-place migrate), and a mid-write
-  // failure (e.g. ENOSPC) must never leave a previously valid artifact
-  // truncated.
-  const std::string tmp_path =
-      path + ".tmp." + std::to_string(::getpid());
-  auto fail = [&tmp_path](const std::string& message) {
-    std::error_code ignored;
-    std::filesystem::remove(tmp_path, ignored);
-    return Status::IOError(message);
-  };
-  std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open for writing: " + tmp_path);
-  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
-  out.write(reinterpret_cast<const char*>(table),
-            static_cast<std::streamsize>(table_bytes));
+  // Crash-atomic replacement (storage/atomic_file.h): `path` may be the very
+  // artifact the payload spans are mapped from (in-place migrate), and a
+  // mid-write failure or crash (ENOSPC, SIGKILL, power loss) must never
+  // leave anything but the complete old or the complete new artifact behind.
+  TOPL_FAULT_POINT("artifact.write");
+  Result<AtomicFile> out = AtomicFile::Create(path);
+  if (!out.ok()) return out.status();
+  TOPL_RETURN_IF_ERROR(out->Append(&header, sizeof(header)));
+  TOPL_RETURN_IF_ERROR(out->Append(table, table_bytes));
   std::uint64_t written = sizeof(header) + table_bytes;
   static constexpr char kZeros[kSectionAlignment] = {};
   for (std::size_t i = 0; i < num_sections; ++i) {
-    out.write(kZeros, static_cast<std::streamsize>(table[i].offset - written));
+    TOPL_RETURN_IF_ERROR(out->Append(kZeros, table[i].offset - written));
     if (payloads[i].size > 0) {
-      out.write(static_cast<const char*>(payloads[i].data),
-                static_cast<std::streamsize>(payloads[i].size));
+      TOPL_RETURN_IF_ERROR(out->Append(payloads[i].data, payloads[i].size));
     }
     written = table[i].offset + table[i].size;
   }
-  out.flush();
-  if (!out) return fail("write error on " + tmp_path);
-  out.close();
-  std::error_code ec;
-  std::filesystem::rename(tmp_path, path, ec);
-  if (ec) {
-    return fail("cannot rename " + tmp_path + " to " + path + ": " +
-                ec.message());
-  }
-  return Status::OK();
+  return out->Commit();
 }
 
 // ---------------------------------------------------------------------------
@@ -1126,6 +1111,7 @@ Result<MappedIndex> ArtifactReader::Open(const std::string& path,
   for (std::size_t i = 0; i < parsed.num_sections(); ++i) {
     if (parsed.table[i].encoding != 0) out.compressed = true;
   }
+  out.backing = std::move(mapped);
   return out;
 }
 

@@ -151,6 +151,11 @@ struct MappedIndex {
   /// Version-3 shard manifest words ([num_shards, shard_index, digest_lo,
   /// digest_hi, owned…]); empty for unsharded artifacts.
   std::vector<std::uint32_t> shard_manifest;
+  /// The mapping all raw-section views point into. Every section was
+  /// bounds-checked against this mapping's size at open time;
+  /// `backing->Revalidate()` detects out-of-band truncation after open (the
+  /// SIGBUS hazard) as a clean Corruption status.
+  std::shared_ptr<const class MappedFile> backing;
 };
 
 class ArtifactReader {

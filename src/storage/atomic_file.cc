@@ -1,0 +1,137 @@
+#include "storage/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "common/fault_injection.h"
+
+namespace topl {
+
+namespace {
+
+std::string Errno(const char* what, const std::string& path) {
+  return std::string(what) + " " + path + ": " + std::strerror(errno);
+}
+
+// EINTR-safe full write of [data, data+size).
+Status WriteFully(int fd, const void* data, std::size_t size,
+                  const std::string& path) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    const ::ssize_t n = ::write(fd, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(Errno("write error on", path));
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FsyncParentDir(const std::string& path) {
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (parent.empty()) parent = ".";
+  const int dir_fd = ::open(parent.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd < 0) return Status::IOError(Errno("cannot open dir", parent));
+  const int rc = ::fsync(dir_fd);
+  ::close(dir_fd);
+  // Some filesystems refuse fsync on directories (EINVAL); treat that as the
+  // strongest guarantee they offer rather than failing the rename.
+  if (rc != 0 && errno != EINVAL) {
+    return Status::IOError(Errno("fsync dir", parent));
+  }
+  return Status::OK();
+}
+
+Result<AtomicFile> AtomicFile::Create(const std::string& path) {
+  TOPL_FAULT_POINT("atomic.open");
+  std::string tmp_path = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError(Errno("cannot open for writing", tmp_path));
+  }
+  return AtomicFile(path, std::move(tmp_path), fd);
+}
+
+AtomicFile::AtomicFile(AtomicFile&& other) noexcept
+    : path_(std::move(other.path_)),
+      tmp_path_(std::move(other.tmp_path_)),
+      fd_(other.fd_),
+      bytes_written_(other.bytes_written_) {
+  other.fd_ = -1;
+}
+
+AtomicFile::~AtomicFile() { Discard(); }
+
+void AtomicFile::Discard() {
+  if (fd_ < 0) return;
+  ::close(fd_);
+  fd_ = -1;
+  std::error_code ignored;
+  std::filesystem::remove(tmp_path_, ignored);
+}
+
+Status AtomicFile::Append(const void* data, std::size_t size) {
+  if (fd_ < 0) return Status::Internal("AtomicFile already committed");
+  switch (fault::Check("atomic.write")) {
+    case fault::Action::kIOError:
+      Discard();
+      return fault::InjectedError("atomic.write");
+    case fault::Action::kShortWrite:
+      // Persist a torn prefix, then fail — what a crash mid-write leaves.
+      if (size > 1) {
+        (void)WriteFully(fd_, data, size / 2, tmp_path_);
+      }
+      Discard();
+      return fault::InjectedError("atomic.write");
+    default:
+      break;
+  }
+  const Status status = WriteFully(fd_, data, size, tmp_path_);
+  if (!status.ok()) {
+    Discard();
+    return status;
+  }
+  bytes_written_ += size;
+  return Status::OK();
+}
+
+Status AtomicFile::Commit() {
+  if (fd_ < 0) return Status::Internal("AtomicFile already committed");
+  // Injected failures must leave the same state a real one would: a failed
+  // Commit removes the temp file (the class contract "spent either way").
+  if (fault::Check("atomic.fsync") == fault::Action::kIOError) {
+    Discard();
+    return fault::InjectedError("atomic.fsync");
+  }
+  if (::fsync(fd_) != 0) {
+    const Status status = Status::IOError(Errno("fsync", tmp_path_));
+    Discard();
+    return status;
+  }
+  ::close(fd_);
+  fd_ = -1;
+  if (fault::Check("atomic.rename") == fault::Action::kIOError) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp_path_, ignored);
+    return fault::InjectedError("atomic.rename");
+  }
+  if (::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    const Status status =
+        Status::IOError(Errno("cannot rename", tmp_path_ + " to " + path_));
+    std::error_code ignored;
+    std::filesystem::remove(tmp_path_, ignored);
+    return status;
+  }
+  TOPL_FAULT_POINT("atomic.fsync_dir");
+  return FsyncParentDir(path_);
+}
+
+}  // namespace topl

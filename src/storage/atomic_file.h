@@ -1,0 +1,66 @@
+#ifndef TOPL_STORAGE_ATOMIC_FILE_H_
+#define TOPL_STORAGE_ATOMIC_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace topl {
+
+/// \brief Crash-atomic whole-file replacement: write-temp → fsync → rename →
+/// fsync-dir.
+///
+/// The one way this library replaces a file on disk. Appends stream into
+/// `<path>.tmp.<pid>`; Commit() fsyncs the temp file, renames it over `path`
+/// and fsyncs the containing directory, so after a crash the destination is
+/// always either the complete old file or the complete new file — never a
+/// prefix of either. This is also what keeps live mmap readers safe: the
+/// rename retires the old inode without touching its pages (see the
+/// MappedFile header comment; never add an in-place update path).
+///
+/// An AtomicFile that is destroyed without a successful Commit() unlinks its
+/// temp file, so failed writers leave nothing behind.
+class AtomicFile {
+ public:
+  /// Opens `<path>.tmp.<pid>` for writing (O_TRUNC).
+  static Result<AtomicFile> Create(const std::string& path);
+
+  AtomicFile(AtomicFile&& other) noexcept;
+  AtomicFile& operator=(AtomicFile&&) = delete;
+  AtomicFile(const AtomicFile&) = delete;
+  AtomicFile& operator=(const AtomicFile&) = delete;
+  ~AtomicFile();
+
+  /// Appends `size` bytes; short writes are retried until complete or failed.
+  Status Append(const void* data, std::size_t size);
+
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+  /// fsync + rename over the destination + fsync of its directory. After OK
+  /// the new content is durable under power loss. The AtomicFile is spent
+  /// either way (a failed Commit removes the temp file).
+  Status Commit();
+
+ private:
+  AtomicFile(std::string path, std::string tmp_path, int fd)
+      : path_(std::move(path)), tmp_path_(std::move(tmp_path)), fd_(fd) {}
+
+  void Discard();
+
+  std::string path_;
+  std::string tmp_path_;
+  int fd_ = -1;
+  std::uint64_t bytes_written_ = 0;
+};
+
+/// Fsyncs the directory containing `path` so a just-created or just-renamed
+/// directory entry survives power loss. Best effort on filesystems that
+/// reject directory fsync (returns OK there).
+Status FsyncParentDir(const std::string& path);
+
+}  // namespace topl
+
+#endif  // TOPL_STORAGE_ATOMIC_FILE_H_

@@ -8,10 +8,13 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/fault_injection.h"
+
 namespace topl {
 
 Result<std::shared_ptr<MappedFile>> MappedFile::Open(const std::string& path,
                                                      const MapOptions& options) {
+  TOPL_FAULT_POINT("mapped_file.open");
   const int fd = ::open(path.c_str(), O_RDONLY);  // NOLINT(cppcoreguidelines-pro-type-vararg)
   if (fd < 0) {
     return Status::IOError("cannot open: " + path + ": " + std::strerror(errno));
@@ -54,6 +57,21 @@ Result<std::shared_ptr<MappedFile>> MappedFile::Open(const std::string& path,
   // longer needed.
   ::close(fd);
   return std::shared_ptr<MappedFile>(new MappedFile(path, data, size));
+}
+
+Status MappedFile::Revalidate() const {
+  struct stat st {};
+  if (::stat(path_.c_str(), &st) != 0) {
+    return Status::IOError("cannot stat: " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  if (static_cast<std::size_t>(st.st_size) < size_) {
+    return Status::Corruption(
+        path_ + ": file truncated after open (" + std::to_string(st.st_size) +
+        " bytes on disk, " + std::to_string(size_) +
+        " mapped); touching the lost pages would SIGBUS");
+  }
+  return Status::OK();
 }
 
 MappedFile::~MappedFile() {

@@ -58,6 +58,15 @@ class MappedFile {
   std::size_t size() const { return size_; }
   const std::string& path() const { return path_; }
 
+  /// Re-stats the backing path and reports Corruption when the file on disk
+  /// is now smaller than the mapping taken at open time. A mapping over a
+  /// truncated file raises SIGBUS on first touch of a lost page; callers
+  /// that are about to walk the mapping (or that just caught an inexplicable
+  /// serving error) can use this to turn the hazard into a clean Status.
+  /// Rename-replaced artifacts (the only sanctioned replacement path) keep
+  /// the old inode intact, so this only fires on out-of-band truncation.
+  Status Revalidate() const;
+
   /// Typed view of `count` elements of T starting at byte `offset`. The
   /// caller must have validated that [offset, offset + count * sizeof(T))
   /// lies within the file and that `offset` is aligned for T.

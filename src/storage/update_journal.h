@@ -1,0 +1,99 @@
+#ifndef TOPL_STORAGE_UPDATE_JOURNAL_H_
+#define TOPL_STORAGE_UPDATE_JOURNAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "graph/graph_delta.h"
+
+namespace topl {
+
+/// \brief Write-ahead delta journal: the durability side of ApplyUpdate.
+///
+/// An engine snapshot swap is an in-memory operation; without a journal, a
+/// crash between two artifact rewrites silently discards every update since
+/// the last rewrite. The journal closes that window: each GraphDelta is
+/// appended — length-prefixed, XXH64-checksummed, fsync'd — *before* the
+/// new snapshot is installed, so `Engine::Recover(artifact, journal)`
+/// replays exactly the deltas that live serving acknowledged.
+///
+/// File layout (little-endian, fixed width):
+///
+///   header   "TOPLJRN1" (8 bytes) + u32 version (1) + u32 reserved
+///   record*  u32 record magic 0x544A5243 ("TJRC")
+///            u32 payload length in bytes
+///            u64 XXH64 of the payload
+///            payload: the serialized GraphDelta —
+///              u32 counts [deletes, inserts, kw_adds, kw_removes], then the
+///              packed arrays (EdgeRef = 2×u32, EdgeInsert = 2×u32 + 2×f32,
+///              KeywordChange = 2×u32)
+///
+/// Torn-tail semantics: Open() scans the record chain; the first record with
+/// a bad magic, an out-of-bounds length, a checksum mismatch, or a payload
+/// that does not fill its declared length marks the *commit point* — the
+/// file is truncated there (a crash mid-append can only tear the last
+/// record) and every earlier record is kept. Replay() applies the same rule
+/// read-only.
+class UpdateJournal {
+ public:
+  /// What Open() found on disk.
+  struct OpenInfo {
+    std::uint64_t records = 0;            // valid records retained
+    std::uint64_t torn_bytes_discarded = 0;  // trailing bytes truncated away
+    bool created = false;                 // file did not exist before
+  };
+
+  /// Opens `path` for appending, creating it (with a header) when missing,
+  /// validating the record chain and truncating a torn tail. The journal
+  /// holds an O_APPEND fd until destroyed.
+  static Result<std::unique_ptr<UpdateJournal>> Open(const std::string& path,
+                                                     OpenInfo* info = nullptr);
+
+  ~UpdateJournal();
+  UpdateJournal(const UpdateJournal&) = delete;
+  UpdateJournal& operator=(const UpdateJournal&) = delete;
+
+  /// Serializes and appends one delta, then fsyncs. On OK the record is
+  /// durable; on error the journal is unusable for further appends (the
+  /// caller must reject the update — a torn tail will be healed by the next
+  /// Open).
+  Status Append(const GraphDelta& delta);
+
+  /// Durable records in the journal (valid-at-open + appended-since).
+  std::uint64_t num_records() const { return num_records_; }
+
+  const std::string& path() const { return path_; }
+
+  /// Drops every record (after the deltas were folded into a rewritten
+  /// artifact): truncates back to the bare header and fsyncs.
+  Status Truncate();
+
+  /// Reads every valid record of `path` without opening for append,
+  /// ignoring (not truncating) a torn tail. A missing file is an empty
+  /// journal. `torn_bytes` (optional) reports the ignored tail length.
+  static Result<std::vector<GraphDelta>> Replay(
+      const std::string& path, std::uint64_t* torn_bytes = nullptr);
+
+  /// Serialization used for journal payloads, exposed for fuzzing: decode
+  /// rejects truncated buffers, overflowing counts and trailing garbage with
+  /// a typed Status (never reads out of bounds).
+  static std::vector<std::uint8_t> EncodeDelta(const GraphDelta& delta);
+  static Result<GraphDelta> DecodeDelta(const std::uint8_t* data,
+                                        std::size_t size);
+
+ private:
+  UpdateJournal(std::string path, int fd, std::uint64_t num_records)
+      : path_(std::move(path)), fd_(fd), num_records_(num_records) {}
+
+  std::string path_;
+  int fd_ = -1;
+  std::uint64_t num_records_ = 0;
+};
+
+}  // namespace topl
+
+#endif  // TOPL_STORAGE_UPDATE_JOURNAL_H_

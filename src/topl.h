@@ -20,6 +20,7 @@
 
 #include "baselines/atindex.h"
 #include "baselines/im_greedy.h"
+#include "common/fault_injection.h"
 #include "common/latency_histogram.h"
 #include "common/result.h"
 #include "common/rng.h"
@@ -67,8 +68,10 @@
 #include "shard/shard_update.h"
 #include "shard/sharded_engine.h"
 #include "storage/artifact.h"
+#include "storage/atomic_file.h"
 #include "storage/checksum.h"
 #include "storage/mapped_file.h"
+#include "storage/update_journal.h"
 #include "storage/varint.h"
 #include "truss/kcore.h"
 #include "truss/local_truss.h"

@@ -1,0 +1,265 @@
+// Crash-torture sweep over the fault-injection registry: for every
+// registered failure point, a forked child runs the full durable-update
+// path (open with journal, apply deltas, rewrite an artifact) and is killed
+// the moment it executes that point. The parent then recovers from whatever
+// the child left on disk and asserts the recovered engine answers a query
+// battery byte-identically to a live engine that applied the same durable
+// prefix of the delta stream — i.e. a crash anywhere loses nothing
+// acknowledged and invents nothing unacknowledged.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/rng.h"
+#include "engine/engine.h"
+#include "graph/generators.h"
+#include "graph/graph_delta.h"
+#include "gtest/gtest.h"
+#include "storage/artifact.h"
+#include "tests/test_util.h"
+
+namespace topl {
+namespace {
+
+class CrashTortureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("topl_torture_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    fault::Disarm();
+  }
+  void TearDown() override {
+    fault::Disarm();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  static Graph MakeTestGraph() {
+    SmallWorldOptions gen;
+    gen.num_vertices = 100;
+    gen.seed = 31;
+    gen.keywords.domain_size = 10;
+    Result<Graph> g = MakeSmallWorld(gen);
+    EXPECT_TRUE(g.ok()) << g.status().ToString();
+    return std::move(g).value();
+  }
+
+  static std::vector<Query> QueryBattery() {
+    std::vector<Query> queries;
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      Query q;
+      q.keywords = {static_cast<KeywordId>(i % 10),
+                    static_cast<KeywordId>((i + 3) % 10),
+                    static_cast<KeywordId>((i + 6) % 10)};
+      std::sort(q.keywords.begin(), q.keywords.end());
+      q.k = 3;
+      q.radius = 1 + i % 2;
+      q.theta = 0.2;
+      q.top_l = 4;
+      queries.push_back(std::move(q));
+    }
+    return queries;
+  }
+
+  static void ExpectSameAnswers(Engine& actual, Engine& expected) {
+    for (const Query& q : QueryBattery()) {
+      Result<TopLResult> a = actual.Search(q);
+      Result<TopLResult> e = expected.Search(q);
+      ASSERT_EQ(a.ok(), e.ok()) << a.status().ToString();
+      if (!a.ok()) continue;
+      ASSERT_EQ(a->communities.size(), e->communities.size());
+      for (std::size_t i = 0; i < a->communities.size(); ++i) {
+        EXPECT_EQ(a->communities[i].community.center,
+                  e->communities[i].community.center);
+        EXPECT_EQ(a->communities[i].community.vertices,
+                  e->communities[i].community.vertices);
+        EXPECT_EQ(a->communities[i].score(), e->communities[i].score());
+      }
+    }
+  }
+
+  std::filesystem::path dir_;
+};
+
+/// Deterministic, sequentially-valid deltas for `g`'s lineage.
+std::vector<GraphDelta> MakeDeltaStream(const Graph& g, std::size_t count) {
+  std::vector<GraphDelta> deltas;
+  std::unique_ptr<Graph> evolved;
+  const Graph* current = &g;
+  Rng rng(777);
+  while (deltas.size() < count) {
+    GraphDelta d = MakeRandomDelta(*current, rng);
+    if (d.empty()) continue;
+    Result<Graph> next = ApplyDelta(*current, d);
+    EXPECT_TRUE(next.ok()) << next.status().ToString();
+    if (!next.ok()) break;
+    evolved = std::make_unique<Graph>(std::move(*next));
+    current = evolved.get();
+    deltas.push_back(std::move(d));
+  }
+  return deltas;
+}
+
+// Exit codes of the forked child. 137 is fault::Check's kCrash exit; the
+// child never returns — gtest machinery must not run in it.
+constexpr int kChildDone = 0;
+constexpr int kChildRealError = 3;
+constexpr int kChildCrashed = 137;
+
+/// The durable-update path under torture: open the artifact with a journal,
+/// apply every delta, rewrite a (side) artifact. The armed point kills the
+/// process partway through; completing the whole path exits 0.
+[[noreturn]] void ChildUpdatePath(const std::string& point,
+                                  const std::string& artifact,
+                                  const std::string& journal,
+                                  const std::string& side_artifact,
+                                  const std::vector<GraphDelta>& deltas) {
+  fault::Arm(point, fault::Action::kCrash);
+  EngineOptions options;
+  options.index_path = artifact;
+  options.journal_path = journal;
+  options.num_threads = 1;
+  Result<std::unique_ptr<Engine>> engine = Engine::Open(options);
+  if (!engine.ok()) ::_exit(kChildRealError);
+  for (const GraphDelta& delta : deltas) {
+    if (!(*engine)->ApplyUpdate(delta).ok()) ::_exit(kChildRealError);
+  }
+  const std::shared_ptr<const EngineSnapshot> snap = (*engine)->snapshot();
+  const Status written = ArtifactWriter::Write(*snap->graph, *snap->pre,
+                                               *snap->tree, side_artifact);
+  ::_exit(written.ok() ? kChildDone : kChildRealError);
+}
+
+TEST_F(CrashTortureTest, EveryCrashPointRecoversWithoutDivergence) {
+  if (!fault::Enabled()) GTEST_SKIP() << "fault injection compiled out";
+
+  const Graph graph = MakeTestGraph();
+  testing::BuiltIndex built = testing::BuildIndexFor(graph);
+  const std::string base = Path("base.idx");
+  ASSERT_TRUE(
+      ArtifactWriter::Write(graph, built.pre(), built.tree, base).ok());
+  const std::vector<GraphDelta> deltas = MakeDeltaStream(graph, 4);
+  ASSERT_EQ(deltas.size(), 4u);
+
+  std::vector<std::string> crashed;
+  for (const std::string& point : fault::AllPoints()) {
+    SCOPED_TRACE(point);
+    std::string tag = point;
+    std::replace(tag.begin(), tag.end(), '.', '_');
+    const std::filesystem::path sub = dir_ / tag;
+    std::filesystem::create_directories(sub);
+    const std::string artifact = (sub / "index.idx").string();
+    std::filesystem::copy_file(base, artifact);
+    const std::string journal = (sub / "wal.jrn").string();
+    const std::string side = (sub / "side.idx").string();
+
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) ChildUpdatePath(point, artifact, journal, side, deltas);
+    int wstatus = 0;
+    ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+    ASSERT_TRUE(WIFEXITED(wstatus))
+        << "child killed by signal " << WTERMSIG(wstatus);
+    const int code = WEXITSTATUS(wstatus);
+    // A point off this path is legal (the child completes); anything other
+    // than clean completion or the injected kill is a real bug.
+    ASSERT_TRUE(code == kChildDone || code == kChildCrashed)
+        << "child exit code " << code;
+    if (code == kChildCrashed) crashed.push_back(point);
+
+    // Recovery must succeed no matter where the child died, and must land on
+    // a durable prefix of the delta stream.
+    EngineOptions options;
+    options.index_path = artifact;
+    options.journal_path = journal;
+    options.num_threads = 1;
+    RecoveryInfo info;
+    Result<std::unique_ptr<Engine>> recovered = Engine::Recover(options, &info);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    ASSERT_LE(info.records_replayed, deltas.size());
+
+    // Reference: a live engine over the same base artifact replaying that
+    // prefix through the ordinary update path (read-only mmap; sharing the
+    // file with the recovered engine is fine).
+    EngineOptions live_options;
+    live_options.index_path = artifact;
+    live_options.num_threads = 1;
+    Result<std::unique_ptr<Engine>> live = Engine::Open(live_options);
+    ASSERT_TRUE(live.ok()) << live.status().ToString();
+    for (std::uint64_t i = 0; i < info.records_replayed; ++i) {
+      ASSERT_TRUE((*live)->ApplyUpdate(deltas[i]).ok());
+    }
+    ExpectSameAnswers(**recovered, **live);
+  }
+
+  // The child's path must actually traverse the registry: every durability
+  // point on the journal-append + artifact-rewrite flow killed its child.
+  for (const char* must :
+       {"journal.open", "journal.append", "journal.fsync", "atomic.open",
+        "atomic.write", "atomic.fsync", "atomic.rename", "artifact.write",
+        "mapped_file.open"}) {
+    EXPECT_NE(std::find(crashed.begin(), crashed.end(), must), crashed.end())
+        << "point never fired: " << must;
+  }
+}
+
+TEST_F(CrashTortureTest, TornAppendRecoversDurablePrefix) {
+  if (!fault::Enabled()) GTEST_SKIP() << "fault injection compiled out";
+
+  const Graph graph = MakeTestGraph();
+  testing::BuiltIndex built = testing::BuildIndexFor(graph);
+  const std::string artifact = Path("torn.idx");
+  ASSERT_TRUE(
+      ArtifactWriter::Write(graph, built.pre(), built.tree, artifact).ok());
+  const std::vector<GraphDelta> deltas = MakeDeltaStream(graph, 3);
+  ASSERT_EQ(deltas.size(), 3u);
+
+  EngineOptions options;
+  options.index_path = artifact;
+  options.journal_path = Path("torn.jrn");
+  options.num_threads = 1;
+  {
+    Result<std::unique_ptr<Engine>> live = Engine::Open(options);
+    ASSERT_TRUE(live.ok()) << live.status().ToString();
+    // The third append tears mid-record: a prefix of the record reaches the
+    // disk, the update is NOT acknowledged, and the engine state stays at
+    // two deltas (durability strictly precedes visibility).
+    fault::Arm("journal.append", fault::Action::kShortWrite,
+               /*fire_on_hit=*/3);
+    ASSERT_TRUE((*live)->ApplyUpdate(deltas[0]).ok());
+    ASSERT_TRUE((*live)->ApplyUpdate(deltas[1]).ok());
+    Result<RebuildScope> torn = (*live)->ApplyUpdate(deltas[2]);
+    ASSERT_FALSE(torn.ok());
+    EXPECT_TRUE(torn.status().IsIOError()) << torn.status().ToString();
+    EXPECT_EQ((*live)->Stats().snapshot_epoch, 2u);
+    fault::Disarm();
+  }
+
+  RecoveryInfo info;
+  Result<std::unique_ptr<Engine>> recovered = Engine::Recover(options, &info);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(info.records_replayed, 2u);
+  EXPECT_GT(info.torn_bytes_discarded, 0u);
+
+  EngineOptions live_options;
+  live_options.index_path = artifact;
+  live_options.num_threads = 1;
+  Result<std::unique_ptr<Engine>> reference = Engine::Open(live_options);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_TRUE((*reference)->ApplyUpdate(deltas[0]).ok());
+  ASSERT_TRUE((*reference)->ApplyUpdate(deltas[1]).ok());
+  ExpectSameAnswers(**recovered, **reference);
+}
+
+}  // namespace
+}  // namespace topl

@@ -130,6 +130,54 @@ TEST(ThreadPoolTest, TaskGroupPropagatesExceptions) {
   EXPECT_EQ(ran.load(), 10);  // one failure never cancels siblings
 }
 
+TEST(ThreadPoolTest, SubmitAfterShutdownThrowsTypedError) {
+  ThreadPool pool(2);
+  // Warm the lazy queue workers and prove normal service first.
+  EXPECT_EQ(pool.Submit([] { return 41 + 1; }).get(), 42);
+
+  pool.Shutdown();
+  EXPECT_TRUE(pool.is_shutdown());
+  pool.Shutdown();  // idempotent
+  EXPECT_TRUE(pool.is_shutdown());
+
+  std::atomic<bool> ran{false};
+  std::future<void> rejected = pool.Submit([&ran] { ran.store(true); });
+  // The rejected task never runs; its future resolves (never hangs) to the
+  // documented typed error.
+  try {
+    rejected.get();
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "ThreadPool is shut down");
+  }
+  EXPECT_FALSE(ran.load());
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsAlreadyQueuedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.Submit([&done] { done.fetch_add(1); }));
+  }
+  pool.Shutdown();  // runs everything already accepted, then joins
+  for (auto& f : futures) f.get();  // none throws: all were accepted
+  EXPECT_EQ(done.load(), 16);
+  EXPECT_EQ(pool.PendingTasks(), 0u);
+}
+
+TEST(ThreadPoolTest, ParallelForStillWorksAfterShutdown) {
+  // Shutdown only closes the Submit queue; the blocking data-parallel mode
+  // spawns per-call workers and keeps functioning (Engine::Shutdown relies
+  // on this ordering independence).
+  ThreadPool pool(3);
+  pool.Shutdown();
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, 100, [&](std::size_t) { calls.fetch_add(1); },
+                   /*grain=*/8);
+  EXPECT_EQ(calls.load(), 100);
+}
+
 TEST(ThreadPoolTest, WorkerScratchIsolation) {
   // Per-worker accumulators must see a consistent view without locks.
   ThreadPool pool(4);

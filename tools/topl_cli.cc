@@ -10,6 +10,9 @@
 //   topl_cli index migrate --in=old.bin --graph=graph.bin --out=index.idx
 //                          [--compress=0]
 //   topl_cli update   --index=index.idx --delta=delta.txt --out=patched.idx
+//                     [--journal=wal.jrn]
+//   topl_cli recover  --index=index.idx --journal=wal.jrn
+//                     [--out=patched.idx --shards=N --truncate-journal]
 //   topl_cli stats    --graph=graph.bin
 //
 // `index build` writes the mmap-able TOPLIDX2 artifact (graph + precompute +
@@ -34,7 +37,25 @@
 // re-precomputed — and writes the patched artifact (--out may equal --index;
 // the input is read before the output is written). Serving answers from the
 // patched artifact is byte-identical to rebuilding the index from scratch on
-// the mutated graph.
+// the mutated graph. The rewrite is atomic (temp file + fsync + rename), so
+// a crash mid-update leaves the previous artifact intact. With
+// --journal=PATH the delta is additionally fsync'd into a write-ahead
+// journal *before* any rewrite work and the journal is truncated only after
+// the rewritten artifact is durable — a crash anywhere in between leaves the
+// old artifact plus a replayable journal record for `recover`. (The one
+// window left open: a crash after the rename but before the truncate leaves
+// a record whose delta the artifact already contains; replaying it then
+// fails with a typed error instead of silently double-applying.)
+//
+// `recover` replays a write-ahead journal (EngineOptions::journal_path /
+// `update --journal`) on top of an artifact — or, with --shards=N, a
+// coordinator journal on top of the `<index>.s0..s{N-1}` artifact family —
+// healing any torn trailing record, and prints the recovery report (records
+// replayed, torn bytes discarded). The recovered engine is byte-identical to
+// one that applied the same acknowledged deltas live. --out additionally
+// writes the recovered state as a fresh artifact (unsharded only), and
+// --truncate-journal (requires --out) empties the journal once that artifact
+// is durable.
 //
 // Online phase (all served through topl::Engine::Open; a missing index file
 // is built in-process, and persisted back when --save-index=1):
@@ -173,8 +194,8 @@ int Fail(const Status& status) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: topl_cli <generate|convert|index|update|stats|query|"
-               "dtopl|batch|serve-bench> [--flag=value ...]\n"
+               "usage: topl_cli <generate|convert|index|update|recover|stats|"
+               "query|dtopl|batch|serve-bench> [--flag=value ...]\n"
                "       topl_cli index <build|inspect|migrate> [--flag=value ...]\n"
                "see the header comment of tools/topl_cli.cc for flags\n");
   return 2;
@@ -450,11 +471,41 @@ int CmdUpdate(const std::map<std::string, std::string>& flags) {
     if (!remapped.ok()) return Fail(remapped);
   }
 
+  // Open (or create) the write-ahead journal up front so an unreadable
+  // journal fails before any maintenance work; the delta is appended only
+  // after it has validated + applied in memory, mirroring the engine's own
+  // ordering (never journal a delta that can't apply).
+  const std::string journal_path = FlagOr(flags, "journal", "");
+  std::unique_ptr<UpdateJournal> journal;
+  if (!journal_path.empty()) {
+    UpdateJournal::OpenInfo open_info;
+    Result<std::unique_ptr<UpdateJournal>> opened =
+        UpdateJournal::Open(journal_path, &open_info);
+    if (!opened.ok()) return Fail(opened.status());
+    journal = std::move(*opened);
+    if (open_info.torn_bytes_discarded > 0) {
+      std::printf("journal %s: healed %llu torn trailing bytes\n",
+                  journal_path.c_str(),
+                  static_cast<unsigned long long>(open_info.torn_bytes_discarded));
+    }
+  }
+
   ThreadPool pool(IntFlag(flags, "threads", 0));
   Timer timer;
   Result<UpdatedIndex> updated = IndexUpdater::Apply(
       mapped->graph, *mapped->pre, mapped->tree, *delta, &pool);
   if (!updated.ok()) return Fail(updated.status());
+
+  if (journal != nullptr) {
+    // Durability first: the (internal-id-space) delta hits a fsync'd journal
+    // record before the artifact rewrite starts, so a crash below leaves the
+    // old artifact plus a replayable record for `recover`.
+    const Status appended = journal->Append(*delta);
+    if (!appended.ok()) return Fail(appended);
+    std::printf("journaled %zu delta ops -> %s (record %llu)\n",
+                delta->NumOps(), journal_path.c_str(),
+                static_cast<unsigned long long>(journal->num_records()));
+  }
   const double maintain_seconds = timer.ElapsedSeconds();
   // The patched artifact keeps the input's permutation and encoding, so a
   // reordered/compressed index stays reordered/compressed across updates.
@@ -464,10 +515,111 @@ int CmdUpdate(const std::map<std::string, std::string>& flags) {
   const Status status = ArtifactWriter::Write(updated->graph, *updated->pre,
                                               updated->tree, out, write_options);
   if (!status.ok()) return Fail(status);
+  if (journal != nullptr) {
+    // The rewritten artifact is durable (atomic rename + fsync), so its
+    // journal record is now redundant; drop it so a later `recover` does not
+    // re-apply a delta the artifact already contains.
+    const Status truncated = journal->Truncate();
+    if (!truncated.ok()) return Fail(truncated);
+    std::printf("journal %s truncated (delta folded into %s)\n",
+                journal_path.c_str(), out.c_str());
+  }
   std::printf("applied %zu delta ops in %.3fs -> %s (%zu vertices, %zu edges)\n",
               delta->NumOps(), maintain_seconds, out.c_str(),
               updated->graph.NumVertices(), updated->graph.NumEdges());
   std::printf("rebuild scope: %s\n", updated->scope.ToString().c_str());
+  return 0;
+}
+
+int CmdRecover(const std::map<std::string, std::string>& flags) {
+  const std::string index_path = FlagOr(flags, "index", "");
+  const std::string journal_path = FlagOr(flags, "journal", "");
+  if (index_path.empty() || journal_path.empty()) {
+    return Fail(Status::InvalidArgument(
+        "recover needs --index=ARTIFACT (or a --shards family prefix) and "
+        "--journal=FILE"));
+  }
+  const std::string out = FlagOr(flags, "out", "");
+  const bool truncate_journal = FlagOr(flags, "truncate-journal", "0") == "1";
+  if (truncate_journal && out.empty()) {
+    return Fail(Status::InvalidArgument(
+        "--truncate-journal without --out would discard the journaled deltas "
+        "without persisting them anywhere; add --out=ARTIFACT"));
+  }
+  const std::uint32_t shards =
+      static_cast<std::uint32_t>(IntFlag(flags, "shards", 0));
+
+  Timer timer;
+  RecoveryInfo info;
+  std::unique_ptr<Engine> engine;
+  if (shards > 0) {
+    if (!out.empty()) {
+      return Fail(Status::InvalidArgument(
+          "--out is unsharded-only: a recovered fleet re-persists via "
+          "`index build --shards` from the recovered graph"));
+    }
+    ShardedEngineOptions options;
+    options.num_shards = shards;
+    options.journal_path = journal_path;
+    options.engine.num_threads = IntFlag(flags, "threads", 0);
+    Result<std::unique_ptr<ShardedEngine>> recovered =
+        ShardedEngine::Recover(index_path, options, &info);
+    if (!recovered.ok()) return Fail(recovered.status());
+    const EngineStats stats = (*recovered)->Stats();
+    std::printf("recovered %s.s0..s%u + %s in %.3fs\n", index_path.c_str(),
+                shards - 1, journal_path.c_str(), timer.ElapsedSeconds());
+    std::printf("recovery report: %llu records replayed, %llu torn bytes "
+                "discarded, journal %s\n",
+                static_cast<unsigned long long>(info.records_replayed),
+                static_cast<unsigned long long>(info.torn_bytes_discarded),
+                info.journal_created ? "created empty" : "existing");
+    std::printf("serving epoch %llu (%zu vertices, %zu edges per replica)\n",
+                static_cast<unsigned long long>(stats.snapshot_epoch),
+                (*recovered)->shard(0).graph().NumVertices(),
+                (*recovered)->shard(0).graph().NumEdges());
+    return 0;
+  }
+
+  EngineOptions options;
+  options.index_path = index_path;
+  options.journal_path = journal_path;
+  options.num_threads = IntFlag(flags, "threads", 0);
+  Result<std::unique_ptr<Engine>> recovered = Engine::Recover(options, &info);
+  if (!recovered.ok()) return Fail(recovered.status());
+  engine = std::move(*recovered);
+  std::printf("recovered %s + %s in %.3fs\n", index_path.c_str(),
+              journal_path.c_str(), timer.ElapsedSeconds());
+  std::printf("recovery report: %llu records replayed, %llu torn bytes "
+              "discarded, journal %s\n",
+              static_cast<unsigned long long>(info.records_replayed),
+              static_cast<unsigned long long>(info.torn_bytes_discarded),
+              info.journal_created ? "created empty" : "existing");
+  std::printf("serving epoch %llu (%zu vertices, %zu edges)\n",
+              static_cast<unsigned long long>(engine->Stats().snapshot_epoch),
+              engine->graph().NumVertices(), engine->graph().NumEdges());
+
+  if (!out.empty()) {
+    // Persist the recovered state, preserving the source artifact's
+    // permutation and encoding; the write is atomic, so --out may equal
+    // --index.
+    ArtifactWriteOptions write_options;
+    write_options.compress = engine->artifact_compressed();
+    write_options.external_ids = engine->ExternalIds();
+    const std::shared_ptr<const EngineSnapshot> snap = engine->snapshot();
+    const Status written = ArtifactWriter::Write(
+        *snap->graph, *snap->pre, *snap->tree, out, write_options);
+    if (!written.ok()) return Fail(written);
+    std::printf("wrote recovered artifact -> %s\n", out.c_str());
+    if (truncate_journal) {
+      Result<std::unique_ptr<UpdateJournal>> journal =
+          UpdateJournal::Open(journal_path);
+      if (!journal.ok()) return Fail(journal.status());
+      const Status truncated = (*journal)->Truncate();
+      if (!truncated.ok()) return Fail(truncated);
+      std::printf("journal %s truncated (records folded into %s)\n",
+                  journal_path.c_str(), out.c_str());
+    }
+  }
   return 0;
 }
 
@@ -1029,6 +1181,7 @@ int main(int argc, char** argv) {
   if (command == "generate") return CmdGenerate(flags);
   if (command == "convert") return CmdConvert(flags);
   if (command == "update") return CmdUpdate(flags);
+  if (command == "recover") return CmdRecover(flags);
   if (command == "stats") return CmdStats(flags);
   if (command == "query") return CmdQuery(flags, /*diversified=*/false);
   if (command == "dtopl") return CmdQuery(flags, /*diversified=*/true);
